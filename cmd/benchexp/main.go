@@ -1,0 +1,168 @@
+// Command benchexp regenerates the tables and figures of the paper's
+// evaluation section on the synthetic stand-in datasets. Each experiment
+// prints the same rows/series the paper reports; EXPERIMENTS.md records
+// the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	benchexp -exp table2|table3|table4|table5|fig2|fig3|fig4a|fig4b|fig4c|fig5|fig6|fig7|fig8|all
+//	         [-datasets cora,citeseer,...] [-k 128] [-threads 10] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"pane/internal/dataset"
+	"pane/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchexp: ")
+	var (
+		exp      = flag.String("exp", "all", "experiment id (table2..fig8 or all)")
+		datasets = flag.String("datasets", "", "comma-separated dataset names (default: experiment-appropriate)")
+		k        = flag.Int("k", 128, "space budget")
+		threads  = flag.Int("threads", 10, "worker threads")
+		quick    = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	opt := experiments.Defaults()
+	opt.K = *k
+	opt.Threads = *threads
+	opt.Seed = *seed
+
+	smallSets := dataset.SmallOrder
+	allSets := dataset.Order
+	bigSets := []string{"googleplus", "tweibo"}
+	if *quick {
+		smallSets = []string{"cora", "citeseer"}
+		allSets = []string{"cora", "citeseer", "facebook"}
+		bigSets = []string{"facebook"}
+		opt.K = 32
+	}
+	if *datasets != "" {
+		names := strings.Split(*datasets, ",")
+		smallSets, allSets, bigSets = names, names, names
+	}
+	// The paper's non-scalable baselines get skipped above this many
+	// nodes, mirroring the "-" (did not finish) entries.
+	const skipSlowAbove = 25000
+
+	run := func(id string) {
+		switch id {
+		case "table2":
+			experiments.PrintTable2(os.Stdout, experiments.RunTable2())
+		case "table3":
+			rows, err := experiments.RunTable3(allSets)
+			check(err)
+			experiments.PrintTable3(os.Stdout, rows)
+		case "table4":
+			rows, err := experiments.RunTable4(allSets, opt, skipSlowAbove)
+			check(err)
+			experiments.PrintMethodTable(os.Stdout, "Table 4: attribute inference", rows)
+		case "table5":
+			rows, err := experiments.RunTable5(allSets, opt, skipSlowAbove)
+			check(err)
+			experiments.PrintMethodTable(os.Stdout, "Table 5: link prediction", rows)
+		case "fig2":
+			fracs := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+			if *quick {
+				fracs = []float64{0.5}
+			}
+			rows, err := experiments.RunFig2(smallSets, fracs, opt)
+			check(err)
+			experiments.PrintFig2(os.Stdout, rows)
+		case "fig3":
+			rows, err := experiments.RunFig3(allSets, opt, skipSlowAbove)
+			check(err)
+			experiments.PrintFig3(os.Stdout, rows)
+		case "fig4a":
+			threads := []int{1, 2, 5, 10, 20}
+			if *quick {
+				threads = []int{1, 2, 4}
+			}
+			rows, err := experiments.RunFig4a(bigSets, threads, opt)
+			check(err)
+			experiments.PrintSpeedups(os.Stdout, rows)
+		case "fig4b":
+			ks := []int{16, 32, 64, 128, 256}
+			if *quick {
+				ks = []int{16, 64}
+			}
+			rows, err := experiments.RunFig4b(bigSets, ks, opt)
+			check(err)
+			experiments.PrintParamTimings(os.Stdout, "Figure 4b: time vs k", "k", rows)
+		case "fig4c":
+			epss := []float64{0.001, 0.005, 0.015, 0.05, 0.25}
+			if *quick {
+				epss = []float64{0.015, 0.25}
+			}
+			rows, err := experiments.RunFig4c(bigSets, epss, opt)
+			check(err)
+			experiments.PrintParamTimings(os.Stdout, "Figure 4c: time vs eps", "eps", rows)
+		case "fig5", "fig6":
+			params := []struct {
+				name   string
+				values []float64
+			}{
+				{"k", []float64{16, 32, 64, 128, 256}},
+				{"nb", []float64{1, 2, 5, 10, 20}},
+				{"eps", []float64{0.001, 0.005, 0.015, 0.05, 0.25}},
+				{"alpha", []float64{0.1, 0.3, 0.5, 0.7, 0.9}},
+			}
+			if *quick {
+				params = params[:1]
+				params[0].values = []float64{16, 64}
+			}
+			for _, p := range params {
+				attr, link, err := experiments.RunFig56(smallSets, p.name, p.values, opt)
+				check(err)
+				if id == "fig5" {
+					experiments.PrintQuality(os.Stdout, "Figure 5 ("+p.name+"): attribute inference AUC", attr)
+				} else {
+					experiments.PrintQuality(os.Stdout, "Figure 6 ("+p.name+"): link prediction AUC", link)
+				}
+			}
+		case "fig7", "fig8":
+			iters := []int{1, 2, 5, 10, 20}
+			if *quick {
+				iters = []int{1, 5}
+			}
+			sets := []string{"facebook", "pubmed", "flickr"}
+			if *quick {
+				sets = []string{"cora"}
+			}
+			link, attr, err := experiments.RunFig78(sets, iters, opt)
+			check(err)
+			if id == "fig7" {
+				experiments.PrintInitPoints(os.Stdout, "Figure 7: GreedyInit vs random (link prediction)", link)
+			} else {
+				experiments.PrintInitPoints(os.Stdout, "Figure 8: GreedyInit vs random (attribute inference)", attr)
+			}
+		default:
+			log.Fatalf("unknown experiment %q", id)
+		}
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{"table2", "table3", "table4", "table5", "fig2", "fig3", "fig4a", "fig4b", "fig4c", "fig5", "fig6", "fig7", "fig8"} {
+			fmt.Printf("\n===== %s =====\n", id)
+			run(id)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+// Command pane computes PANE embeddings for an attributed graph given as
+// edge / attribute / (optional) label files, writing the forward,
+// backward, and attribute embeddings as whitespace-separated text.
+//
+// Usage:
+//
+//	pane -edges g.edges -attrs g.attrs [-labels g.labels] \
+//	     [-k 128] [-alpha 0.5] [-eps 0.015] [-threads 10] [-seed 1] \
+//	     [-out embeddings]
+//
+// Output files: <out>.xf, <out>.xb (one node per line, k/2 values each)
+// and <out>.y (one attribute per line).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"pane/internal/core"
+	"pane/internal/graph"
+	"pane/internal/mat"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pane: ")
+	var (
+		edgePath  = flag.String("edges", "", "edge list file: 'src dst' per line (required)")
+		attrPath  = flag.String("attrs", "", "attribute file: 'node attr [weight]' per line (required)")
+		labelPath = flag.String("labels", "", "label file: 'node label' per line (optional)")
+		outPrefix = flag.String("out", "embeddings", "output file prefix")
+		k         = flag.Int("k", 128, "space budget (even)")
+		alpha     = flag.Float64("alpha", 0.5, "random walk stopping probability")
+		eps       = flag.Float64("eps", 0.015, "error threshold")
+		threads   = flag.Int("threads", 10, "worker threads (1 = single-thread algorithm)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *edgePath == "" || *attrPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := graph.LoadFiles(*edgePath, *attrPath, *labelPath)
+	if err != nil {
+		log.Fatalf("loading graph: %v", err)
+	}
+	st := g.Stats()
+	log.Printf("loaded graph: n=%d m=%d d=%d |ER|=%d", st.Nodes, st.Edges, st.Attrs, st.AttrEntries)
+
+	cfg := core.Config{K: *k, Alpha: *alpha, Eps: *eps, Threads: *threads, Seed: *seed}
+	start := time.Now()
+	var emb *core.Embedding
+	if *threads > 1 {
+		emb, err = core.ParallelPANE(g, cfg)
+	} else {
+		emb, err = core.PANE(g, cfg)
+	}
+	if err != nil {
+		log.Fatalf("embedding: %v", err)
+	}
+	log.Printf("embedded in %.2fs (t=%d iterations)", time.Since(start).Seconds(), cfg.Iterations())
+
+	for _, out := range []struct {
+		suffix string
+		m      *mat.Dense
+	}{
+		{".xf", emb.Xf}, {".xb", emb.Xb}, {".y", emb.Y},
+	} {
+		if err := writeMatrix(*outPrefix+out.suffix, out.m); err != nil {
+			log.Fatalf("writing %s: %v", *outPrefix+out.suffix, err)
+		}
+	}
+	log.Printf("wrote %s.xf, %s.xb, %s.y", *outPrefix, *outPrefix, *outPrefix)
+}
+
+func writeMatrix(path string, m *mat.Dense) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for i := 0; i < m.Rows; i++ {
+		for j, v := range m.Row(i) {
+			if j > 0 {
+				if err := w.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%g", v); err != nil {
+				return err
+			}
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

@@ -1,0 +1,96 @@
+// Command paneserve trains (or loads) a PANE embedding and serves it over
+// HTTP — see internal/server for the endpoint list.
+//
+// Train from graph files and serve:
+//
+//	paneserve -edges g.edges -attrs g.attrs -k 128 -addr :8080
+//
+// Or load previously saved binary embeddings (see internal/store):
+//
+//	paneserve -load embeddings -addr :8080
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"pane/internal/core"
+	"pane/internal/graph"
+	"pane/internal/server"
+	"pane/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paneserve: ")
+	var (
+		edgePath = flag.String("edges", "", "edge list file (training mode)")
+		attrPath = flag.String("attrs", "", "attribute file (training mode)")
+		loadPfx  = flag.String("load", "", "binary embedding prefix to load instead of training")
+		savePfx  = flag.String("save", "", "binary embedding prefix to save after training")
+		addr     = flag.String("addr", ":8080", "listen address")
+		k        = flag.Int("k", 128, "space budget")
+		alpha    = flag.Float64("alpha", 0.5, "stopping probability")
+		eps      = flag.Float64("eps", 0.015, "error threshold")
+		threads  = flag.Int("threads", 10, "worker threads")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var emb *core.Embedding
+	switch {
+	case *loadPfx != "":
+		xf, err := store.LoadDenseFile(*loadPfx + ".xf.bin")
+		if err != nil {
+			log.Fatalf("loading: %v", err)
+		}
+		xb, err := store.LoadDenseFile(*loadPfx + ".xb.bin")
+		if err != nil {
+			log.Fatalf("loading: %v", err)
+		}
+		y, err := store.LoadDenseFile(*loadPfx + ".y.bin")
+		if err != nil {
+			log.Fatalf("loading: %v", err)
+		}
+		emb = &core.Embedding{Xf: xf, Xb: xb, Y: y}
+		log.Printf("loaded embeddings: %d nodes, %d attrs, k=%d", xf.Rows, y.Rows, emb.K())
+	case *edgePath != "" && *attrPath != "":
+		g, err := graph.LoadFiles(*edgePath, *attrPath, "")
+		if err != nil {
+			log.Fatalf("loading graph: %v", err)
+		}
+		cfg := core.Config{K: *k, Alpha: *alpha, Eps: *eps, Threads: *threads, Seed: *seed}
+		start := time.Now()
+		emb, err = core.ParallelPANE(g, cfg)
+		if err != nil {
+			log.Fatalf("training: %v", err)
+		}
+		log.Printf("trained in %.1fs", time.Since(start).Seconds())
+		if *savePfx != "" {
+			if err := store.SaveDenseFile(*savePfx+".xf.bin", emb.Xf); err != nil {
+				log.Fatalf("saving: %v", err)
+			}
+			if err := store.SaveDenseFile(*savePfx+".xb.bin", emb.Xb); err != nil {
+				log.Fatalf("saving: %v", err)
+			}
+			if err := store.SaveDenseFile(*savePfx+".y.bin", emb.Y); err != nil {
+				log.Fatalf("saving: %v", err)
+			}
+			log.Printf("saved %s.{xf,xb,y}.bin", *savePfx)
+		}
+	default:
+		flag.Usage()
+		log.Fatal("either -load or both -edges and -attrs are required")
+	}
+
+	log.Printf("serving on %s", *addr)
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      server.New(emb),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,62 @@
+// Attribute inference on a social-network stand-in: hide 20% of the
+// node-attribute associations, embed with PANE, and rank the held-out
+// associations against sampled negatives — the §5.2 protocol. This is the
+// task only co-embedding methods (PANE, CAN) can do at all, because it
+// needs attribute embeddings, not just node embeddings.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pane/internal/baselines"
+	"pane/internal/core"
+	"pane/internal/dataset"
+	"pane/internal/eval"
+)
+
+func main() {
+	g, _, err := dataset.Load("facebook")
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := g.Stats()
+	fmt.Printf("dataset facebook (stand-in): n=%d m=%d d=%d |ER|=%d\n",
+		st.Nodes, st.Edges, st.Attrs, st.AttrEntries)
+
+	rng := rand.New(rand.NewSource(3))
+	split := eval.SplitAttributes(g, 0.8, rng)
+	fmt.Printf("hidden %d associations; training on %d\n", len(split.TestPos), split.Train.NNZAttr())
+
+	cfg := core.Config{K: 128, Alpha: 0.5, Eps: 0.015, Threads: 4, Seed: 1}
+	emb, err := core.ParallelPANE(split.Train, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	paneAUC, paneAP := split.Evaluate(emb.AttrScore)
+
+	can := baselines.CANLite(split.Train, baselines.CANLiteConfig{K: 128, Hops: 2, Seed: 1})
+	canAUC, canAP := split.Evaluate(can.AttrScore)
+
+	bla := baselines.RunBLA(split.Train, baselines.DefaultBLAConfig())
+	blaAUC, blaAP := split.Evaluate(bla.AttrScore)
+
+	fmt.Printf("\n%-10s %8s %8s\n", "method", "AUC", "AP")
+	fmt.Printf("%-10s %8.3f %8.3f\n", "PANE", paneAUC, paneAP)
+	fmt.Printf("%-10s %8.3f %8.3f\n", "CAN(lite)", canAUC, canAP)
+	fmt.Printf("%-10s %8.3f %8.3f\n", "BLA", blaAUC, blaAP)
+
+	// Show a concrete prediction: the strongest inferred missing
+	// attribute for node 0.
+	bestR, bestS := -1, 0.0
+	for r := 0; r < g.D; r++ {
+		if split.Train.Attr.At(0, r) != 0 {
+			continue
+		}
+		if s := emb.AttrScore(0, r); s > bestS {
+			bestR, bestS = r, s
+		}
+	}
+	fmt.Printf("\nstrongest inferred missing attribute for node 0: attr %d (score %.3f)\n", bestR, bestS)
+}

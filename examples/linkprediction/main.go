@@ -1,0 +1,67 @@
+// Link prediction on a citation-network stand-in: remove 30% of the
+// edges, embed the residual graph with PANE and with the NRP baseline,
+// and compare AUC/AP — the §5.3 protocol end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"pane/internal/baselines"
+	"pane/internal/core"
+	"pane/internal/dataset"
+	"pane/internal/eval"
+)
+
+func main() {
+	g, info, err := dataset.Load("cora")
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := g.Stats()
+	fmt.Printf("dataset cora (stand-in): n=%d m=%d d=%d\n", st.Nodes, st.Edges, st.Attrs)
+
+	rng := rand.New(rand.NewSource(7))
+	split := eval.SplitLinks(g, 0.3, rng)
+	fmt.Printf("removed %d edges for testing, %d residual edges for training\n",
+		len(split.TestPos), split.Train.M())
+
+	// PANE.
+	cfg := core.Config{K: 64, Alpha: 0.5, Eps: 0.015, Threads: 4, Seed: 1}
+	start := time.Now()
+	emb, err := core.ParallelPANE(split.Train, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	paneTime := time.Since(start)
+	scorer := core.NewLinkScorer(emb)
+	score := scorer.Directed
+	if !info.Directed {
+		score = scorer.Undirected
+	}
+	paneAUC, paneAP := split.Evaluate(score)
+
+	// NRP: the strongest homogeneous (attribute-blind) competitor.
+	nrpCfg := baselines.DefaultNRPConfig()
+	nrpCfg.K = 64
+	nrpCfg.NB = 4
+	start = time.Now()
+	nrp := baselines.NRP(split.Train, nrpCfg)
+	nrpTime := time.Since(start)
+	nrpScore := nrp.Directed
+	if !info.Directed {
+		nrpScore = nrp.Undirected
+	}
+	nrpAUC, nrpAP := split.Evaluate(nrpScore)
+
+	fmt.Printf("\n%-8s %8s %8s %10s\n", "method", "AUC", "AP", "time")
+	fmt.Printf("%-8s %8.3f %8.3f %9.2fs\n", "PANE", paneAUC, paneAP, paneTime.Seconds())
+	fmt.Printf("%-8s %8.3f %8.3f %9.2fs\n", "NRP", nrpAUC, nrpAP, nrpTime.Seconds())
+	if paneAUC > nrpAUC {
+		fmt.Println("\nPANE wins: attribute affinity adds signal pure topology lacks.")
+	} else {
+		fmt.Println("\nNRP edges out PANE here; on attribute-rich graphs PANE usually wins (Table 5).")
+	}
+}

@@ -1,0 +1,118 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pane/internal/eval"
+	"pane/internal/mat"
+)
+
+func TestAANEShapesAndFinite(t *testing.T) {
+	g := benchGraph(30)
+	cfg := DefaultAANEConfig()
+	cfg.K = 32
+	e := AANE(g, cfg)
+	if e.X.Rows != g.N || e.X.Cols != 32 {
+		t.Fatalf("shape %dx%d", e.X.Rows, e.X.Cols)
+	}
+	for _, v := range e.X.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite embedding")
+		}
+	}
+}
+
+func TestAANELinkAboveRandom(t *testing.T) {
+	g := benchGraph(31)
+	rng := rand.New(rand.NewSource(32))
+	sp := eval.SplitLinks(g, 0.3, rng)
+	cfg := DefaultAANEConfig()
+	cfg.K = 32
+	e := AANE(sp.Train, cfg)
+	aucI, _ := sp.Evaluate(e.InnerScore)
+	aucC, _ := sp.Evaluate(e.CosineScore)
+	if auc := math.Max(aucI, aucC); auc < 0.6 {
+		t.Fatalf("AANE AUC = %v", auc)
+	}
+}
+
+func TestAANESmoothingPullsNeighborsTogether(t *testing.T) {
+	// More smoothing rounds must not increase the mean embedding distance
+	// across edges (the Laplacian term it implements).
+	g := benchGraph(33)
+	dist := func(rounds int) float64 {
+		cfg := DefaultAANEConfig()
+		cfg.K = 16
+		cfg.Rounds = rounds
+		e := AANE(g, cfg)
+		var sum float64
+		cnt := 0
+		for u := 0; u < g.N; u++ {
+			for _, v := range g.OutNeighbors(u) {
+				du := e.X.Row(u)
+				dv := e.X.Row(int(v))
+				var d2 float64
+				for i := range du {
+					d2 += (du[i] - dv[i]) * (du[i] - dv[i])
+				}
+				sum += math.Sqrt(d2)
+				cnt++
+			}
+		}
+		return sum / float64(cnt)
+	}
+	if d3, d0 := dist(3), dist(0); d3 >= d0 {
+		t.Fatalf("smoothing did not reduce edge distance: %v vs %v", d3, d0)
+	}
+}
+
+func TestDeepWalkMFShapes(t *testing.T) {
+	g := benchGraph(34)
+	cfg := DefaultDeepWalkMFConfig()
+	cfg.K = 32
+	cfg.Window = 4
+	e := DeepWalkMF(g, cfg)
+	if e.X.Rows != g.N || e.X.Cols != 32 {
+		t.Fatalf("shape %dx%d", e.X.Rows, e.X.Cols)
+	}
+}
+
+func TestDeepWalkMFLinkPrediction(t *testing.T) {
+	g := benchGraph(35)
+	rng := rand.New(rand.NewSource(36))
+	sp := eval.SplitLinks(g, 0.3, rng)
+	cfg := DefaultDeepWalkMFConfig()
+	cfg.K = 32
+	cfg.Window = 4
+	e := DeepWalkMF(sp.Train, cfg)
+	aucI, _ := sp.Evaluate(e.InnerScore)
+	aucC, _ := sp.Evaluate(e.CosineScore)
+	if auc := math.Max(aucI, aucC); auc < 0.55 {
+		t.Fatalf("DeepWalkMF AUC = %v", auc)
+	}
+}
+
+func TestDeepWalkMFIgnoresAttributes(t *testing.T) {
+	// Topology-only: scrambling attributes must not change the embedding.
+	g1 := benchGraph(37)
+	cfg := DefaultDeepWalkMFConfig()
+	cfg.K = 16
+	cfg.Window = 3
+	e1 := DeepWalkMF(g1, cfg)
+	// Rebuild with shuffled attribute columns.
+	var edges []graphEdge
+	for u := 0; u < g1.N; u++ {
+		for _, v := range g1.OutNeighbors(u) {
+			edges = append(edges, graphEdge{u, int(v)})
+		}
+	}
+	g2 := rebuildWithoutAttrs(g1)
+	e2 := DeepWalkMF(g2, cfg)
+	_ = edges
+	if e1.X.MaxAbsDiff(e2.X) > 0 {
+		t.Fatal("DeepWalkMF output depends on attributes")
+	}
+	var _ *mat.Dense = e1.X
+}

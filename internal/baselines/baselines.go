@@ -1,0 +1,79 @@
+// Package baselines implements the competitor methods the paper compares
+// PANE against in §5, restricted to the matrix-factorization family that
+// is feasible from scratch in stdlib Go (the deep-neural competitors are
+// substituted — see DESIGN.md §3):
+//
+//   - NRP   [49]: homogeneous network embedding from approximate
+//     personalized-PageRank proximity (the strongest non-attributed rival).
+//   - TADW  [44]: text-associated DeepWalk — alternating minimization of
+//     ‖M − Wᵀ·H·T‖² where T are attribute features.
+//   - BANE  [47]: binarized ANE — sign-quantized factors of a fused
+//     topology+attribute proximity, scored by Hamming similarity.
+//   - LQANR [46]: low-bit quantized ANE — b-bit quantized factors.
+//   - CANLite: a spectral co-embedding proxy for CAN [27], the only other
+//     method that embeds attributes and can do attribute inference.
+//   - BLA   [45]: iterative neighbor-vote attribute inference (not an
+//     embedding method; the paper's second attribute-inference baseline).
+//
+// All baselines share PANE's substrates (CSR kernels, randomized SVD), so
+// runtime comparisons measure algorithms rather than implementation
+// maturity.
+package baselines
+
+import (
+	"pane/internal/graph"
+	"pane/internal/mat"
+)
+
+// NodeEmbedding is a single-vector-per-node embedding produced by the
+// undirected baselines.
+type NodeEmbedding struct {
+	X *mat.Dense
+}
+
+// InnerScore returns the inner-product link score X[u]·X[v].
+func (e *NodeEmbedding) InnerScore(u, v int) float64 {
+	return mat.Dot(e.X.Row(u), e.X.Row(v))
+}
+
+// CosineScore returns the cosine-similarity link score.
+func (e *NodeEmbedding) CosineScore(u, v int) float64 {
+	xu, xv := e.X.Row(u), e.X.Row(v)
+	nu, nv := mat.Norm2(xu), mat.Norm2(xv)
+	if nu == 0 || nv == 0 {
+		return 0
+	}
+	return mat.Dot(xu, xv) / (nu * nv)
+}
+
+// Features returns the classification feature matrix (the embedding
+// itself; rows L2-normalized for SVM conditioning).
+func (e *NodeEmbedding) Features() *mat.Dense {
+	out := e.X.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		n := mat.Norm2(row)
+		if n > 0 {
+			inv := 1 / n
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	}
+	return out
+}
+
+// normalizedAdjacencyWithSelfLoops returns Â = D̃⁻¹(A + I) row-stochastic
+// smoothing operator shared by TADW's proximity and CANLite.
+func normalizedAdjacencyWithSelfLoops(g *graph.Graph) func(x *mat.Dense) *mat.Dense {
+	p, _ := g.Walk()
+	return func(x *mat.Dense) *mat.Dense {
+		// Â·x ≈ ½(P·x + x): average the node's own signal with its
+		// neighborhood mean — the standard self-loop trick without
+		// materializing A + I.
+		out := p.MulDense(x)
+		out.AddScaled(1, x)
+		out.Scale(0.5)
+		return out
+	}
+}

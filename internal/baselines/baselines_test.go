@@ -1,0 +1,254 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pane/internal/datagen"
+	"pane/internal/eval"
+	"pane/internal/graph"
+	"pane/internal/mat"
+)
+
+func benchGraph(seed int64) *graph.Graph {
+	g, err := datagen.Generate(datagen.Config{
+		Name: "test", N: 400, AvgOutDeg: 6, D: 40, AttrsPer: 4,
+		Communities: 4, Seed: seed, Homophily: 0.85, AttrSkew: 0.85,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestNRPShapesAndFiniteness(t *testing.T) {
+	g := benchGraph(1)
+	cfg := DefaultNRPConfig()
+	cfg.K = 32
+	e := NRP(g, cfg)
+	if e.Xf.Rows != g.N || e.Xb.Rows != g.N || e.Xf.Cols != 16 {
+		t.Fatal("NRP shapes wrong")
+	}
+	for _, m := range []*mat.Dense{e.Xf, e.Xb} {
+		for i, v := range m.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite at %d", i)
+			}
+		}
+	}
+}
+
+func TestNRPLinkPredictionBeatsRandom(t *testing.T) {
+	g := benchGraph(2)
+	rng := rand.New(rand.NewSource(3))
+	sp := eval.SplitLinks(g, 0.3, rng)
+	cfg := DefaultNRPConfig()
+	cfg.K = 32
+	e := NRP(sp.Train, cfg)
+	auc, _ := sp.Evaluate(e.Directed)
+	if auc < 0.65 {
+		t.Fatalf("NRP link AUC = %v, want > 0.65", auc)
+	}
+}
+
+func TestNRPDeterministic(t *testing.T) {
+	g := benchGraph(4)
+	cfg := DefaultNRPConfig()
+	cfg.K = 16
+	a := NRP(g, cfg)
+	b := NRP(g, cfg)
+	if a.Xf.MaxAbsDiff(b.Xf) > 0 {
+		t.Fatal("NRP not deterministic for fixed seed")
+	}
+}
+
+func TestNRPParallelMatchesSerial(t *testing.T) {
+	g := benchGraph(5)
+	cfg := DefaultNRPConfig()
+	cfg.K = 16
+	serial := NRP(g, cfg)
+	cfg.NB = 4
+	par := NRP(g, cfg)
+	if serial.Xf.MaxAbsDiff(par.Xf) > 1e-9 {
+		t.Fatal("parallel NRP deviates")
+	}
+}
+
+func TestTADWEmbeddingQuality(t *testing.T) {
+	g := benchGraph(6)
+	rng := rand.New(rand.NewSource(7))
+	sp := eval.SplitLinks(g, 0.3, rng)
+	cfg := DefaultTADWConfig()
+	cfg.K = 32
+	cfg.TextK = 16
+	cfg.Iters = 5
+	e := TADW(sp.Train, cfg)
+	if e.X.Rows != g.N || e.X.Cols != 32 {
+		t.Fatalf("TADW shape %dx%d", e.X.Rows, e.X.Cols)
+	}
+	aucInner, _ := sp.Evaluate(e.InnerScore)
+	aucCos, _ := sp.Evaluate(e.CosineScore)
+	auc := math.Max(aucInner, aucCos)
+	if auc < 0.6 {
+		t.Fatalf("TADW link AUC = %v, want > 0.6", auc)
+	}
+}
+
+func TestGaussSolve(t *testing.T) {
+	a := mat.FromRows([][]float64{{4, 1}, {1, 3}})
+	b := mat.FromRows([][]float64{{1, 0}, {0, 1}})
+	x := gaussSolve(a, b)
+	// Check A·X = I.
+	prod := mat.Mul(a, x)
+	id := mat.FromRows([][]float64{{1, 0}, {0, 1}})
+	if prod.MaxAbsDiff(id) > 1e-10 {
+		t.Fatalf("gaussSolve failed: %v", prod.Data)
+	}
+}
+
+func TestGaussSolveSingularDoesNotExplode(t *testing.T) {
+	a := mat.FromRows([][]float64{{1, 1}, {1, 1}})
+	b := mat.FromRows([][]float64{{1}, {1}})
+	x := gaussSolve(a, b)
+	for _, v := range x.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("singular solve produced non-finite values")
+		}
+	}
+}
+
+func TestBANEBinary(t *testing.T) {
+	g := benchGraph(8)
+	cfg := DefaultBANEConfig()
+	cfg.K = 32
+	e := BANE(g, cfg)
+	for _, v := range e.Bits.Data {
+		if v != 1 && v != -1 {
+			t.Fatalf("non-binary entry %v", v)
+		}
+	}
+	if s := e.HammingScore(0, 0); s != 1 {
+		t.Fatalf("self Hamming = %v, want 1", s)
+	}
+}
+
+func TestBANELinkAboveRandom(t *testing.T) {
+	g := benchGraph(9)
+	rng := rand.New(rand.NewSource(10))
+	sp := eval.SplitLinks(g, 0.3, rng)
+	cfg := DefaultBANEConfig()
+	cfg.K = 32
+	e := BANE(sp.Train, cfg)
+	auc, _ := sp.Evaluate(e.HammingScore)
+	if auc < 0.55 {
+		t.Fatalf("BANE AUC = %v", auc)
+	}
+}
+
+func TestLQANRQuantized(t *testing.T) {
+	g := benchGraph(11)
+	cfg := DefaultLQANRConfig()
+	cfg.K = 32
+	cfg.Bits = 3
+	e := LQANR(g, cfg)
+	limit := math.Pow(2, 3)
+	for _, v := range e.X.Data {
+		if v != math.Round(v) {
+			t.Fatalf("non-integer quantized value %v", v)
+		}
+		if math.Abs(v) > limit {
+			t.Fatalf("value %v exceeds 2^b = %v", v, limit)
+		}
+	}
+}
+
+func TestLQANRMoreBitsAtLeastAsGood(t *testing.T) {
+	// More quantization levels should not hurt link AUC much; with very
+	// few bits accuracy degrades — the space/accuracy trade-off LQANR is
+	// about. We assert the 6-bit variant is at least as good as 1-bit
+	// minus small noise.
+	g := benchGraph(12)
+	rng := rand.New(rand.NewSource(13))
+	sp := eval.SplitLinks(g, 0.3, rng)
+	auc := func(bits int) float64 {
+		cfg := DefaultLQANRConfig()
+		cfg.K = 32
+		cfg.Bits = bits
+		e := LQANR(sp.Train, cfg)
+		ne := NodeEmbedding{X: e.X}
+		a, _ := sp.Evaluate(ne.CosineScore)
+		return a
+	}
+	if a6, a1 := auc(6), auc(1); a6+0.03 < a1 {
+		t.Fatalf("6-bit AUC %v markedly below 1-bit %v", a6, a1)
+	}
+}
+
+func TestCANLiteAttributeInference(t *testing.T) {
+	g := benchGraph(14)
+	rng := rand.New(rand.NewSource(15))
+	sp := eval.SplitAttributes(g, 0.8, rng)
+	cfg := DefaultCANLiteConfig()
+	cfg.K = 32
+	e := CANLite(sp.Train, cfg)
+	auc, ap := sp.Evaluate(e.AttrScore)
+	if auc < 0.6 || ap < 0.6 {
+		t.Fatalf("CANLite attribute inference AUC=%v AP=%v", auc, ap)
+	}
+}
+
+func TestCANLiteShapes(t *testing.T) {
+	g := benchGraph(16)
+	cfg := DefaultCANLiteConfig()
+	cfg.K = 24
+	e := CANLite(g, cfg)
+	if e.X.Rows != g.N || e.Y.Rows != g.D || e.X.Cols != e.Y.Cols {
+		t.Fatal("CANLite shapes wrong")
+	}
+}
+
+func TestBLAAttributeInference(t *testing.T) {
+	g := benchGraph(17)
+	rng := rand.New(rand.NewSource(18))
+	sp := eval.SplitAttributes(g, 0.8, rng)
+	bla := RunBLA(sp.Train, DefaultBLAConfig())
+	auc, _ := sp.Evaluate(bla.AttrScore)
+	if auc < 0.55 {
+		t.Fatalf("BLA AUC = %v", auc)
+	}
+}
+
+func TestBLAAnchorsObserved(t *testing.T) {
+	// Observed attributes must keep positive score after propagation.
+	g := benchGraph(19)
+	bla := RunBLA(g, DefaultBLAConfig())
+	for v := 0; v < g.N; v++ {
+		cols, _ := g.NodeAttrs(v)
+		for _, c := range cols {
+			if bla.AttrScore(v, int(c)) <= 0 {
+				t.Fatalf("observed attribute (%d,%d) scored %v", v, c, bla.AttrScore(v, int(c)))
+			}
+		}
+	}
+}
+
+func TestNodeEmbeddingScorers(t *testing.T) {
+	x := mat.FromRows([][]float64{{1, 0}, {2, 0}, {0, 3}})
+	e := NodeEmbedding{X: x}
+	if e.InnerScore(0, 1) != 2 {
+		t.Fatalf("inner = %v", e.InnerScore(0, 1))
+	}
+	if math.Abs(e.CosineScore(0, 1)-1) > 1e-12 {
+		t.Fatalf("cosine = %v", e.CosineScore(0, 1))
+	}
+	if e.CosineScore(0, 2) != 0 {
+		t.Fatal("orthogonal cosine should be 0")
+	}
+	f := e.Features()
+	for i := 0; i < f.Rows; i++ {
+		if n := mat.Norm2(f.Row(i)); math.Abs(n-1) > 1e-12 {
+			t.Fatalf("feature row %d norm %v", i, n)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"pane/internal/graph"
+	"pane/internal/mat"
+	"pane/internal/svd"
+)
+
+// CANLiteEmbedding co-embeds nodes and attributes in the same space, the
+// capability that makes CAN [27] the paper's only attribute-inference-
+// capable competitor.
+type CANLiteEmbedding struct {
+	X *mat.Dense // n x k node embeddings
+	Y *mat.Dense // d x k attribute embeddings
+}
+
+// CANLiteConfig parameterizes CANLite.
+type CANLiteConfig struct {
+	K    int
+	Hops int // graph-convolution smoothing rounds before factorization
+	Seed int64
+}
+
+// DefaultCANLiteConfig uses two smoothing hops, the depth of CAN's GCN
+// encoder.
+func DefaultCANLiteConfig() CANLiteConfig {
+	return CANLiteConfig{K: 128, Hops: 2, Seed: 1}
+}
+
+// CANLite is the spectral proxy for CAN: the attribute matrix is smoothed
+// by Â^hops (the linearized two-layer GCN — "simple graph convolution"),
+// then the smoothed node-attribute matrix is factorized as X·Yᵀ by
+// randomized SVD with square-root singular value splitting, giving node
+// and attribute embeddings whose inner product reconstructs smoothed
+// node-attribute affinity. This replaces CAN's variational autoencoder
+// with its linear skeleton (DESIGN.md §3): it keeps the co-embedding
+// geometry (inner-product scoring for both attribute inference and link
+// prediction) while dropping the nonlinearity.
+func CANLite(g *graph.Graph, cfg CANLiteConfig) *CANLiteEmbedding {
+	smooth := normalizedAdjacencyWithSelfLoops(g)
+	s := g.Attr.ToDense()
+	// Column-normalize first so high-frequency attributes do not dominate.
+	s.NormalizeColumns()
+	for h := 0; h < cfg.Hops; h++ {
+		s = smooth(s)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	k := cfg.K
+	if k > g.D {
+		k = g.D
+	}
+	res := svd.RandSVD(s, k, 3, rng, 1)
+	x := res.U.Clone()
+	y := res.V.Clone()
+	for j, sv := range res.S {
+		r := math.Sqrt(sv)
+		for i := 0; i < x.Rows; i++ {
+			x.Set(i, j, x.At(i, j)*r)
+		}
+		for i := 0; i < y.Rows; i++ {
+			y.Set(i, j, y.At(i, j)*r)
+		}
+	}
+	return &CANLiteEmbedding{X: x, Y: y}
+}
+
+// AttrScore returns the attribute-inference score X[v]·Y[r].
+func (e *CANLiteEmbedding) AttrScore(v, r int) float64 {
+	return mat.Dot(e.X.Row(v), e.Y.Row(r))
+}
+
+// LinkScore returns the inner-product link score X[u]·X[v] (CAN treats
+// graphs as undirected).
+func (e *CANLiteEmbedding) LinkScore(u, v int) float64 {
+	return mat.Dot(e.X.Row(u), e.X.Row(v))
+}
+
+// Features returns row-normalized node embeddings for classification.
+func (e *CANLiteEmbedding) Features() *mat.Dense {
+	ne := NodeEmbedding{X: e.X}
+	return ne.Features()
+}

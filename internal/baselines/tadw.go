@@ -1,0 +1,186 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"pane/internal/graph"
+	"pane/internal/mat"
+	"pane/internal/svd"
+)
+
+// TADWConfig parameterizes TADW.
+type TADWConfig struct {
+	K      int     // embedding width of the W factor
+	TextK  int     // reduced attribute-feature width (TADW uses SVD-reduced text)
+	Lambda float64 // ridge regularization
+	Iters  int     // alternating minimization rounds
+	Seed   int64
+}
+
+// DefaultTADWConfig mirrors the usual TADW setting.
+func DefaultTADWConfig() TADWConfig {
+	return TADWConfig{K: 128, TextK: 64, Lambda: 0.2, Iters: 10, Seed: 1}
+}
+
+// TADW implements text-associated DeepWalk [44]: minimize
+//
+//	‖M − Wᵀ·H·T‖² + λ(‖W‖² + ‖H‖²)
+//
+// where M = (P + P²)/2 is the second-order random-walk proximity and
+// T (textK x n) is the SVD-reduced attribute feature matrix. W (k x n)
+// and H (k x textK) are found by alternating ridge regressions; the final
+// node embedding concatenates Wᵀ and (H·T)ᵀ, as in the original paper.
+//
+// M is dense n x n, which is exactly why TADW cannot scale (§6.1) — we
+// keep that property deliberately and only run it on the small datasets,
+// like the paper does.
+func TADW(g *graph.Graph, cfg TADWConfig) *NodeEmbedding {
+	n := g.N
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// M = (P + P²)/2, dense n x n. P² is computed as the sparse P times
+	// the dense P (O(m·n)), not dense×dense (O(n³)) — still quadratic
+	// space, which is TADW's real scalability wall.
+	p, _ := g.Walk()
+	pd := p.ToDense()
+	p2 := p.MulDense(pd)
+	m := pd.Clone()
+	m.AddScaled(1, p2)
+	m.Scale(0.5)
+	// T: top-textK right factor of the attribute matrix, rows = features.
+	attr := g.Attr.ToDense()
+	tk := cfg.TextK
+	if tk > g.D {
+		tk = g.D
+	}
+	if tk > n {
+		tk = n
+	}
+	// Per-node reduced features: T = (UΣ)ᵀ, tk x n.
+	ares := svd.RandSVD(attr, tk, 3, rng, 1)
+	tMat := ares.UScaled().T()
+	half := cfg.K / 2
+	// Initialize W randomly, H by zeros; alternate.
+	w := mat.New(half, n)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64() * 0.1
+	}
+	h := mat.New(half, tk)
+	for it := 0; it < cfg.Iters; it++ {
+		// Fix W, solve H: H = argmin ‖M − Wᵀ H T‖² + λ‖H‖².
+		// Normal equations: (W Wᵀ + λI) H (T Tᵀ + λI) ≈ W M Tᵀ — we solve
+		// the two-sided system approximately by sequential ridge solves.
+		wm := mat.Mul(w, m)         // half x n
+		wmT := mat.MulBT(wm, tMat)  // half x tk
+		gw := mat.MulBT(w, w)       // half x half (W Wᵀ)
+		gt := mat.MulBT(tMat, tMat) // tk x tk (T Tᵀ)
+		h = solveTwoSided(gw, gt, wmT, cfg.Lambda)
+		// Fix H, solve W: Wᵀ = argmin ‖M − Wᵀ (HT)‖²; W = (HT HTᵀ+λI)⁻¹ HT Mᵀ.
+		ht := mat.Mul(h, tMat) // half x n
+		ghh := mat.MulBT(ht, ht)
+		rhs := mat.MulBT(ht, m) // half x n (HT · Mᵀ; M symmetric-ish but keep explicit)
+		w = solveSPD(ghh, rhs, cfg.Lambda)
+	}
+	// Embedding: [Wᵀ | (H·T)ᵀ], n x k.
+	ht := mat.Mul(h, tMat)
+	x := mat.New(n, 2*half)
+	wT := w.T()
+	htT := ht.T()
+	x.SetColSlice(0, wT)
+	x.SetColSlice(half, htT)
+	return &NodeEmbedding{X: x}
+}
+
+// solveSPD solves (G + λI)·X = RHS for X via Cholesky-free Gaussian
+// elimination (G is small: half x half).
+func solveSPD(g, rhs *mat.Dense, lambda float64) *mat.Dense {
+	k := g.Rows
+	a := g.Clone()
+	for i := 0; i < k; i++ {
+		a.Set(i, i, a.At(i, i)+lambda)
+	}
+	return gaussSolve(a, rhs)
+}
+
+// solveTwoSided approximately solves (GW + λI)·H·(GT + λI) = RHS by two
+// sequential solves: first the left system, then the right.
+func solveTwoSided(gw, gt, rhs *mat.Dense, lambda float64) *mat.Dense {
+	left := solveSPD(gw, rhs, lambda) // (GW+λI)⁻¹ RHS, half x tk
+	// Right solve: H (GT+λI) = left → Hᵀ solves (GT+λI)ᵀ Hᵀ = leftᵀ.
+	k := gt.Rows
+	a := gt.T()
+	for i := 0; i < k; i++ {
+		a.Set(i, i, a.At(i, i)+lambda)
+	}
+	ht := gaussSolve(a, left.T())
+	return ht.T()
+}
+
+// gaussSolve solves A·X = B with partial pivoting, overwriting copies.
+func gaussSolve(a, b *mat.Dense) *mat.Dense {
+	n := a.Rows
+	aa := a.Clone()
+	xx := b.Clone()
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if abs(aa.At(r, col)) > abs(aa.At(piv, col)) {
+				piv = r
+			}
+		}
+		if piv != col {
+			swapRows(aa, piv, col)
+			swapRows(xx, piv, col)
+		}
+		d := aa.At(col, col)
+		if d == 0 {
+			continue
+		}
+		inv := 1 / d
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aa.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			arow := aa.Row(r)
+			acol := aa.Row(col)
+			for j := col; j < n; j++ {
+				arow[j] -= f * acol[j]
+			}
+			xrow := xx.Row(r)
+			xcol := xx.Row(col)
+			for j := 0; j < xx.Cols; j++ {
+				xrow[j] -= f * xcol[j]
+			}
+		}
+	}
+	for r := 0; r < n; r++ {
+		d := aa.At(r, r)
+		if d == 0 {
+			continue
+		}
+		inv := 1 / d
+		row := xx.Row(r)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return xx
+}
+
+func swapRows(m *mat.Dense, i, j int) {
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,23 @@
+package baselines
+
+import (
+	"pane/internal/graph"
+)
+
+type graphEdge struct{ u, v int }
+
+// rebuildWithoutAttrs clones g's topology with a single dummy attribute,
+// for tests that need attribute-independence.
+func rebuildWithoutAttrs(g *graph.Graph) *graph.Graph {
+	var edges []graph.Edge
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			edges = append(edges, graph.Edge{Src: u, Dst: int(v)})
+		}
+	}
+	out, err := graph.New(g.N, 1, edges, []graph.AttrEntry{{Node: 0, Attr: 0, Weight: 1}}, nil)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"pane/internal/graph"
+	"pane/internal/mat"
+	"pane/internal/sparse"
+)
+
+// APMI (Algorithm 2) approximates the forward and backward affinity
+// matrices F' and B' of Equation (7) in O(m·d·t) time without sampling a
+// single random walk. It returns dense n x d matrices.
+//
+// The recurrence (Lines 3-5) is
+//
+//	P(ℓ)_f = (1−α)·P·P(ℓ−1)_f + α·P(0)_f,   P(0)_f = Rr
+//	P(ℓ)_b = (1−α)·Pᵀ·P(ℓ−1)_b + α·P(0)_b,  P(0)_b = Rc
+//
+// followed by column-normalizing P(t)_f, row-normalizing P(t)_b, and the
+// SPMI transform F' = log(n·P̂_f + 1), B' = log(d·P̂_b + 1).
+func APMI(p, pt *sparse.CSR, rr, rc *mat.Dense, alpha float64, t int) (f, b *mat.Dense) {
+	return apmi(p, pt, rr, rc, alpha, t, 1)
+}
+
+// apmi is the shared implementation; nb > 1 parallelizes the SpMM row
+// loops (used by the drivers when structural column partitioning is not
+// required — results are identical either way).
+func apmi(p, pt *sparse.CSR, rr, rc *mat.Dense, alpha float64, t, nb int) (f, b *mat.Dense) {
+	n, d := rr.Rows, rr.Cols
+	pf := rr.Clone()
+	pb := rc.Clone()
+	nextF := mat.New(n, d)
+	nextB := mat.New(n, d)
+	for l := 0; l < t; l++ {
+		p.AxpyInto(nextF, 1-alpha, pf, alpha, rr, nb)
+		pt.AxpyInto(nextB, 1-alpha, pb, alpha, rc, nb)
+		pf, nextF = nextF, pf
+		pb, nextB = nextB, pb
+	}
+	pf.NormalizeColumns()
+	pb.NormalizeRows()
+	pf.Log1pScaled(float64(n))
+	pb.Log1pScaled(float64(d))
+	return pf, pb
+}
+
+// PAPMI (Algorithm 6) computes the same F', B' as APMI using nb threads.
+// Following the paper, the attribute set R is partitioned into nb column
+// blocks; thread i owns block i and runs the full t-iteration recurrence
+// on it independently, after which the blocks are concatenated and the
+// final normalization is applied. Lemma 4.1 guarantees — and
+// TestPAPMIMatchesAPMI verifies — that the result equals APMI's exactly.
+func PAPMI(p, pt *sparse.CSR, rr, rc *mat.Dense, alpha float64, t, nb int) (f, b *mat.Dense) {
+	n, d := rr.Rows, rr.Cols
+	if nb <= 1 || d == 0 {
+		return APMI(p, pt, rr, rc, alpha, t)
+	}
+	pf := mat.New(n, d)
+	pb := mat.New(n, d)
+	blocks := mat.SplitRanges(d, nb)
+	mat.ParallelRanges(len(blocks), len(blocks), func(blo, bhi int) {
+		for w := blo; w < bhi; w++ {
+			lo, hi := blocks[w][0], blocks[w][1]
+			// Thread-local seeds: the column slices of Rr and Rc.
+			seedF := rr.ColSlice(lo, hi)
+			seedB := rc.ColSlice(lo, hi)
+			bf := seedF.Clone()
+			bb := seedB.Clone()
+			nxtF := mat.New(n, hi-lo)
+			nxtB := mat.New(n, hi-lo)
+			for l := 0; l < t; l++ {
+				p.AxpyInto(nxtF, 1-alpha, bf, alpha, seedF, 1)
+				pt.AxpyInto(nxtB, 1-alpha, bb, alpha, seedB, 1)
+				bf, nxtF = nxtF, bf
+				bb, nxtB = nxtB, bb
+			}
+			pf.SetColSlice(lo, bf)
+			pb.SetColSlice(lo, bb)
+		}
+	})
+	// Lines 9-13: final normalization and SPMI transform, node-partitioned.
+	normalizeColumnsPar(pf, nb)
+	mat.ParallelRanges(n, nb, func(lo, hi int) {
+		v := pb.RowView(lo, hi)
+		v.NormalizeRows()
+	})
+	nf, df := float64(n), float64(d)
+	mat.ParallelRanges(n, nb, func(lo, hi int) {
+		pf.RowView(lo, hi).Log1pScaled(nf)
+		pb.RowView(lo, hi).Log1pScaled(df)
+	})
+	return pf, pb
+}
+
+// normalizeColumnsPar column-normalizes m using nb workers: per-block
+// partial column sums are reduced serially, then the scaling pass is
+// row-parallel. Bit-identical to Dense.NormalizeColumns up to float
+// addition order of the partial sums; we keep the serial reduction in
+// block order so results are deterministic for a given nb.
+func normalizeColumnsPar(m *mat.Dense, nb int) {
+	blocks := mat.SplitRanges(m.Rows, nb)
+	partials := make([][]float64, len(blocks))
+	mat.ParallelRanges(len(blocks), len(blocks), func(blo, bhi int) {
+		for w := blo; w < bhi; w++ {
+			partials[w] = m.RowView(blocks[w][0], blocks[w][1]).ColSums()
+		}
+	})
+	sums := make([]float64, m.Cols)
+	for _, p := range partials {
+		for j, v := range p {
+			sums[j] += v
+		}
+	}
+	inv := make([]float64, m.Cols)
+	for j, s := range sums {
+		if s != 0 {
+			inv[j] = 1 / s
+		} else {
+			inv[j] = 1
+		}
+	}
+	mat.ParallelRanges(m.Rows, nb, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for j := range row {
+				row[j] *= inv[j]
+			}
+		}
+	})
+}
+
+// AffinityFromGraph is a convenience wrapper deriving P, Pᵀ, Rr, Rc from
+// g and running APMI (nb <= 1) or PAPMI (nb > 1).
+func AffinityFromGraph(g *graph.Graph, alpha float64, t, nb int) (f, b *mat.Dense) {
+	p, pt := g.Walk()
+	rr, rc := g.NormalizedAttrs()
+	if nb > 1 {
+		return PAPMI(p, pt, rr, rc, alpha, t, nb)
+	}
+	return APMI(p, pt, rr, rc, alpha, t)
+}

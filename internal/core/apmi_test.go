@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pane/internal/graph"
+	"pane/internal/mat"
+	"pane/internal/rwalk"
+)
+
+// testGraph builds a random attributed digraph where every node has an
+// out-edge and at least one attribute.
+func testGraph(rng *rand.Rand, n, d int) *graph.Graph {
+	var edges []graph.Edge
+	for v := 0; v < n; v++ {
+		edges = append(edges, graph.Edge{Src: v, Dst: (v + 1) % n})
+		for e := 0; e < 1+rng.Intn(3); e++ {
+			edges = append(edges, graph.Edge{Src: v, Dst: rng.Intn(n)})
+		}
+	}
+	var attrs []graph.AttrEntry
+	for v := 0; v < n; v++ {
+		attrs = append(attrs, graph.AttrEntry{Node: v, Attr: rng.Intn(d), Weight: 1 + rng.Float64()})
+		if rng.Float64() < 0.6 {
+			attrs = append(attrs, graph.AttrEntry{Node: v, Attr: rng.Intn(d), Weight: rng.Float64() + 0.2})
+		}
+	}
+	g, err := graph.New(n, d, edges, attrs, nil)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{K: 3, Alpha: 0.5, Eps: 0.015},
+		{K: 0, Alpha: 0.5, Eps: 0.015},
+		{K: 128, Alpha: 0, Eps: 0.015},
+		{K: 128, Alpha: 1.2, Eps: 0.015},
+		{K: 128, Alpha: 0.5, Eps: 0},
+		{K: 128, Alpha: 0.5, Eps: 2},
+		{K: 128, Alpha: 0.5, Eps: 0.1, Threads: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestIterationsMatchesPaperTable(t *testing.T) {
+	// §5.6: with α = 0.5, ε from 0.001 to 0.25 corresponds to t from 9 to 1.
+	cases := []struct {
+		eps  float64
+		want int
+	}{
+		{0.25, 1}, {0.05, 4}, {0.015, 6}, {0.005, 7}, {0.001, 9},
+	}
+	for _, c := range cases {
+		cfg := Config{K: 16, Alpha: 0.5, Eps: c.eps}
+		if got := cfg.Iterations(); got != c.want {
+			t.Errorf("eps=%v: t=%d, want %d", c.eps, got, c.want)
+		}
+	}
+}
+
+func TestAPMINonnegativeAndShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := testGraph(rng, 20, 6)
+	f, b := AffinityFromGraph(g, 0.5, 5, 1)
+	if f.Rows != g.N || f.Cols != g.D || b.Rows != g.N || b.Cols != g.D {
+		t.Fatal("affinity shape mismatch")
+	}
+	for i, v := range f.Data {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("F'[%d] = %v", i, v)
+		}
+	}
+	for i, v := range b.Data {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("B'[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestAPMIConvergesToExactSeries(t *testing.T) {
+	// With large t the iterative P(t) must converge to the infinite series
+	// computed densely by rwalk.Exact*.
+	rng := rand.New(rand.NewSource(2))
+	g := testGraph(rng, 15, 5)
+	alpha := 0.4
+	pf := rwalk.ExactForward(g, alpha)
+	pb := rwalk.ExactBackward(g, alpha)
+	wantF, wantB := rwalk.Affinities(pf, pb)
+	gotF, gotB := AffinityFromGraph(g, alpha, 200, 1)
+	if d := gotF.MaxAbsDiff(wantF); d > 1e-8 {
+		t.Fatalf("F' deviates from exact series by %v", d)
+	}
+	if d := gotB.MaxAbsDiff(wantB); d > 1e-8 {
+		t.Fatalf("B' deviates from exact series by %v", d)
+	}
+}
+
+func TestAPMIMatchesSimulation(t *testing.T) {
+	// End-to-end: the closed-form affinity approximates Monte-Carlo
+	// estimates from actual random walks (§2.2's definition).
+	rng := rand.New(rand.NewSource(3))
+	g := testGraph(rng, 10, 3)
+	alpha := 0.3
+	sim := rwalk.New(g, alpha)
+	pfEst := sim.EstimateForward(rng, 50000)
+	pbEst := sim.EstimateBackward(rng, 100000)
+	simF, simB := rwalk.Affinities(pfEst, pbEst)
+	gotF, gotB := AffinityFromGraph(g, alpha, 100, 1)
+	if d := gotF.MaxAbsDiff(simF); d > 0.08 {
+		t.Fatalf("F' deviates from simulated affinity by %v", d)
+	}
+	if d := gotB.MaxAbsDiff(simB); d > 0.08 {
+		t.Fatalf("B' deviates from simulated affinity by %v", d)
+	}
+}
+
+func TestAPMIErrorBoundLemma31(t *testing.T) {
+	// Lemma 3.1 in its practical form: the truncated P(t)_f differs from
+	// the exact P_f by at most (1−α)^{t+1} = ε elementwise (Inequality 9).
+	rng := rand.New(rand.NewSource(4))
+	g := testGraph(rng, 12, 4)
+	alpha := 0.5
+	exact := rwalk.ExactForward(g, alpha)
+	p, pt := g.Walk()
+	rr, rc := g.NormalizedAttrs()
+	for _, tIter := range []int{1, 3, 6} {
+		// Algorithm 2's recurrence keeps the tail at weight (1−α)^t, so
+		// the elementwise gap to the infinite series is ≤ (1−α)^t.
+		eps := math.Pow(1-alpha, float64(tIter))
+		pf := rr.Clone()
+		pb := rc.Clone()
+		nextF := mat.New(g.N, g.D)
+		nextB := mat.New(g.N, g.D)
+		for l := 0; l < tIter; l++ {
+			p.AxpyInto(nextF, 1-alpha, pf, alpha, rr, 1)
+			pt.AxpyInto(nextB, 1-alpha, pb, alpha, rc, 1)
+			pf, nextF = nextF, pf
+			pb, nextB = nextB, pb
+		}
+		// The recurrence of Algorithm 2 keeps the final term at weight
+		// (1−α)^t instead of α(1−α)^t, so P(t) ≥ exact series prefix; the
+		// deviation from the full series is still bounded by ε·max-row-sum.
+		for i := range pf.Data {
+			diff := math.Abs(pf.Data[i] - exact.Data[i])
+			if diff > eps+1e-12 {
+				t.Fatalf("t=%d: |P(t)−Pf| = %v exceeds ε = %v", tIter, diff, eps)
+			}
+		}
+	}
+}
+
+func TestPAPMIMatchesAPMI(t *testing.T) {
+	// Lemma 4.1: PAPMI returns exactly APMI's output for any nb.
+	rng := rand.New(rand.NewSource(5))
+	g := testGraph(rng, 25, 7)
+	p, pt := g.Walk()
+	rr, rc := g.NormalizedAttrs()
+	wantF, wantB := APMI(p, pt, rr, rc, 0.5, 6)
+	for _, nb := range []int{2, 3, 5, 7, 16} {
+		gotF, gotB := PAPMI(p, pt, rr, rc, 0.5, 6, nb)
+		if d := gotF.MaxAbsDiff(wantF); d > 1e-12 {
+			t.Fatalf("nb=%d: PAPMI F' deviates by %v", nb, d)
+		}
+		if d := gotB.MaxAbsDiff(wantB); d > 1e-12 {
+			t.Fatalf("nb=%d: PAPMI B' deviates by %v", nb, d)
+		}
+	}
+}
+
+func TestAPMIPropertyMoreIterationsMonotoneError(t *testing.T) {
+	// Property: increasing t cannot move P(t)_f farther from the exact
+	// series (geometric contraction).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testGraph(rng, 6+rng.Intn(10), 2+rng.Intn(4))
+		alpha := 0.3 + 0.4*rng.Float64()
+		exact := rwalk.ExactForward(g, alpha)
+		p, _ := g.Walk()
+		rr, _ := g.NormalizedAttrs()
+		prevErr := math.Inf(1)
+		pf := rr.Clone()
+		next := mat.New(g.N, g.D)
+		for l := 0; l < 12; l++ {
+			p.AxpyInto(next, 1-alpha, pf, alpha, rr, 1)
+			pf, next = next, pf
+			err := pf.MaxAbsDiff(exact)
+			if err > prevErr+1e-12 {
+				return false
+			}
+			prevErr = err
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningExampleAffinityTable(t *testing.T) {
+	// The Table 2 reproduction: APMI's affinities on the running example
+	// must reproduce the qualitative structure discussed in §2.3 (see
+	// rwalk's ordering test for the simulated counterpart).
+	g := graph.RunningExample()
+	f, b := AffinityFromGraph(g, graph.RunningExampleAlpha, 400, 1)
+	v1, v5, v6 := 0, 4, 5
+	r1, r3 := 0, 2
+	if !(f.At(v1, r1) > f.At(v1, r3) && b.At(v1, r1) > b.At(v1, r3)) {
+		t.Fatalf("v1 should prefer r1: F=%v B=%v", f.Row(v1), b.Row(v1))
+	}
+	if !(f.At(v5, r3) > f.At(v5, r1)) {
+		t.Fatalf("v5 forward anomaly missing: F[v5]=%v", f.Row(v5))
+	}
+	if !(f.At(v5, r1)+b.At(v5, r1) > f.At(v5, r3)+b.At(v5, r3)) {
+		t.Fatal("combined affinity fails to fix v5's inference")
+	}
+	// v6 carries r3 and should have its strongest affinity there.
+	if !(f.At(v6, r3) > f.At(v6, r1)) || !(b.At(v6, r3) > b.At(v6, r1)) {
+		t.Fatalf("v6 should prefer r3: F=%v B=%v", f.Row(v6), b.Row(v6))
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"pane/internal/graph"
+	"pane/internal/mat"
+)
+
+// This file implements the paper's future-work direction of §7 ("adapt
+// PANE to time-varying graphs where attributes and node connections
+// change over time") in its natural factorization-solver form: when the
+// graph changes, the affinity matrices are recomputed (APMI is the cheap,
+// O(m·d·t) phase and has no state to reuse), but the expensive solver is
+// *warm-started* from the previous embeddings instead of re-running
+// GreedyInit, since a small graph delta moves the optimum of Equation (4)
+// only slightly. The same greedy-seeding logic that makes cold-start fast
+// (§3.2) makes the previous solution an even better seed after a small
+// change.
+
+// RefineFrom continues CCD refinement from an existing embedding against
+// (possibly updated) affinity targets f and b. prev is not mutated. The
+// residuals are rebuilt once (O(n·d·k)) and then maintained incrementally
+// as usual. sweeps <= 0 defaults to cfg.ccdIters().
+func RefineFrom(prev *Embedding, f, b *mat.Dense, cfg Config, sweeps, nb int) *Embedding {
+	if nb < 1 {
+		nb = 1
+	}
+	st := &state{Embedding: Embedding{
+		Xf: prev.Xf.Clone(),
+		Xb: prev.Xb.Clone(),
+		Y:  prev.Y.Clone(),
+	}}
+	st.Sf = mat.ParMulBT(st.Xf, st.Y, nb)
+	st.Sf.Sub(f)
+	st.Sb = mat.ParMulBT(st.Xb, st.Y, nb)
+	st.Sb.Sub(b)
+	if sweeps <= 0 {
+		sweeps = cfg.ccdIters()
+	}
+	refine(st, sweeps, nb)
+	e := st.Embedding
+	return &e
+}
+
+// UpdateEmbedding re-embeds an updated graph by warm-starting from prev.
+// It recomputes the affinity matrices for the new graph and runs `sweeps`
+// CCD sweeps from the previous solution — typically 1-2 sweeps suffice
+// for small deltas, vs cfg.Iterations() for a cold start. prev must have
+// been trained with the same K and on a graph with the same node and
+// attribute counts (embeddings are positional).
+func UpdateEmbedding(g *graph.Graph, prev *Embedding, cfg Config, sweeps int) (*Embedding, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkGraph(g); err != nil {
+		return nil, err
+	}
+	if prev.Xf.Rows != g.N || prev.Y.Rows != g.D || prev.K() != cfg.K {
+		return nil, fmt.Errorf("core: UpdateEmbedding shape mismatch: graph %dx%d k=%d vs previous embedding %dx%d k=%d",
+			g.N, g.D, cfg.K, prev.Xf.Rows, prev.Y.Rows, prev.K())
+	}
+	nb := cfg.Threads
+	if nb < 1 {
+		nb = 1
+	}
+	f, b := AffinityFromGraph(g, cfg.Alpha, cfg.Iterations(), nb)
+	return RefineFrom(prev, f, b, cfg, sweeps, nb), nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pane/internal/graph"
+	"pane/internal/mat"
+)
+
+// checkGraph rejects inputs PANE cannot embed: the affinity model needs
+// at least one attribute association to seed the walks.
+func checkGraph(g *graph.Graph) error {
+	if g.D == 0 || g.NNZAttr() == 0 {
+		return fmt.Errorf("core: graph has no node-attribute associations; PANE's affinity model is undefined without attributes")
+	}
+	return nil
+}
+
+// PANE (Algorithm 1) computes attributed network embeddings for g with a
+// single thread: APMI for the affinity matrices, then SVDCCD (greedy
+// initialization + CCD refinement).
+func PANE(g *graph.Graph, cfg Config) (*Embedding, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkGraph(g); err != nil {
+		return nil, err
+	}
+	t := cfg.Iterations()
+	f, b := AffinityFromGraph(g, cfg.Alpha, t, 1)
+	return SVDCCD(f, b, cfg, 1), nil
+}
+
+// ParallelPANE (Algorithm 5) computes the same embeddings using
+// cfg.Threads workers in every phase: PAPMI, SMGreedyInit, and the
+// block-parallel CCD sweeps of PSVDCCD.
+func ParallelPANE(g *graph.Graph, cfg Config) (*Embedding, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkGraph(g); err != nil {
+		return nil, err
+	}
+	nb := cfg.Threads
+	if nb < 1 {
+		nb = 1
+	}
+	t := cfg.Iterations()
+	f, b := AffinityFromGraph(g, cfg.Alpha, t, nb)
+	return PSVDCCD(f, b, cfg, nb), nil
+}
+
+// SVDCCD (Algorithm 4) jointly factorizes precomputed affinity matrices:
+// GreedyInit seeds the embeddings, then cfg.ccdIters() CCD sweeps refine
+// them. nb parallelizes the dense products inside the initializer but the
+// algorithm structure is the serial one.
+func SVDCCD(f, b *mat.Dense, cfg Config, nb int) *Embedding {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	st := GreedyInit(f, b, cfg.K, cfg.powerIters(), rng, nb)
+	refine(st, cfg.ccdIters(), nb)
+	e := st.Embedding
+	return &e
+}
+
+// PSVDCCD (Algorithm 8) is the parallel joint factorization: the
+// split-merge initializer SMGreedyInit followed by node/attribute
+// block-parallel CCD sweeps.
+func PSVDCCD(f, b *mat.Dense, cfg Config, nb int) *Embedding {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	st := SMGreedyInit(f, b, cfg.K, cfg.powerIters(), rng, nb)
+	refine(st, cfg.ccdIters(), nb)
+	e := st.Embedding
+	return &e
+}
+
+// PANERandomInit is the PANE-R ablation of §5.7: identical to PANE except
+// that GreedyInit is replaced by random initialization. Used by the
+// Figure 7/8 experiments.
+func PANERandomInit(g *graph.Graph, cfg Config) (*Embedding, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkGraph(g); err != nil {
+		return nil, err
+	}
+	t := cfg.Iterations()
+	f, b := AffinityFromGraph(g, cfg.Alpha, t, 1)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	st := RandomInit(f, b, cfg.K, rng, 1)
+	refine(st, cfg.ccdIters(), 1)
+	e := st.Embedding
+	return &e, nil
+}

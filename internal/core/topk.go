@@ -1,0 +1,101 @@
+package core
+
+import (
+	"container/heap"
+)
+
+// Scored pairs an index (node or attribute id) with a prediction score.
+type Scored struct {
+	ID    int
+	Score float64
+}
+
+// scoredHeap is a min-heap on Score, used to keep the running top-k.
+type scoredHeap []Scored
+
+func (h scoredHeap) Len() int            { return len(h) }
+func (h scoredHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h scoredHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *scoredHeap) Push(x interface{}) { *h = append(*h, x.(Scored)) }
+func (h *scoredHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// topK drains a heap into descending score order.
+func topK(h *scoredHeap) []Scored {
+	out := make([]Scored, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Scored)
+	}
+	return out
+}
+
+// TopKAttrs returns the k attributes with the highest inferred affinity
+// to node v (Equation 21), optionally excluding a set of attribute ids
+// (e.g. the ones already observed, for missing-attribute suggestion).
+// Results are sorted by descending score.
+func (e *Embedding) TopKAttrs(v, k int, exclude map[int]bool) []Scored {
+	h := &scoredHeap{}
+	heap.Init(h)
+	for r := 0; r < e.Y.Rows; r++ {
+		if exclude != nil && exclude[r] {
+			continue
+		}
+		s := e.AttrScore(v, r)
+		if h.Len() < k {
+			heap.Push(h, Scored{ID: r, Score: s})
+		} else if s > (*h)[0].Score {
+			(*h)[0] = Scored{ID: r, Score: s}
+			heap.Fix(h, 0)
+		}
+	}
+	return topK(h)
+}
+
+// TopKTargets returns the k most plausible out-neighbors of node u under
+// the link model (Equation 22), excluding u itself and any ids in
+// exclude (e.g. existing out-neighbors, for recommendation). Results are
+// sorted by descending score.
+//
+// Complexity: O(n·k²/4) per query via the precomputed Gram matrix —
+// compute q = Xf[u]·G once (O(k²)), then score each candidate with one
+// O(k/2) dot product.
+func (s *LinkScorer) TopKTargets(u, k int, exclude map[int]bool) []Scored {
+	half := s.e.Xf.Cols
+	// q = Xf[u] · G, a length-(k/2) vector.
+	q := make([]float64, half)
+	xu := s.e.Xf.Row(u)
+	for i := 0; i < half; i++ {
+		if xu[i] == 0 {
+			continue
+		}
+		gi := s.g.Row(i)
+		for j := 0; j < half; j++ {
+			q[j] += xu[i] * gi[j]
+		}
+	}
+	h := &scoredHeap{}
+	heap.Init(h)
+	n := s.e.Xb.Rows
+	for v := 0; v < n; v++ {
+		if v == u || (exclude != nil && exclude[v]) {
+			continue
+		}
+		xv := s.e.Xb.Row(v)
+		var sc float64
+		for j := 0; j < half; j++ {
+			sc += q[j] * xv[j]
+		}
+		if h.Len() < k {
+			heap.Push(h, Scored{ID: v, Score: sc})
+		} else if sc > (*h)[0].Score {
+			(*h)[0] = Scored{ID: v, Score: sc}
+			heap.Fix(h, 0)
+		}
+	}
+	return topK(h)
+}

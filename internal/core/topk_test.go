@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pane/internal/graph"
+)
+
+func topkEmbedding(t *testing.T) (*graph.Graph, *Embedding) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	g := testGraph(rng, 40, 12)
+	e, err := PANE(g, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, e
+}
+
+func TestTopKAttrsMatchesBruteForce(t *testing.T) {
+	g, e := topkEmbedding(t)
+	for _, v := range []int{0, 7, 39} {
+		got := e.TopKAttrs(v, 5, nil)
+		// Brute force.
+		all := make([]Scored, g.D)
+		for r := 0; r < g.D; r++ {
+			all[r] = Scored{ID: r, Score: e.AttrScore(v, r)}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].Score > all[j].Score })
+		if len(got) != 5 {
+			t.Fatalf("got %d results", len(got))
+		}
+		for i := range got {
+			if got[i].Score != all[i].Score {
+				t.Fatalf("v=%d rank %d: got %v want %v", v, i, got[i], all[i])
+			}
+		}
+	}
+}
+
+func TestTopKAttrsExclude(t *testing.T) {
+	_, e := topkEmbedding(t)
+	full := e.TopKAttrs(3, 3, nil)
+	excl := map[int]bool{full[0].ID: true}
+	got := e.TopKAttrs(3, 3, excl)
+	for _, s := range got {
+		if s.ID == full[0].ID {
+			t.Fatal("excluded attribute returned")
+		}
+	}
+	if got[0].Score > full[0].Score {
+		t.Fatal("ordering inconsistent after exclusion")
+	}
+}
+
+func TestTopKAttrsDescending(t *testing.T) {
+	_, e := topkEmbedding(t)
+	got := e.TopKAttrs(1, 8, nil)
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatalf("not descending at %d: %v", i, got)
+		}
+	}
+}
+
+func TestTopKAttrsKLargerThanD(t *testing.T) {
+	g, e := topkEmbedding(t)
+	got := e.TopKAttrs(0, g.D+50, nil)
+	if len(got) != g.D {
+		t.Fatalf("len = %d, want %d", len(got), g.D)
+	}
+}
+
+func TestTopKTargetsMatchesBruteForce(t *testing.T) {
+	g, e := topkEmbedding(t)
+	s := NewLinkScorer(e)
+	u := 5
+	got := s.TopKTargets(u, 6, nil)
+	var all []Scored
+	for v := 0; v < g.N; v++ {
+		if v == u {
+			continue
+		}
+		all = append(all, Scored{ID: v, Score: s.Directed(u, v)})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Score > all[j].Score })
+	for i := range got {
+		if d := got[i].Score - all[i].Score; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("rank %d: got %v want %v", i, got[i], all[i])
+		}
+	}
+}
+
+func TestTopKTargetsExcludesSelfAndGiven(t *testing.T) {
+	g, e := topkEmbedding(t)
+	s := NewLinkScorer(e)
+	u := 2
+	excl := map[int]bool{}
+	for _, v := range g.OutNeighbors(u) {
+		excl[int(v)] = true
+	}
+	got := s.TopKTargets(u, g.N, excl)
+	for _, r := range got {
+		if r.ID == u {
+			t.Fatal("self returned")
+		}
+		if excl[r.ID] {
+			t.Fatal("excluded target returned")
+		}
+	}
+	if len(got) != g.N-1-len(excl) {
+		t.Fatalf("len = %d, want %d", len(got), g.N-1-len(excl))
+	}
+}
+
+func TestPANEErrorsWithoutAttributes(t *testing.T) {
+	g, err := graph.New(5, 0, []graph.Edge{{Src: 0, Dst: 1}}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PANE(g, smallConfig()); err == nil {
+		t.Fatal("attribute-less graph accepted by PANE")
+	}
+	if _, err := ParallelPANE(g, smallConfig()); err == nil {
+		t.Fatal("attribute-less graph accepted by ParallelPANE")
+	}
+	if _, err := PANERandomInit(g, smallConfig()); err == nil {
+		t.Fatal("attribute-less graph accepted by PANERandomInit")
+	}
+}
+
+func TestPANETinyGraphs(t *testing.T) {
+	// Degenerate but valid inputs must not panic: one attribute, two
+	// nodes, K larger than d.
+	g, err := graph.New(2, 1,
+		[]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}},
+		[]graph.AttrEntry{{Node: 0, Attr: 0, Weight: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 8, Alpha: 0.5, Eps: 0.1, Threads: 3, Seed: 1}
+	for _, run := range []func(*graph.Graph, Config) (*Embedding, error){PANE, ParallelPANE} {
+		e, err := run(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Xf.Rows != 2 || e.Y.Rows != 1 {
+			t.Fatal("degenerate shapes wrong")
+		}
+	}
+}
+
+func TestPANEDisconnectedAndDangling(t *testing.T) {
+	// Dangling node (1) and isolated node (3) must flow through the whole
+	// pipeline without NaNs.
+	g, err := graph.New(4, 2,
+		[]graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 0}},
+		[]graph.AttrEntry{{Node: 0, Attr: 0, Weight: 1}, {Node: 2, Attr: 1, Weight: 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := PANE(g, Config{K: 4, Alpha: 0.5, Eps: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []interface{ Row(int) []float64 }{e.Xf, e.Xb, e.Y} {
+		for i := 0; i < 2; i++ {
+			for _, v := range m.Row(i) {
+				if v != v { // NaN
+					t.Fatal("NaN in embedding of degenerate graph")
+				}
+			}
+		}
+	}
+}

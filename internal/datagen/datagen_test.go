@@ -1,0 +1,176 @@
+package datagen
+
+import (
+	"testing"
+
+	"pane/internal/graph"
+)
+
+func base() Config {
+	return Config{
+		Name: "t", N: 500, AvgOutDeg: 5, D: 40, AttrsPer: 4,
+		Communities: 5, Seed: 42,
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	g, err := Generate(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 500 || g.D != 40 {
+		t.Fatalf("shape %d nodes %d attrs", g.N, g.D)
+	}
+	// Edge count near target (duplicates collapse, so allow slack).
+	if g.M() < 2000 || g.M() > 2600 {
+		t.Fatalf("edges = %d, want ≈2500", g.M())
+	}
+	if g.NNZAttr() < 500 {
+		t.Fatalf("attr entries = %d, too few", g.NNZAttr())
+	}
+	if len(g.Labels) != g.N {
+		t.Fatal("labels missing")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(base())
+	b, _ := Generate(base())
+	if a.M() != b.M() || a.NNZAttr() != b.NNZAttr() {
+		t.Fatal("same seed produced different graphs")
+	}
+	if !a.Adj.ToDense().Equal(b.Adj.ToDense(), 0) {
+		t.Fatal("adjacency differs for same seed")
+	}
+	c := base()
+	c.Seed = 77
+	cc, _ := Generate(c)
+	if a.Adj.ToDense().Equal(cc.Adj.ToDense(), 0) {
+		t.Fatal("different seed produced identical graph")
+	}
+}
+
+func TestGenerateHomophily(t *testing.T) {
+	cfg := base()
+	cfg.Homophily = 0.9
+	g, _ := Generate(cfg)
+	comm := Communities(g)
+	intra, total := 0, 0
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			total++
+			if comm[u] == comm[int(v)] {
+				intra++
+			}
+		}
+	}
+	frac := float64(intra) / float64(total)
+	// With homophily 0.9 and 5 communities, intra fraction should exceed
+	// the uniform baseline 0.2 by a wide margin.
+	if frac < 0.7 {
+		t.Fatalf("intra-community edge fraction %v, want > 0.7", frac)
+	}
+}
+
+func TestGenerateAttributeCommunityCorrelation(t *testing.T) {
+	cfg := base()
+	cfg.AttrSkew = 0.9
+	g, _ := Generate(cfg)
+	comm := Communities(g)
+	blockSize := cfg.D / cfg.Communities
+	inBlock, total := 0, 0
+	for v := 0; v < g.N; v++ {
+		lo := comm[v] * blockSize
+		cols, _ := g.NodeAttrs(v)
+		for _, c := range cols {
+			total++
+			if int(c) >= lo && int(c) < lo+blockSize {
+				inBlock++
+			}
+		}
+	}
+	if frac := float64(inBlock) / float64(total); frac < 0.75 {
+		t.Fatalf("in-block attribute fraction %v, want > 0.75", frac)
+	}
+}
+
+func TestGenerateUndirectedSymmetry(t *testing.T) {
+	cfg := base()
+	cfg.Undirected = true
+	g, _ := Generate(cfg)
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			if !g.HasEdge(int(v), u) {
+				t.Fatalf("edge (%d,%d) lacks its reverse", u, v)
+			}
+		}
+	}
+}
+
+func TestGenerateMultiLabel(t *testing.T) {
+	cfg := base()
+	cfg.MultiLabel = true
+	cfg.Seed = 9
+	g, _ := Generate(cfg)
+	multi := 0
+	for _, ls := range g.Labels {
+		if len(ls) == 0 {
+			t.Fatal("node without label")
+		}
+		if len(ls) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("MultiLabel produced no multi-labelled nodes")
+	}
+}
+
+func TestGenerateHeavyTail(t *testing.T) {
+	// Preferential attachment should give max in-degree well above the
+	// mean in-degree.
+	cfg := base()
+	cfg.N = 2000
+	cfg.AvgOutDeg = 8
+	g, _ := Generate(cfg)
+	inDeg := make([]int, g.N)
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			inDeg[v]++
+		}
+	}
+	maxIn, sum := 0, 0
+	for _, d := range inDeg {
+		sum += d
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	mean := float64(sum) / float64(g.N)
+	if float64(maxIn) < 4*mean {
+		t.Fatalf("max in-degree %d vs mean %.1f — no heavy tail", maxIn, mean)
+	}
+}
+
+func TestGenerateRejectsDegenerate(t *testing.T) {
+	for _, cfg := range []Config{
+		{N: 1, D: 5, Communities: 2},
+		{N: 100, D: 0, Communities: 2},
+		{N: 100, D: 5, Communities: 0},
+	} {
+		if _, err := Generate(cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestCommunitiesExtraction(t *testing.T) {
+	g, err := graph.New(3, 1, nil, nil, [][]int{{2}, {0, 1}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Communities(g)
+	if c[0] != 2 || c[1] != 0 || c[2] != 0 {
+		t.Fatalf("Communities = %v", c)
+	}
+}

@@ -1,0 +1,131 @@
+// Package dataset registers the scaled synthetic stand-ins for the eight
+// real datasets of Table 3 in the paper. Shapes (n, d, density, label
+// counts, directedness) mirror the originals at a scale this container can
+// process; the two "massive" entries (TWeibo, MAG) are represented by the
+// largest configurations that keep the full experiment suite under a few
+// minutes, plus the scaling sweeps in the benchmarks.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"pane/internal/datagen"
+	"pane/internal/graph"
+)
+
+// Info pairs a dataset name with its generator configuration and the
+// original statistics from Table 3 for reporting.
+type Info struct {
+	Cfg      datagen.Config
+	PaperN   string // original |V| for the Table 3 printout
+	PaperE   string // original |EV|
+	PaperR   string // original |R|
+	PaperER  string // original |ER|
+	PaperL   string // original |L|
+	Directed bool
+}
+
+// registry lists the stand-ins in Table 3 order.
+var registry = map[string]Info{
+	"cora": {
+		Cfg: datagen.Config{
+			Name: "cora", N: 2700, AvgOutDeg: 2, D: 300, AttrsPer: 18,
+			Communities: 7, Seed: 101,
+		},
+		PaperN: "2.7K", PaperE: "5.4K", PaperR: "1.4K", PaperER: "49.2K", PaperL: "7",
+		Directed: true,
+	},
+	"citeseer": {
+		Cfg: datagen.Config{
+			Name: "citeseer", N: 3300, AvgOutDeg: 1.5, D: 500, AttrsPer: 30,
+			Communities: 6, Seed: 102,
+		},
+		PaperN: "3.3K", PaperE: "4.7K", PaperR: "3.7K", PaperER: "105.2K", PaperL: "6",
+		Directed: true,
+	},
+	"facebook": {
+		Cfg: datagen.Config{
+			Name: "facebook", N: 4000, AvgOutDeg: 11, D: 250, AttrsPer: 8,
+			Communities: 24, MultiLabel: true, Undirected: true, Seed: 103,
+		},
+		PaperN: "4K", PaperE: "88.2K", PaperR: "1.3K", PaperER: "33.3K", PaperL: "193",
+		Directed: false,
+	},
+	"pubmed": {
+		Cfg: datagen.Config{
+			Name: "pubmed", N: 9800, AvgOutDeg: 2.3, D: 250, AttrsPer: 50,
+			Communities: 3, Seed: 104,
+		},
+		PaperN: "19.7K", PaperE: "44.3K", PaperR: "0.5K", PaperER: "988K", PaperL: "3",
+		Directed: true,
+	},
+	"flickr": {
+		Cfg: datagen.Config{
+			Name: "flickr", N: 3800, AvgOutDeg: 31, D: 600, AttrsPer: 12,
+			Communities: 9, Undirected: true, Seed: 105,
+		},
+		PaperN: "7.6K", PaperE: "479.5K", PaperR: "12.1K", PaperER: "182.5K", PaperL: "9",
+		Directed: false,
+	},
+	"googleplus": {
+		Cfg: datagen.Config{
+			Name: "googleplus", N: 20000, AvgOutDeg: 25, D: 800, AttrsPer: 28,
+			Communities: 50, MultiLabel: true, Seed: 106,
+		},
+		PaperN: "107.6K", PaperE: "13.7M", PaperR: "15.9K", PaperER: "300.6M", PaperL: "468",
+		Directed: true,
+	},
+	"tweibo": {
+		Cfg: datagen.Config{
+			Name: "tweibo", N: 40000, AvgOutDeg: 11, D: 400, AttrsPer: 4,
+			Communities: 8, Seed: 107,
+		},
+		PaperN: "2.3M", PaperE: "50.7M", PaperR: "1.7K", PaperER: "16.8M", PaperL: "8",
+		Directed: true,
+	},
+	"mag": {
+		Cfg: datagen.Config{
+			Name: "mag", N: 60000, AvgOutDeg: 8, D: 500, AttrsPer: 4,
+			Communities: 20, MultiLabel: true, Seed: 108,
+		},
+		PaperN: "59.3M", PaperE: "978.2M", PaperR: "2K", PaperER: "434.4M", PaperL: "100",
+		Directed: true,
+	},
+}
+
+// Order is the presentation order of Table 3.
+var Order = []string{"cora", "citeseer", "facebook", "pubmed", "flickr", "googleplus", "tweibo", "mag"}
+
+// SmallOrder lists the five datasets the parameter studies (Figures 5-8)
+// use.
+var SmallOrder = []string{"cora", "citeseer", "facebook", "pubmed", "flickr"}
+
+// Names returns the registered dataset names sorted alphabetically.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the registration for name.
+func Get(name string) (Info, error) {
+	info, ok := registry[name]
+	if !ok {
+		return Info{}, fmt.Errorf("dataset: unknown dataset %q (known: %v)", name, Names())
+	}
+	return info, nil
+}
+
+// Load generates the stand-in graph for name.
+func Load(name string) (*graph.Graph, Info, error) {
+	info, err := Get(name)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	g, err := datagen.Generate(info.Cfg)
+	return g, info, err
+}

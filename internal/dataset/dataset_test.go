@@ -1,0 +1,54 @@
+package dataset
+
+import "testing"
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Order) != 8 {
+		t.Fatalf("Table 3 has 8 datasets, registry order has %d", len(Order))
+	}
+	for _, name := range Order {
+		if _, err := Get(name); err != nil {
+			t.Fatalf("missing dataset %q: %v", name, err)
+		}
+	}
+	if len(Names()) != 8 {
+		t.Fatalf("Names() = %v", Names())
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestLoadSmallDatasets(t *testing.T) {
+	for _, name := range SmallOrder {
+		g, info, err := Load(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.N != info.Cfg.N || g.D != info.Cfg.D {
+			t.Fatalf("%s: generated shape %dx%d != config %dx%d", name, g.N, g.D, info.Cfg.N, info.Cfg.D)
+		}
+		if info.Directed == info.Cfg.Undirected {
+			// Directed datasets must not be generated undirected and vice versa.
+			t.Fatalf("%s: directedness flag inconsistent", name)
+		}
+		st := g.Stats()
+		if st.LabelKinds != info.Cfg.Communities {
+			t.Fatalf("%s: %d label kinds, config says %d", name, st.LabelKinds, info.Cfg.Communities)
+		}
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	a, _, err := Load("cora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, _ := Load("cora")
+	if a.M() != b.M() || a.NNZAttr() != b.NNZAttr() {
+		t.Fatal("Load is not deterministic")
+	}
+}

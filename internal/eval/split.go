@@ -1,0 +1,150 @@
+package eval
+
+import (
+	"math/rand"
+
+	"pane/internal/graph"
+)
+
+// AttrSplit holds the attribute-inference evaluation protocol of §5.2: the
+// nonzero entries of R are split 80/20 into a training graph (with the
+// test associations removed) and a held-out positive set; the test set is
+// the held-out positives plus an equal number of sampled negatives
+// ((node, attr) pairs absent from R).
+type AttrSplit struct {
+	Train     *graph.Graph
+	TestPos   []graph.AttrEntry
+	TestNeg   [][2]int
+	TrainFrac float64
+}
+
+// SplitAttributes builds an AttrSplit with the given training fraction
+// (the paper uses 0.8).
+func SplitAttributes(g *graph.Graph, trainFrac float64, rng *rand.Rand) *AttrSplit {
+	var all []graph.AttrEntry
+	for v := 0; v < g.N; v++ {
+		cols, vals := g.NodeAttrs(v)
+		for k, c := range cols {
+			all = append(all, graph.AttrEntry{Node: v, Attr: int(c), Weight: vals[k]})
+		}
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	nTrain := int(float64(len(all)) * trainFrac)
+	trainEntries := all[:nTrain]
+	testPos := all[nTrain:]
+	// Rebuild the graph with only training associations.
+	var edges []graph.Edge
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			edges = append(edges, graph.Edge{Src: u, Dst: int(v)})
+		}
+	}
+	train, err := graph.New(g.N, g.D, edges, trainEntries, g.Labels)
+	if err != nil {
+		panic("eval: SplitAttributes rebuild failed: " + err.Error())
+	}
+	// Negatives: absent pairs, as many as positives.
+	neg := make([][2]int, 0, len(testPos))
+	for len(neg) < len(testPos) {
+		v, r := rng.Intn(g.N), rng.Intn(g.D)
+		if g.Attr.At(v, r) == 0 {
+			neg = append(neg, [2]int{v, r})
+		}
+	}
+	return &AttrSplit{Train: train, TestPos: testPos, TestNeg: neg, TrainFrac: trainFrac}
+}
+
+// Evaluate scores every test pair with score and returns AUC and AP.
+func (s *AttrSplit) Evaluate(score func(v, r int) float64) (auc, ap float64) {
+	scores := make([]float64, 0, len(s.TestPos)+len(s.TestNeg))
+	labels := make([]bool, 0, cap(scores))
+	for _, e := range s.TestPos {
+		scores = append(scores, score(e.Node, e.Attr))
+		labels = append(labels, true)
+	}
+	for _, p := range s.TestNeg {
+		scores = append(scores, score(p[0], p[1]))
+		labels = append(labels, false)
+	}
+	return AUC(scores, labels), AveragePrecision(scores, labels)
+}
+
+// LinkSplit holds the link-prediction protocol of §5.3: removeFrac of the
+// edges are removed to form the residual training graph; the test set is
+// the removed edges plus an equal number of non-existing edges.
+type LinkSplit struct {
+	Train   *graph.Graph
+	TestPos []graph.Edge
+	TestNeg []graph.Edge
+}
+
+// SplitLinks builds a LinkSplit (the paper removes 30%).
+func SplitLinks(g *graph.Graph, removeFrac float64, rng *rand.Rand) *LinkSplit {
+	var all []graph.Edge
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			all = append(all, graph.Edge{Src: u, Dst: int(v)})
+		}
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	nRemove := int(float64(len(all)) * removeFrac)
+	testPos := all[:nRemove]
+	residual := all[nRemove:]
+	var attrs []graph.AttrEntry
+	for v := 0; v < g.N; v++ {
+		cols, vals := g.NodeAttrs(v)
+		for k, c := range cols {
+			attrs = append(attrs, graph.AttrEntry{Node: v, Attr: int(c), Weight: vals[k]})
+		}
+	}
+	train, err := graph.New(g.N, g.D, residual, attrs, g.Labels)
+	if err != nil {
+		panic("eval: SplitLinks rebuild failed: " + err.Error())
+	}
+	neg := make([]graph.Edge, 0, len(testPos))
+	for len(neg) < len(testPos) {
+		u, v := rng.Intn(g.N), rng.Intn(g.N)
+		if u != v && !g.HasEdge(u, v) {
+			neg = append(neg, graph.Edge{Src: u, Dst: v})
+		}
+	}
+	return &LinkSplit{Train: train, TestPos: testPos, TestNeg: neg}
+}
+
+// Evaluate scores every test edge with score and returns AUC and AP.
+func (s *LinkSplit) Evaluate(score func(u, v int) float64) (auc, ap float64) {
+	scores := make([]float64, 0, len(s.TestPos)+len(s.TestNeg))
+	labels := make([]bool, 0, cap(scores))
+	for _, e := range s.TestPos {
+		scores = append(scores, score(e.Src, e.Dst))
+		labels = append(labels, true)
+	}
+	for _, e := range s.TestNeg {
+		scores = append(scores, score(e.Src, e.Dst))
+		labels = append(labels, false)
+	}
+	return AUC(scores, labels), AveragePrecision(scores, labels)
+}
+
+// NodeSplit is a train/test partition of labelled node indices for the
+// classification task of §5.4.
+type NodeSplit struct {
+	TrainIdx, TestIdx []int
+}
+
+// SplitNodes samples trainFrac of the nodes carrying at least one label
+// into the training set; the remaining labelled nodes form the test set.
+func SplitNodes(g *graph.Graph, trainFrac float64, rng *rand.Rand) *NodeSplit {
+	var labelled []int
+	for v, ls := range g.Labels {
+		if len(ls) > 0 {
+			labelled = append(labelled, v)
+		}
+	}
+	rng.Shuffle(len(labelled), func(i, j int) { labelled[i], labelled[j] = labelled[j], labelled[i] })
+	nTrain := int(float64(len(labelled)) * trainFrac)
+	if nTrain < 1 && len(labelled) > 0 {
+		nTrain = 1
+	}
+	return &NodeSplit{TrainIdx: labelled[:nTrain], TestIdx: labelled[nTrain:]}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fastOpts keeps experiment tests quick: tiny k, few threads.
+func fastOpts() Options {
+	return Options{K: 32, Alpha: 0.5, Eps: 0.05, Threads: 4, Seed: 1}
+}
+
+func TestRunTable2QualitativeStructure(t *testing.T) {
+	rows := RunTable2()
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	// v1's strongest affinity is r1 both ways (§2.3).
+	if rows[0].Forward[0] <= rows[0].Forward[2] || rows[0].Back[0] <= rows[0].Back[2] {
+		t.Fatalf("v1 affinities inconsistent with the running example: %+v", rows[0])
+	}
+	var buf bytes.Buffer
+	PrintTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "Xf[v1") {
+		t.Fatal("PrintTable2 output malformed")
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	rows, err := RunTable3([]string{"cora", "citeseer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Stats.Nodes != 2700 {
+		t.Fatalf("unexpected rows: %+v", rows)
+	}
+	var buf bytes.Buffer
+	PrintTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "cora") {
+		t.Fatal("PrintTable3 output malformed")
+	}
+}
+
+func TestRunTable4PANEWins(t *testing.T) {
+	rows, err := RunTable4([]string{"cora"}, fastOpts(), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := map[string]MethodScore{}
+	for _, s := range rows[0].Scores {
+		scores[s.Method] = s
+	}
+	pane := scores["PANE(single)"]
+	if pane.Skipped || pane.AUC < 0.6 {
+		t.Fatalf("PANE attribute inference AUC = %v", pane.AUC)
+	}
+	// Headline claim of Table 4: PANE beats both baselines.
+	for _, m := range []string{"BLA", "CAN(lite)"} {
+		if b := scores[m]; !b.Skipped && b.AUC >= pane.AUC {
+			t.Fatalf("%s AUC %v >= PANE %v — Table 4 ordering violated", m, b.AUC, pane.AUC)
+		}
+	}
+	// Parallel close to single thread (§5.2).
+	par := scores["PANE(parallel)"]
+	if par.Skipped || pane.AUC-par.AUC > 0.05 {
+		t.Fatalf("parallel PANE AUC %v too far below single %v", par.AUC, pane.AUC)
+	}
+}
+
+func TestRunTable4SkipsBigDatasets(t *testing.T) {
+	rows, err := RunTable4([]string{"cora"}, fastOpts(), 10) // everything is "big"
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rows[0].Scores {
+		switch s.Method {
+		case "BLA", "CAN(lite)":
+			if !s.Skipped {
+				t.Fatalf("%s should be skipped above the cutoff", s.Method)
+			}
+		default:
+			if s.Skipped {
+				t.Fatalf("PANE must never be skipped: %+v", s)
+			}
+		}
+	}
+}
+
+func TestRunTable5PANECompetitive(t *testing.T) {
+	rows, err := RunTable5([]string{"cora"}, fastOpts(), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := map[string]MethodScore{}
+	for _, s := range rows[0].Scores {
+		scores[s.Method] = s
+	}
+	pane := scores["PANE(single)"]
+	if pane.Skipped || pane.AUC < 0.65 {
+		t.Fatalf("PANE link AUC = %v", pane.AUC)
+	}
+	// PANE must beat the quantized and attribute-only baselines.
+	for _, m := range []string{"BANE", "LQANR", "CAN(lite)"} {
+		if b := scores[m]; !b.Skipped && b.AUC > pane.AUC+0.02 {
+			t.Fatalf("%s AUC %v beats PANE %v — Table 5 ordering violated", m, b.AUC, pane.AUC)
+		}
+	}
+	var buf bytes.Buffer
+	PrintMethodTable(&buf, "Table 5", rows)
+	if !strings.Contains(buf.String(), "PANE") {
+		t.Fatal("PrintMethodTable output malformed")
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	rows, err := RunFig2([]string{"cora"}, []float64{0.5}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatal("want one dataset panel")
+	}
+	var paneF1, nrpF1 float64
+	for _, p := range rows[0].Points {
+		if p.Method == "PANE(single)" {
+			paneF1 = p.MicroF1
+		}
+		if p.Method == "NRP" {
+			nrpF1 = p.MicroF1
+		}
+		if p.MicroF1 < 0 || p.MicroF1 > 1 || p.MacroF1 < 0 || p.MacroF1 > 1 {
+			t.Fatalf("F1 out of range: %+v", p)
+		}
+	}
+	// Fig 2's headline: PANE above the homogeneous baseline (attributes
+	// carry label signal NRP cannot see).
+	if paneF1 <= nrpF1 {
+		t.Fatalf("PANE Micro-F1 %v not above NRP %v", paneF1, nrpF1)
+	}
+	var buf bytes.Buffer
+	PrintFig2(&buf, rows)
+	if !strings.Contains(buf.String(), "PANE") {
+		t.Fatal("PrintFig2 output malformed")
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	rows, err := RunFig3([]string{"cora"}, fastOpts(), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("want 9 method timings, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Skipped && r.Elapsed <= 0 {
+			t.Fatalf("non-positive timing: %+v", r)
+		}
+	}
+}
+
+func TestRunFig4Sweeps(t *testing.T) {
+	opt := fastOpts()
+	sp, err := RunFig4a([]string{"cora"}, []int{1, 2}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp) != 2 || sp[0].Speedup != 1 {
+		t.Fatalf("fig4a rows: %+v", sp)
+	}
+	kb, err := RunFig4b([]string{"cora"}, []int{16, 32}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kb) != 2 {
+		t.Fatal("fig4b rows wrong")
+	}
+	ec, err := RunFig4c([]string{"cora"}, []float64{0.25, 0.05}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ec) != 2 {
+		t.Fatal("fig4c rows wrong")
+	}
+	// Smaller ε → more iterations → at least as slow, modulo noise; just
+	// require positive timings here (the bench asserts the trend).
+	for _, r := range ec {
+		if r.Elapsed <= 0 {
+			t.Fatal("non-positive timing")
+		}
+	}
+}
+
+func TestRunFig56Sweep(t *testing.T) {
+	attr, link, err := RunFig56([]string{"cora"}, "k", []float64{16, 32}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attr) != 2 || len(link) != 2 {
+		t.Fatalf("want 2 points per task, got %d/%d", len(attr), len(link))
+	}
+	for _, p := range append(attr, link...) {
+		if p.AUC < 0.4 || p.AUC > 1 {
+			t.Fatalf("implausible AUC %v", p.AUC)
+		}
+	}
+	if _, _, err := RunFig56([]string{"cora"}, "bogus", []float64{1}, fastOpts()); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+}
+
+func TestRunFig78GreedyBeatsRandomEarly(t *testing.T) {
+	link, attr, err := RunFig78([]string{"cora"}, []int{1}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVariant := func(rows []InitPoint) map[string]InitPoint {
+		m := map[string]InitPoint{}
+		for _, r := range rows {
+			m[r.Variant] = r
+		}
+		return m
+	}
+	l := byVariant(link)
+	if l["PANE"].AUC < l["PANE-R"].AUC {
+		t.Fatalf("Fig 7: greedy %v below random %v at t=1", l["PANE"].AUC, l["PANE-R"].AUC)
+	}
+	a := byVariant(attr)
+	if a["PANE"].AUC < a["PANE-R"].AUC {
+		t.Fatalf("Fig 8: greedy %v below random %v at t=1", a["PANE"].AUC, a["PANE-R"].AUC)
+	}
+}

@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"pane/internal/baselines"
+	"pane/internal/core"
+	"pane/internal/dataset"
+	"pane/internal/eval"
+	"pane/internal/graph"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 3: running time per method and dataset.
+
+// TimingRow records one (dataset, method) wall-clock measurement.
+type TimingRow struct {
+	Dataset string
+	Method  string
+	Elapsed time.Duration
+	Skipped bool
+}
+
+// RunFig3 times every method on every dataset. skipSlowAbove mirrors the
+// paper's one-week cutoff for the non-scalable baselines.
+func RunFig3(names []string, opt Options, skipSlowAbove int) ([]TimingRow, error) {
+	var out []TimingRow
+	for _, name := range names {
+		g, _, err := dataset.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		big := g.N > skipSlowAbove
+		timeIt := func(method string, skip bool, fn func()) {
+			if skip {
+				out = append(out, TimingRow{Dataset: name, Method: method, Skipped: true})
+				return
+			}
+			start := time.Now()
+			fn()
+			out = append(out, TimingRow{Dataset: name, Method: method, Elapsed: time.Since(start)})
+		}
+		timeIt("PANE(parallel)", false, func() {
+			if _, err := core.ParallelPANE(g, opt.paneConfig()); err != nil {
+				panic(err)
+			}
+		})
+		timeIt("PANE(single)", false, func() {
+			if _, err := core.PANE(g, opt.paneConfig()); err != nil {
+				panic(err)
+			}
+		})
+		timeIt("NRP", false, func() {
+			cfg := baselines.DefaultNRPConfig()
+			cfg.K = opt.K
+			cfg.NB = 1
+			baselines.NRP(g, cfg)
+		})
+		timeIt("CAN(lite)", big, func() {
+			cfg := baselines.DefaultCANLiteConfig()
+			cfg.K = opt.K
+			baselines.CANLite(g, cfg)
+		})
+		timeIt("BANE", big, func() {
+			cfg := baselines.DefaultBANEConfig()
+			cfg.K = opt.K
+			baselines.BANE(g, cfg)
+		})
+		timeIt("LQANR", big, func() {
+			cfg := baselines.DefaultLQANRConfig()
+			cfg.K = opt.K
+			baselines.LQANR(g, cfg)
+		})
+		timeIt("TADW", big || g.N > 5000, func() {
+			cfg := baselines.DefaultTADWConfig()
+			cfg.K = opt.K
+			baselines.TADW(g, cfg)
+		})
+		timeIt("AANE", big, func() {
+			cfg := baselines.DefaultAANEConfig()
+			cfg.K = opt.K
+			baselines.AANE(g, cfg)
+		})
+		timeIt("DeepWalkMF", big || g.N > 5000, func() {
+			cfg := baselines.DefaultDeepWalkMFConfig()
+			cfg.K = opt.K
+			baselines.DeepWalkMF(g, cfg)
+		})
+	}
+	return out, nil
+}
+
+// PrintFig3 renders the timing table.
+func PrintFig3(w io.Writer, rows []TimingRow) {
+	fmt.Fprintln(w, "Figure 3: running time (seconds)")
+	for _, r := range rows {
+		if r.Skipped {
+			fmt.Fprintf(w, "%-12s %-14s %10s\n", r.Dataset, r.Method, "-")
+		} else {
+			fmt.Fprintf(w, "%-12s %-14s %10.3f\n", r.Dataset, r.Method, r.Elapsed.Seconds())
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4a: speedup vs number of threads.
+
+// SpeedupPoint is parallel PANE's speedup over 1 thread at nb threads.
+type SpeedupPoint struct {
+	Dataset string
+	NB      int
+	Elapsed time.Duration
+	Speedup float64
+}
+
+// RunFig4a measures wall-clock speedups for nb ∈ threads.
+func RunFig4a(names []string, threads []int, opt Options) ([]SpeedupPoint, error) {
+	var out []SpeedupPoint
+	for _, name := range names {
+		g, _, err := dataset.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		var base time.Duration
+		for _, nb := range threads {
+			cfg := opt.paneConfig()
+			cfg.Threads = nb
+			start := time.Now()
+			if _, err := core.ParallelPANE(g, cfg); err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			if nb == threads[0] {
+				base = elapsed
+			}
+			out = append(out, SpeedupPoint{
+				Dataset: name, NB: nb, Elapsed: elapsed,
+				Speedup: base.Seconds() / elapsed.Seconds(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4b/4c: time vs k and vs ε.
+
+// ParamTiming is the wall-clock at one parameter value.
+type ParamTiming struct {
+	Dataset string
+	Param   float64
+	Elapsed time.Duration
+}
+
+// RunFig4b sweeps the space budget k.
+func RunFig4b(names []string, ks []int, opt Options) ([]ParamTiming, error) {
+	var out []ParamTiming
+	for _, name := range names {
+		g, _, err := dataset.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range ks {
+			cfg := opt.paneConfig()
+			cfg.K = k
+			start := time.Now()
+			if _, err := core.ParallelPANE(g, cfg); err != nil {
+				return nil, err
+			}
+			out = append(out, ParamTiming{Dataset: name, Param: float64(k), Elapsed: time.Since(start)})
+		}
+	}
+	return out, nil
+}
+
+// RunFig4c sweeps the error threshold ε.
+func RunFig4c(names []string, epss []float64, opt Options) ([]ParamTiming, error) {
+	var out []ParamTiming
+	for _, name := range names {
+		g, _, err := dataset.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, eps := range epss {
+			cfg := opt.paneConfig()
+			cfg.Eps = eps
+			start := time.Now()
+			if _, err := core.ParallelPANE(g, cfg); err != nil {
+				return nil, err
+			}
+			out = append(out, ParamTiming{Dataset: name, Param: eps, Elapsed: time.Since(start)})
+		}
+	}
+	return out, nil
+}
+
+// PrintParamTimings renders a parameter/time series.
+func PrintParamTimings(w io.Writer, title, param string, rows []ParamTiming) {
+	fmt.Fprintln(w, title)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %s=%-8g %10.3fs\n", r.Dataset, param, r.Param, r.Elapsed.Seconds())
+	}
+}
+
+// PrintSpeedups renders Figure 4a.
+func PrintSpeedups(w io.Writer, rows []SpeedupPoint) {
+	fmt.Fprintln(w, "Figure 4a: parallel speedup vs nb")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s nb=%-3d %10.3fs  speedup=%.2fx\n", r.Dataset, r.NB, r.Elapsed.Seconds(), r.Speedup)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5 & 6: quality vs k, nb, ε, α.
+
+// QualityPoint is AUC at one parameter setting for one dataset and task.
+type QualityPoint struct {
+	Dataset string
+	Param   string
+	Value   float64
+	AUC     float64
+}
+
+// RunFig56 sweeps one parameter for both tasks (attribute inference =
+// Figure 5, link prediction = Figure 6). param ∈ {"k","nb","eps","alpha"}.
+func RunFig56(names []string, param string, values []float64, opt Options) (attr, link []QualityPoint, err error) {
+	for _, name := range names {
+		g, info, err := dataset.Load(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		rng := rand.New(rand.NewSource(opt.Seed))
+		attrSplit := eval.SplitAttributes(g, 0.8, rng)
+		linkSplit := eval.SplitLinks(g, 0.3, rand.New(rand.NewSource(opt.Seed)))
+		for _, v := range values {
+			cfg := opt.paneConfig()
+			switch param {
+			case "k":
+				cfg.K = int(v)
+			case "nb":
+				cfg.Threads = int(v)
+			case "eps":
+				cfg.Eps = v
+			case "alpha":
+				cfg.Alpha = v
+			default:
+				return nil, nil, fmt.Errorf("experiments: unknown parameter %q", param)
+			}
+			// Attribute inference on the attribute split.
+			eAttr, err := core.ParallelPANE(attrSplit.Train, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			auc, _ := attrSplit.Evaluate(eAttr.AttrScore)
+			attr = append(attr, QualityPoint{Dataset: name, Param: param, Value: v, AUC: auc})
+			// Link prediction on the link split.
+			eLink, err := core.ParallelPANE(linkSplit.Train, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			s := core.NewLinkScorer(eLink)
+			score := s.Directed
+			if !info.Directed {
+				score = s.Undirected
+			}
+			auc, _ = linkSplit.Evaluate(score)
+			link = append(link, QualityPoint{Dataset: name, Param: param, Value: v, AUC: auc})
+		}
+	}
+	return attr, link, nil
+}
+
+// PrintQuality renders a Figure 5/6 panel.
+func PrintQuality(w io.Writer, title string, rows []QualityPoint) {
+	fmt.Fprintln(w, title)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %s=%-8g AUC=%.3f\n", r.Dataset, r.Param, r.Value, r.AUC)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figures 7 & 8: GreedyInit vs random initialization.
+
+// InitPoint is (time, AUC) at one CCD iteration budget for one variant.
+type InitPoint struct {
+	Dataset string
+	Variant string // "PANE" or "PANE-R"
+	Iters   int
+	Elapsed time.Duration
+	AUC     float64
+}
+
+// RunFig78 compares PANE against PANE-R on both tasks at the given CCD
+// iteration budgets. Returned slices: link prediction (Fig 7), attribute
+// inference (Fig 8).
+func RunFig78(names []string, iters []int, opt Options) (link, attr []InitPoint, err error) {
+	for _, name := range names {
+		g, info, err := dataset.Load(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		linkSplit := eval.SplitLinks(g, 0.3, rand.New(rand.NewSource(opt.Seed)))
+		attrSplit := eval.SplitAttributes(g, 0.8, rand.New(rand.NewSource(opt.Seed)))
+		for _, it := range iters {
+			cfg := opt.paneConfig()
+			cfg.CCDIters = it
+			for _, variant := range []string{"PANE", "PANE-R"} {
+				run := func(g *graph.Graph) (*core.Embedding, time.Duration, error) {
+					start := time.Now()
+					var e *core.Embedding
+					var err error
+					if variant == "PANE" {
+						e, err = core.PANE(g, cfg)
+					} else {
+						e, err = core.PANERandomInit(g, cfg)
+					}
+					return e, time.Since(start), err
+				}
+				// Link prediction.
+				e, elapsed, err := run(linkSplit.Train)
+				if err != nil {
+					return nil, nil, err
+				}
+				s := core.NewLinkScorer(e)
+				score := s.Directed
+				if !info.Directed {
+					score = s.Undirected
+				}
+				auc, _ := linkSplit.Evaluate(score)
+				link = append(link, InitPoint{Dataset: name, Variant: variant, Iters: it, Elapsed: elapsed, AUC: auc})
+				// Attribute inference.
+				e, elapsed, err = run(attrSplit.Train)
+				if err != nil {
+					return nil, nil, err
+				}
+				auc, _ = attrSplit.Evaluate(e.AttrScore)
+				attr = append(attr, InitPoint{Dataset: name, Variant: variant, Iters: it, Elapsed: elapsed, AUC: auc})
+			}
+		}
+	}
+	return link, attr, nil
+}
+
+// PrintInitPoints renders a Figure 7/8 panel.
+func PrintInitPoints(w io.Writer, title string, rows []InitPoint) {
+	fmt.Fprintln(w, title)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-7s t=%-3d %8.3fs AUC=%.3f\n", r.Dataset, r.Variant, r.Iters, r.Elapsed.Seconds(), r.AUC)
+	}
+}

@@ -1,0 +1,56 @@
+package graph
+
+// RunningExample returns the 6-node, 3-attribute toy graph of the paper's
+// Figure 1 (the "extended graph" running example of §2.2–2.3, whose exact
+// forward/backward affinities appear in Table 2).
+//
+// The published figure is an image, so the precise edge list is not
+// machine-readable; this reconstruction follows every constraint stated in
+// the text:
+//
+//   - v1 and v2 carry no attributes (footnote 1's restart case);
+//   - v1 reaches attribute r1 through many intermediate nodes (v3, v4, v5),
+//     giving it high forward and backward affinity with r1;
+//   - v5 owns r1 but not r3, yet its forward-only affinity ranks r3 above
+//     r1 (its out-neighborhood leans toward r3-carrying v6) — the anomaly
+//     the running example uses to motivate backward affinity;
+//   - all attribute weights are 1, and the walks use α = 0.15.
+//
+// Node/attribute numbering is zero-based: paper's v1..v6 are 0..5 and
+// r1..r3 are 0..2.
+func RunningExample() *Graph {
+	edges := []Edge{
+		// v1 fans out to the r1-carrying cluster.
+		{0, 2}, {0, 3}, {0, 4},
+		// The cluster points back at v1.
+		{2, 0}, {3, 0}, {4, 0},
+		// v2 connects into the cluster.
+		{1, 2}, {2, 1},
+		// v5 leans toward v6, which carries r3 (the forward anomaly).
+		{4, 5},
+		// v6 routes back through v3 rather than v5, so backward r3 mass
+		// does not pool at v5.
+		{5, 2},
+		// v3 also touches v6 lightly so r3 mass circulates.
+		{2, 5},
+	}
+	attrs := []AttrEntry{
+		// v3 carries r1 and r2.
+		{Node: 2, Attr: 0, Weight: 1}, {Node: 2, Attr: 1, Weight: 1},
+		// v4 carries r1.
+		{Node: 3, Attr: 0, Weight: 1},
+		// v5 carries r1 and r2 but NOT r3.
+		{Node: 4, Attr: 0, Weight: 1}, {Node: 4, Attr: 1, Weight: 1},
+		// v6 carries r3.
+		{Node: 5, Attr: 2, Weight: 1},
+	}
+	g, err := New(6, 3, edges, attrs, nil)
+	if err != nil {
+		panic("graph: RunningExample construction failed: " + err.Error())
+	}
+	return g
+}
+
+// RunningExampleAlpha is the stopping probability the paper uses for the
+// running example (citing the classic PPR setting of [19, 38]).
+const RunningExampleAlpha = 0.15

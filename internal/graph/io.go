@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The text formats are deliberately simple, line-oriented, and
+// whitespace-separated so datasets can be produced by any tool:
+//
+//	edges:  "src dst"            one directed edge per line
+//	attrs:  "node attr weight"   one association per line (weight optional, default 1)
+//	labels: "node label"         one label per line; nodes may repeat (multi-label)
+//
+// Lines starting with '#' and blank lines are ignored everywhere.
+
+// WriteEdges writes the graph's edge list in text form.
+func (g *Graph) WriteEdges(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < g.N; i++ {
+		cols, _ := g.Adj.Row(i)
+		for _, c := range cols {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", i, c); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteAttrs writes the node-attribute associations in text form.
+func (g *Graph) WriteAttrs(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < g.N; i++ {
+		cols, vals := g.Attr.Row(i)
+		for k, c := range cols {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", i, c, vals[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteLabels writes the label assignments in text form.
+func (g *Graph) WriteLabels(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, ls := range g.Labels {
+		for _, l := range ls {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", i, l); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdges parses an edge-list stream. Node ids may be sparse; n is the
+// inferred node count (max id + 1).
+func ReadEdges(r io.Reader) (edges []Edge, n int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields, skip, err := splitLine(sc.Text(), line, 2, 2)
+		if err != nil {
+			return nil, 0, err
+		}
+		if skip {
+			continue
+		}
+		src, dst := fields[0], fields[1]
+		edges = append(edges, Edge{Src: int(src), Dst: int(dst)})
+		if int(src) >= n {
+			n = int(src) + 1
+		}
+		if int(dst) >= n {
+			n = int(dst) + 1
+		}
+	}
+	return edges, n, sc.Err()
+}
+
+// ReadAttrs parses a node-attribute stream, returning the entries and the
+// inferred attribute count (max attr id + 1).
+func ReadAttrs(r io.Reader) (attrs []AttrEntry, d int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields, skip, err := splitLine(sc.Text(), line, 2, 3)
+		if err != nil {
+			return nil, 0, err
+		}
+		if skip {
+			continue
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			w = fields[2]
+		}
+		attrs = append(attrs, AttrEntry{Node: int(fields[0]), Attr: int(fields[1]), Weight: w})
+		if int(fields[1]) >= d {
+			d = int(fields[1]) + 1
+		}
+	}
+	return attrs, d, sc.Err()
+}
+
+// ReadLabels parses a label stream into per-node label sets for n nodes.
+func ReadLabels(r io.Reader, n int) ([][]int, error) {
+	labels := make([][]int, n)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields, skip, err := splitLine(sc.Text(), line, 2, 2)
+		if err != nil {
+			return nil, err
+		}
+		if skip {
+			continue
+		}
+		v := int(fields[0])
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: labels line %d: node %d out of range", line, v)
+		}
+		labels[v] = append(labels[v], int(fields[1]))
+	}
+	return labels, sc.Err()
+}
+
+func splitLine(s string, line, minF, maxF int) ([]float64, bool, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || strings.HasPrefix(s, "#") {
+		return nil, true, nil
+	}
+	parts := strings.Fields(s)
+	if len(parts) < minF || len(parts) > maxF {
+		return nil, false, fmt.Errorf("graph: line %d: want %d-%d fields, got %d", line, minF, maxF, len(parts))
+	}
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, false, fmt.Errorf("graph: line %d field %d: %v", line, i+1, err)
+		}
+		out[i] = v
+	}
+	return out, false, nil
+}
+
+// LoadFiles builds a Graph from edge, attribute, and (optionally empty)
+// label file paths.
+func LoadFiles(edgePath, attrPath, labelPath string) (*Graph, error) {
+	ef, err := os.Open(edgePath)
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	edges, n, err := ReadEdges(ef)
+	if err != nil {
+		return nil, err
+	}
+	af, err := os.Open(attrPath)
+	if err != nil {
+		return nil, err
+	}
+	defer af.Close()
+	attrs, d, err := ReadAttrs(af)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range attrs {
+		if a.Node >= n {
+			n = a.Node + 1
+		}
+	}
+	var labels [][]int
+	if labelPath != "" {
+		lf, err := os.Open(labelPath)
+		if err != nil {
+			return nil, err
+		}
+		defer lf.Close()
+		labels, err = ReadLabels(lf, n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return New(n, d, edges, attrs, labels)
+}

@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewWeightedBasic(t *testing.T) {
+	g, err := NewWeighted(3, 1,
+		[]WeightedEdge{{0, 1, 2}, {0, 2, 1}, {0, 1, 1}}, // duplicate sums to 3
+		[]AttrEntry{{0, 0, 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeWeight(0, 1) != 3 || g.EdgeWeight(0, 2) != 1 {
+		t.Fatalf("weights: %v %v", g.EdgeWeight(0, 1), g.EdgeWeight(0, 2))
+	}
+	if g.OutDegree(0) != 4 {
+		t.Fatalf("out weight sum = %v, want 4", g.OutDegree(0))
+	}
+	p, _ := g.Walk()
+	if math.Abs(p.At(0, 1)-0.75) > 1e-12 || math.Abs(p.At(0, 2)-0.25) > 1e-12 {
+		t.Fatalf("weighted walk probabilities wrong: %v %v", p.At(0, 1), p.At(0, 2))
+	}
+}
+
+func TestNewWeightedValidation(t *testing.T) {
+	if _, err := NewWeighted(2, 1, []WeightedEdge{{0, 1, 0}}, nil, nil); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := NewWeighted(2, 1, []WeightedEdge{{0, 1, -2}}, nil, nil); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := NewWeighted(2, 1, []WeightedEdge{{0, 9, 1}}, nil, nil); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestWeightedMatchesUnweightedForUnitWeights(t *testing.T) {
+	edges := []Edge{{0, 1}, {1, 2}, {2, 0}}
+	wedges := []WeightedEdge{{0, 1, 1}, {1, 2, 1}, {2, 0, 1}}
+	attrs := []AttrEntry{{0, 0, 1}, {1, 1, 1}}
+	a, err := New(3, 2, edges, attrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWeighted(3, 2, wedges, attrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Adj.ToDense().Equal(b.Adj.ToDense(), 0) {
+		t.Fatal("unit-weight graphs differ")
+	}
+	pa, _ := a.Walk()
+	pb, _ := b.Walk()
+	if !pa.ToDense().Equal(pb.ToDense(), 0) {
+		t.Fatal("walk matrices differ")
+	}
+}

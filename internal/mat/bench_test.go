@@ -1,0 +1,77 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(r, c int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkGEMM(b *testing.B) {
+	a := benchMatrix(512, 512, 1)
+	c := benchMatrix(512, 512, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(a, c)
+	}
+	b.SetBytes(int64(512 * 512 * 512 * 2 / 1000)) // rough flop proxy
+}
+
+func BenchmarkGEMMTall(b *testing.B) {
+	// The RandSVD shape: tall-skinny times small.
+	a := benchMatrix(50000, 72, 3)
+	c := benchMatrix(72, 72, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(a, c)
+	}
+}
+
+func BenchmarkMulBT(b *testing.B) {
+	// The residual shape: (n x k/2)·(d x k/2)ᵀ.
+	a := benchMatrix(20000, 64, 5)
+	c := benchMatrix(500, 64, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulBT(a, c)
+	}
+}
+
+func BenchmarkMulAT(b *testing.B) {
+	// The projection shape: (n x k)ᵀ·(n x k).
+	a := benchMatrix(20000, 72, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAT(a, a)
+	}
+}
+
+func BenchmarkNormalizeColumns(b *testing.B) {
+	a := benchMatrix(20000, 500, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.NormalizeColumns()
+	}
+}
+
+func BenchmarkLog1pScaled(b *testing.B) {
+	a := benchMatrix(20000, 500, 9)
+	a.Apply(func(x float64) float64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := a.Clone()
+		c.Log1pScaled(20000)
+	}
+}

@@ -1,0 +1,64 @@
+package mat
+
+import "testing"
+
+func TestRowViewOutOfRangePanics(t *testing.T) {
+	m := New(3, 2)
+	for _, r := range [][2]int{{-1, 2}, {0, 4}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("RowView(%d,%d) did not panic", r[0], r[1])
+				}
+			}()
+			m.RowView(r[0], r[1])
+		}()
+	}
+}
+
+func TestColSliceOutOfRangePanics(t *testing.T) {
+	m := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ColSlice out of range did not panic")
+		}
+	}()
+	m.ColSlice(1, 9)
+}
+
+func TestEmptyMatrixOps(t *testing.T) {
+	e := New(0, 0)
+	if e.T().Rows != 0 || e.FrobeniusNorm() != 0 {
+		t.Fatal("empty matrix ops broken")
+	}
+	if got := Mul(New(0, 3), New(3, 2)); got.Rows != 0 || got.Cols != 2 {
+		t.Fatal("empty product shape wrong")
+	}
+	zeroCols := New(4, 0)
+	zeroCols.NormalizeRows() // must not panic
+	zeroCols.NormalizeColumns()
+}
+
+func TestCopyFromMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom mismatch did not panic")
+		}
+	}()
+	New(2, 2).CopyFrom(New(3, 2))
+}
+
+func TestStackRowsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StackRows mismatch did not panic")
+		}
+	}()
+	StackRows(New(1, 2), New(1, 3))
+}
+
+func TestStackRowsEmptyInput(t *testing.T) {
+	if s := StackRows(); s.Rows != 0 {
+		t.Fatal("StackRows() should be empty")
+	}
+}

@@ -1,0 +1,204 @@
+package mat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Mul returns a*b using a cache-blocked single-threaded kernel. It panics
+// when the inner dimensions disagree.
+func Mul(a, b *Dense) *Dense {
+	out := New(a.Rows, b.Cols)
+	MulInto(out, a, b)
+	return out
+}
+
+// MulInto computes dst = a*b, overwriting dst. dst must be preallocated
+// with shape a.Rows x b.Cols and must not alias a or b.
+func MulInto(dst, a, b *Dense) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul inner dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("mat: MulInto dst shape mismatch")
+	}
+	dst.Zero()
+	gemmRows(dst, a, b, 0, a.Rows)
+}
+
+// gemmRows accumulates rows [lo,hi) of a*b into dst. The i-k-j loop order
+// streams both b's rows and dst's rows with unit stride, which is the
+// standard cache-friendly ordering for row-major data.
+func gemmRows(dst, a, b *Dense, lo, hi int) {
+	n, k := b.Cols, a.Cols
+	for i := lo; i < hi; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		di := dst.Data[i*n : (i+1)*n]
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bp := b.Data[p*n : (p+1)*n]
+			for j, bv := range bp {
+				di[j] += av * bv
+			}
+		}
+	}
+}
+
+// ParMul returns a*b computed with nb worker goroutines partitioning the
+// rows of a. nb <= 1 falls back to the serial kernel. The result is
+// bit-identical to Mul because each output row is owned by one worker.
+func ParMul(a, b *Dense, nb int) *Dense {
+	out := New(a.Rows, b.Cols)
+	ParMulInto(out, a, b, nb)
+	return out
+}
+
+// ParMulInto computes dst = a*b with nb workers. See ParMul.
+func ParMulInto(dst, a, b *Dense, nb int) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: ParMul inner dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("mat: ParMulInto dst shape mismatch")
+	}
+	dst.Zero()
+	if nb <= 1 || a.Rows < 2 {
+		gemmRows(dst, a, b, 0, a.Rows)
+		return
+	}
+	if nb > runtime.NumCPU()*4 {
+		nb = runtime.NumCPU() * 4
+	}
+	ParallelRanges(a.Rows, nb, func(lo, hi int) {
+		gemmRows(dst, a, b, lo, hi)
+	})
+}
+
+// MulAT returns aᵀ*b without materializing aᵀ. a is r x c, b is r x n,
+// the result is c x n. This is the shape needed for Y-updates in CCD and
+// for projecting in RandSVD.
+func MulAT(a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MulAT dimension mismatch %dx%d ᵀ* %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Row(i)
+		bi := b.Data[i*n : (i+1)*n]
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			op := out.Data[p*n : (p+1)*n]
+			for j, bv := range bi {
+				op[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulBT returns a*bᵀ without materializing bᵀ. a is r x c, b is n x c,
+// the result is r x n. Used to form residuals X·Yᵀ − F'.
+func MulBT(a, b *Dense) *Dense {
+	out := New(a.Rows, b.Rows)
+	MulBTInto(out, a, b)
+	return out
+}
+
+// MulBTInto computes dst = a*bᵀ into a preallocated dst (r x n).
+func MulBTInto(dst, a, b *Dense) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulBT dimension mismatch %dx%d * %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("mat: MulBTInto dst shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Row(i)
+		di := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			di[j] = Dot(ai, b.Row(j))
+		}
+	}
+}
+
+// ParMulBT is MulBT parallelized over rows of a with nb workers.
+func ParMulBT(a, b *Dense, nb int) *Dense {
+	out := New(a.Rows, b.Rows)
+	if nb <= 1 || a.Rows < 2 {
+		MulBTInto(out, a, b)
+		return out
+	}
+	ParallelRanges(a.Rows, nb, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Row(i)
+			di := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				di[j] = Dot(ai, b.Row(j))
+			}
+		}
+	})
+	return out
+}
+
+// ParallelRanges splits [0, n) into at most nb contiguous chunks and runs
+// fn(lo, hi) for each chunk on its own goroutine, waiting for all of them.
+// It is the scheduling primitive shared by every parallel kernel in the
+// repository, matching the paper's explicit nb-thread model (Algorithm 5).
+func ParallelRanges(n, nb int, fn func(lo, hi int)) {
+	if nb < 1 {
+		nb = 1
+	}
+	if nb > n {
+		nb = n
+	}
+	if nb <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + nb - 1) / nb
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// SplitRanges returns the chunk boundaries ParallelRanges would use: a
+// slice of [lo,hi) pairs covering [0,n) in at most nb pieces. Exposed so
+// algorithms that need stable block identities (e.g. SMGreedyInit's
+// per-block SVDs) can iterate the same partition deterministically.
+func SplitRanges(n, nb int) [][2]int {
+	if nb < 1 {
+		nb = 1
+	}
+	if nb > n {
+		nb = n
+	}
+	if n == 0 {
+		return nil
+	}
+	chunk := (n + nb - 1) / nb
+	var out [][2]int
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}

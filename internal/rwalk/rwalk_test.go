@@ -1,0 +1,197 @@
+package rwalk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pane/internal/graph"
+	"pane/internal/mat"
+)
+
+// fullyAttributed builds a random strongly-attribute-covered graph: every
+// node has at least one attribute and at least one out-edge, so the walk
+// series is a proper distribution and simulation needs no restarts.
+func fullyAttributed(rng *rand.Rand, n, d int) *graph.Graph {
+	var edges []graph.Edge
+	for v := 0; v < n; v++ {
+		// Guarantee an out-edge, then sprinkle extras.
+		edges = append(edges, graph.Edge{Src: v, Dst: (v + 1) % n})
+		for e := 0; e < 2; e++ {
+			edges = append(edges, graph.Edge{Src: v, Dst: rng.Intn(n)})
+		}
+	}
+	var attrs []graph.AttrEntry
+	for v := 0; v < n; v++ {
+		attrs = append(attrs, graph.AttrEntry{Node: v, Attr: rng.Intn(d), Weight: 1 + rng.Float64()})
+		if rng.Float64() < 0.5 {
+			attrs = append(attrs, graph.AttrEntry{Node: v, Attr: rng.Intn(d), Weight: 1})
+		}
+	}
+	g, err := graph.New(n, d, edges, attrs, nil)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestExactForwardIsDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := fullyAttributed(rng, 12, 4)
+	pf := ExactForward(g, 0.2)
+	for v := 0; v < g.N; v++ {
+		var s float64
+		for _, x := range pf.Row(v) {
+			if x < 0 {
+				t.Fatalf("negative probability at row %d", v)
+			}
+			s += x
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", v, s)
+		}
+	}
+}
+
+func TestExactBackwardIsDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := fullyAttributed(rng, 12, 4)
+	pb := ExactBackward(g, 0.2)
+	sums := pb.ColSums()
+	for r, s := range sums {
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("column %d sums to %v", r, s)
+		}
+	}
+}
+
+func TestSimulationMatchesExactForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := fullyAttributed(rng, 8, 3)
+	alpha := 0.3
+	sim := New(g, alpha)
+	est := sim.EstimateForward(rng, 60000)
+	exact := ExactForward(g, alpha)
+	if d := est.MaxAbsDiff(exact); d > 0.02 {
+		t.Fatalf("forward simulation deviates from exact series by %v", d)
+	}
+}
+
+func TestSimulationMatchesExactBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := fullyAttributed(rng, 8, 3)
+	alpha := 0.3
+	sim := New(g, alpha)
+	est := sim.EstimateBackward(rng, 120000)
+	exact := ExactBackward(g, alpha)
+	if d := est.MaxAbsDiff(exact); d > 0.02 {
+		t.Fatalf("backward simulation deviates from exact series by %v", d)
+	}
+}
+
+func TestFootnote1RestartOnAttributelessNodes(t *testing.T) {
+	// The running example has attribute-less v1, v2; forward walks from
+	// them must still return attributes (restart rule), and the empirical
+	// distribution must equal the row-normalized exact series.
+	g := graph.RunningExample()
+	rng := rand.New(rand.NewSource(5))
+	sim := New(g, graph.RunningExampleAlpha)
+	for _, v := range []int{0, 1} {
+		if r := sim.ForwardWalk(rng, v, 64); r < 0 {
+			t.Fatalf("forward walk from attribute-less node %d failed", v)
+		}
+	}
+	est := sim.EstimateForward(rng, 40000)
+	exact := ExactForward(g, graph.RunningExampleAlpha)
+	exact.NormalizeRows() // conditioning on eventual success
+	if d := est.MaxAbsDiff(exact); d > 0.02 {
+		t.Fatalf("restart-conditioned simulation deviates by %v", d)
+	}
+}
+
+func TestAffinitiesSPMIPositivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := fullyAttributed(rng, 10, 4)
+	pf := ExactForward(g, 0.25)
+	pb := ExactBackward(g, 0.25)
+	f, b := Affinities(pf, pb)
+	for i, v := range f.Data {
+		if v < 0 {
+			t.Fatalf("F[%d] = %v negative — SPMI must be nonnegative", i, v)
+		}
+	}
+	for i, v := range b.Data {
+		if v < 0 {
+			t.Fatalf("B[%d] = %v negative", i, v)
+		}
+	}
+}
+
+func TestAffinityOrderingRunningExample(t *testing.T) {
+	// Qualitative claims of §2.3 on the running example:
+	// (1) v1 has high affinity with r1 (its strongest attribute both ways);
+	// (2) v5's forward affinity alone ranks r3 above r1 — considering
+	//     forward only would wrongly suggest v5 owns r3;
+	// (3) combining forward+backward ranks r1 at least as high as r3 for
+	//     v5, fixing the inference.
+	g := graph.RunningExample()
+	alpha := graph.RunningExampleAlpha
+	pf := ExactForward(g, alpha)
+	pf.NormalizeRows()
+	pb := ExactBackward(g, alpha)
+	f, b := Affinities(pf, pb)
+
+	v1, v5 := 0, 4
+	r1, r3 := 0, 2
+	if !(f.At(v1, r1) > f.At(v1, r3)) {
+		t.Fatalf("claim 1 fwd: F[v1] = %v", f.Row(v1))
+	}
+	if !(b.At(v1, r1) > b.At(v1, r3)) {
+		t.Fatalf("claim 1 bwd: B[v1] = %v", b.Row(v1))
+	}
+	if !(f.At(v5, r3) > f.At(v5, r1)) {
+		t.Fatalf("claim 2: expected forward anomaly, F[v5] = %v", f.Row(v5))
+	}
+	comb1 := f.At(v5, r1) + b.At(v5, r1)
+	comb3 := f.At(v5, r3) + b.At(v5, r3)
+	if !(comb1 > comb3) {
+		t.Fatalf("claim 3: combined affinity %v (r1) !> %v (r3)", comb1, comb3)
+	}
+}
+
+func TestNewPanicsOnBadAlpha(t *testing.T) {
+	g := graph.RunningExample()
+	for _, a := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("alpha=%v should panic", a)
+				}
+			}()
+			New(g, a)
+		}()
+	}
+}
+
+func TestBackwardWalkEmptyAttribute(t *testing.T) {
+	g, err := graph.New(3, 2, []graph.Edge{{Src: 0, Dst: 1}},
+		[]graph.AttrEntry{{Node: 0, Attr: 0, Weight: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := New(g, 0.5)
+	rng := rand.New(rand.NewSource(7))
+	if v := sim.BackwardWalk(rng, 1); v != -1 {
+		t.Fatalf("walk from unused attribute returned %d, want -1", v)
+	}
+}
+
+func TestEstimateForwardShape(t *testing.T) {
+	g := graph.RunningExample()
+	sim := New(g, 0.15)
+	est := sim.EstimateForward(rand.New(rand.NewSource(8)), 100)
+	if est.Rows != g.N || est.Cols != g.D {
+		t.Fatalf("shape %dx%d", est.Rows, est.Cols)
+	}
+	var _ *mat.Dense = est
+}

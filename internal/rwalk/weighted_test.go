@@ -1,0 +1,64 @@
+package rwalk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pane/internal/graph"
+)
+
+func TestWeightedWalkFollowsEdgeWeights(t *testing.T) {
+	// Node 0 has a weight-9 edge to node 1 and weight-1 to node 2; with
+	// α=0.5, walks from 0 that move must hit 1 nine times as often as 2.
+	g, err := graph.NewWeighted(3, 1,
+		[]graph.WeightedEdge{{Src: 0, Dst: 1, Weight: 9}, {Src: 0, Dst: 2, Weight: 1}},
+		[]graph.AttrEntry{{Node: 1, Attr: 0, Weight: 1}, {Node: 2, Attr: 0, Weight: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := New(g, 0.5)
+	rng := rand.New(rand.NewSource(1))
+	hits1, hits2 := 0, 0
+	for i := 0; i < 50000; i++ {
+		switch sim.walkFrom(rng, 0) {
+		case 1:
+			hits1++
+		case 2:
+			hits2++
+		}
+	}
+	ratio := float64(hits1) / float64(hits2)
+	if math.Abs(ratio-9) > 1 {
+		t.Fatalf("hit ratio %.2f, want ≈9", ratio)
+	}
+}
+
+func TestWeightedSimulationMatchesExactSeries(t *testing.T) {
+	// The APMI closed form uses P = D⁻¹A with weighted A; simulation must
+	// agree on a weighted graph too.
+	rng := rand.New(rand.NewSource(2))
+	var wedges []graph.WeightedEdge
+	n, d := 8, 3
+	for v := 0; v < n; v++ {
+		wedges = append(wedges,
+			graph.WeightedEdge{Src: v, Dst: (v + 1) % n, Weight: 1 + rng.Float64()*4},
+			graph.WeightedEdge{Src: v, Dst: rng.Intn(n), Weight: 0.5 + rng.Float64()})
+	}
+	var attrs []graph.AttrEntry
+	for v := 0; v < n; v++ {
+		attrs = append(attrs, graph.AttrEntry{Node: v, Attr: v % d, Weight: 1 + rng.Float64()})
+	}
+	g, err := graph.NewWeighted(n, d, wedges, attrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := 0.3
+	sim := New(g, alpha)
+	est := sim.EstimateForward(rng, 60000)
+	exact := ExactForward(g, alpha)
+	exact.NormalizeRows()
+	if diff := est.MaxAbsDiff(exact); diff > 0.02 {
+		t.Fatalf("weighted simulation deviates from exact series by %v", diff)
+	}
+}

@@ -1,0 +1,151 @@
+// Package server exposes a trained PANE embedding as a small JSON-over-
+// HTTP query service — the deployment artifact a downstream user runs
+// next to their application. Endpoints:
+//
+//	GET /healthz                     liveness + model shape
+//	GET /attr-score?node=v&attr=r    Eq. 21 affinity score
+//	GET /link-score?src=u&dst=v      Eq. 22 edge plausibility
+//	GET /top-attrs?node=v&k=10       strongest attributes for a node
+//	GET /top-links?src=u&k=10        most plausible out-neighbors
+//
+// The service is read-only and the underlying embedding is immutable, so
+// handlers are safe under arbitrary concurrency.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"pane/internal/core"
+)
+
+// Server wraps an embedding with HTTP handlers.
+type Server struct {
+	emb    *core.Embedding
+	scorer *core.LinkScorer
+	mux    *http.ServeMux
+}
+
+// New builds a Server for emb.
+func New(emb *core.Embedding) *Server {
+	s := &Server{emb: emb, scorer: core.NewLinkScorer(emb), mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/attr-score", s.handleAttrScore)
+	s.mux.HandleFunc("/link-score", s.handleLinkScore)
+	s.mux.HandleFunc("/top-attrs", s.handleTopAttrs)
+	s.mux.HandleFunc("/top-links", s.handleTopLinks)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) n() int { return s.emb.Xf.Rows }
+func (s *Server) d() int { return s.emb.Y.Rows }
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status": "ok",
+		"nodes":  s.n(),
+		"attrs":  s.d(),
+		"k":      s.emb.K(),
+	})
+}
+
+func (s *Server) handleAttrScore(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.intParam(w, r, "node", s.n())
+	if !ok {
+		return
+	}
+	a, ok := s.intParam(w, r, "attr", s.d())
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"node": v, "attr": a, "score": s.emb.AttrScore(v, a),
+	})
+}
+
+func (s *Server) handleLinkScore(w http.ResponseWriter, r *http.Request) {
+	u, ok := s.intParam(w, r, "src", s.n())
+	if !ok {
+		return
+	}
+	v, ok := s.intParam(w, r, "dst", s.n())
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"src": u, "dst": v,
+		"score":      s.scorer.Directed(u, v),
+		"undirected": s.scorer.Undirected(u, v),
+	})
+}
+
+func (s *Server) handleTopAttrs(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.intParam(w, r, "node", s.n())
+	if !ok {
+		return
+	}
+	k := s.kParam(r, 10, s.d())
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"node": v, "results": s.emb.TopKAttrs(v, k, nil),
+	})
+}
+
+func (s *Server) handleTopLinks(w http.ResponseWriter, r *http.Request) {
+	u, ok := s.intParam(w, r, "src", s.n())
+	if !ok {
+		return
+	}
+	k := s.kParam(r, 10, s.n())
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"src": u, "results": s.scorer.TopKTargets(u, k, nil),
+	})
+}
+
+// intParam parses a required integer query parameter in [0, limit).
+func (s *Server) intParam(w http.ResponseWriter, r *http.Request, name string, limit int) (int, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("missing parameter %q", name))
+		return 0, false
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("parameter %q: %v", name, err))
+		return 0, false
+	}
+	if v < 0 || v >= limit {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("parameter %q = %d out of range [0,%d)", name, v, limit))
+		return 0, false
+	}
+	return v, true
+}
+
+func (s *Server) kParam(r *http.Request, def, max int) int {
+	raw := r.URL.Query().Get("k")
+	if raw == "" {
+		return def
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k < 1 {
+		return def
+	}
+	if k > max {
+		return max
+	}
+	return k
+}
+
+func writeJSON(w http.ResponseWriter, status int, payload interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(payload)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

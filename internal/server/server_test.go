@@ -1,0 +1,155 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"pane/internal/core"
+	"pane/internal/graph"
+)
+
+func testServer(t *testing.T) (*Server, *core.Embedding) {
+	t.Helper()
+	g := graph.RunningExample()
+	emb, err := core.PANE(g, core.Config{K: 4, Alpha: 0.15, Eps: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(emb), emb
+}
+
+func get(t *testing.T, s *Server, path string) (int, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var body map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON from %s: %v (%q)", path, err, rec.Body.String())
+	}
+	return rec.Code, body
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := testServer(t)
+	code, body := get(t, s, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body["nodes"].(float64) != 6 || body["attrs"].(float64) != 3 || body["k"].(float64) != 4 {
+		t.Fatalf("health payload: %v", body)
+	}
+}
+
+func TestAttrScoreMatchesEmbedding(t *testing.T) {
+	s, emb := testServer(t)
+	code, body := get(t, s, "/attr-score?node=2&attr=1")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	want := emb.AttrScore(2, 1)
+	if got := body["score"].(float64); got != want {
+		t.Fatalf("score %v, want %v", got, want)
+	}
+}
+
+func TestLinkScoreMatchesScorer(t *testing.T) {
+	s, emb := testServer(t)
+	code, body := get(t, s, "/link-score?src=0&dst=4")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	sc := core.NewLinkScorer(emb)
+	if got := body["score"].(float64); got != sc.Directed(0, 4) {
+		t.Fatalf("directed %v, want %v", got, sc.Directed(0, 4))
+	}
+	if got := body["undirected"].(float64); got != sc.Undirected(0, 4) {
+		t.Fatalf("undirected %v", got)
+	}
+}
+
+func TestTopAttrs(t *testing.T) {
+	s, emb := testServer(t)
+	code, body := get(t, s, "/top-attrs?node=5&k=2")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	results := body["results"].([]interface{})
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	first := results[0].(map[string]interface{})
+	want := emb.TopKAttrs(5, 2, nil)
+	if int(first["ID"].(float64)) != want[0].ID {
+		t.Fatalf("top attr %v, want %v", first, want[0])
+	}
+}
+
+func TestTopLinks(t *testing.T) {
+	s, _ := testServer(t)
+	code, body := get(t, s, "/top-links?src=0&k=3")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(body["results"].([]interface{})) != 3 {
+		t.Fatal("want 3 results")
+	}
+}
+
+func TestParameterValidation(t *testing.T) {
+	s, _ := testServer(t)
+	cases := []struct {
+		path string
+		code int
+	}{
+		{"/attr-score", http.StatusBadRequest},        // missing both
+		{"/attr-score?node=0", http.StatusBadRequest}, // missing attr
+		{"/attr-score?node=abc&attr=0", http.StatusBadRequest},
+		{"/attr-score?node=99&attr=0", http.StatusNotFound}, // out of range
+		{"/attr-score?node=0&attr=-1", http.StatusNotFound},
+		{"/link-score?src=0&dst=100", http.StatusNotFound},
+		{"/top-attrs?node=77", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		code, body := get(t, s, c.path)
+		if code != c.code {
+			t.Fatalf("%s: status %d want %d (%v)", c.path, code, c.code, body)
+		}
+		if _, hasErr := body["error"]; !hasErr {
+			t.Fatalf("%s: error payload missing", c.path)
+		}
+	}
+}
+
+func TestKDefaultsAndClamping(t *testing.T) {
+	s, _ := testServer(t)
+	_, body := get(t, s, "/top-attrs?node=0") // default k=10 > d=3 → clamp to 3
+	if got := len(body["results"].([]interface{})); got != 3 {
+		t.Fatalf("default k results = %d, want 3 (clamped)", got)
+	}
+	_, body = get(t, s, "/top-attrs?node=0&k=0") // invalid → default → clamp
+	if got := len(body["results"].([]interface{})); got != 3 {
+		t.Fatalf("k=0 results = %d", got)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	s, _ := testServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodGet, "/top-links?src=0&k=5", nil)
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Errorf("goroutine %d: status %d", i, rec.Code)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,222 @@
+// Package sparse implements compressed sparse row (CSR) matrices and the
+// parallel sparse-dense multiplication kernels at the heart of PANE's
+// APMI/PAPMI phase. The Go ecosystem has no production sparse linear
+// algebra in the standard library, so these kernels are hand-rolled.
+//
+// A CSR matrix stores, for each row, a contiguous run of (column, value)
+// pairs. The two products PANE needs are
+//
+//	P · X   (random-walk push along out-edges)
+//	Pᵀ · X  (pull along in-edges)
+//
+// Both are provided; Pᵀ·X is computed from a CSR of the transpose built
+// once up front, so that both directions stream memory with unit stride.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"pane/internal/mat"
+)
+
+// CSR is an immutable sparse matrix in compressed sparse row format.
+// Row i's entries are Cols[RowPtr[i]:RowPtr[i+1]] and the matching
+// Vals[RowPtr[i]:RowPtr[i+1]], sorted by column index.
+type CSR struct {
+	R, C   int
+	RowPtr []int
+	Cols   []int32
+	Vals   []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Cols) }
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *CSR) RowNNZ(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
+
+// Row returns the column indices and values of row i as shared slices.
+func (m *CSR) Row(i int) ([]int32, []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.Cols[lo:hi], m.Vals[lo:hi]
+}
+
+// At returns the value at (i, j), zero when the entry is not stored.
+// It binary-searches row i, so it costs O(log nnz(row)); use Row for scans.
+func (m *CSR) At(i, j int) float64 {
+	cols, vals := m.Row(i)
+	k := sort.Search(len(cols), func(k int) bool { return cols[k] >= int32(j) })
+	if k < len(cols) && cols[k] == int32(j) {
+		return vals[k]
+	}
+	return 0
+}
+
+// Entry is one (row, col, value) triple used when building a CSR.
+type Entry struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSR builds an r x c CSR from entries. Duplicate (row, col) pairs are
+// summed. Entries with out-of-range coordinates cause a panic; zero-valued
+// entries are kept (callers that want them dropped should filter first) so
+// that explicitly stored structural zeros survive round trips.
+func NewCSR(r, c int, entries []Entry) *CSR {
+	counts := make([]int, r+1)
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= r || e.Col < 0 || e.Col >= c {
+			panic(fmt.Sprintf("sparse: entry (%d,%d) out of range for %dx%d", e.Row, e.Col, r, c))
+		}
+		counts[e.Row+1]++
+	}
+	for i := 0; i < r; i++ {
+		counts[i+1] += counts[i]
+	}
+	rowPtr := counts
+	cols := make([]int32, len(entries))
+	vals := make([]float64, len(entries))
+	next := make([]int, r)
+	for i := range next {
+		next[i] = rowPtr[i]
+	}
+	for _, e := range entries {
+		p := next[e.Row]
+		cols[p] = int32(e.Col)
+		vals[p] = e.Val
+		next[e.Row]++
+	}
+	m := &CSR{R: r, C: c, RowPtr: rowPtr, Cols: cols, Vals: vals}
+	m.sortRowsAndMergeDuplicates()
+	return m
+}
+
+// sortRowsAndMergeDuplicates sorts each row by column and sums duplicates,
+// compacting the storage in place.
+func (m *CSR) sortRowsAndMergeDuplicates() {
+	outPtr := make([]int, m.R+1)
+	w := 0
+	for i := 0; i < m.R; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		row := rowSorter{cols: m.Cols[lo:hi], vals: m.Vals[lo:hi]}
+		sort.Sort(row)
+		outPtr[i] = w
+		for k := lo; k < hi; {
+			col := m.Cols[k]
+			sum := m.Vals[k]
+			k++
+			for k < hi && m.Cols[k] == col {
+				sum += m.Vals[k]
+				k++
+			}
+			m.Cols[w] = col
+			m.Vals[w] = sum
+			w++
+		}
+	}
+	outPtr[m.R] = w
+	m.RowPtr = outPtr
+	m.Cols = m.Cols[:w]
+	m.Vals = m.Vals[:w]
+}
+
+type rowSorter struct {
+	cols []int32
+	vals []float64
+}
+
+func (s rowSorter) Len() int           { return len(s.cols) }
+func (s rowSorter) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
+func (s rowSorter) Swap(i, j int) {
+	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+// T returns the transpose as a new CSR, using a counting pass so the
+// result's rows come out already column-sorted.
+func (m *CSR) T() *CSR {
+	counts := make([]int, m.C+1)
+	for _, c := range m.Cols {
+		counts[c+1]++
+	}
+	for i := 0; i < m.C; i++ {
+		counts[i+1] += counts[i]
+	}
+	rowPtr := make([]int, m.C+1)
+	copy(rowPtr, counts)
+	cols := make([]int32, len(m.Cols))
+	vals := make([]float64, len(m.Vals))
+	for i := 0; i < m.R; i++ {
+		cs, vs := m.Row(i)
+		for k, c := range cs {
+			p := counts[c]
+			cols[p] = int32(i)
+			vals[p] = vs[k]
+			counts[c]++
+		}
+	}
+	return &CSR{R: m.C, C: m.R, RowPtr: rowPtr, Cols: cols, Vals: vals}
+}
+
+// ToDense materializes m as a dense matrix. Intended for tests and small
+// examples only.
+func (m *CSR) ToDense() *mat.Dense {
+	out := mat.New(m.R, m.C)
+	for i := 0; i < m.R; i++ {
+		cols, vals := m.Row(i)
+		row := out.Row(i)
+		for k, c := range cols {
+			row[c] += vals[k]
+		}
+	}
+	return out
+}
+
+// ScaleRows multiplies row i by s[i] in place. Used to turn an adjacency
+// matrix into the random-walk matrix P = D⁻¹A.
+func (m *CSR) ScaleRows(s []float64) {
+	if len(s) != m.R {
+		panic("sparse: ScaleRows length mismatch")
+	}
+	for i := 0; i < m.R; i++ {
+		f := s[i]
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			m.Vals[k] *= f
+		}
+	}
+}
+
+// RowSums returns the per-row sum of stored values.
+func (m *CSR) RowSums() []float64 {
+	sums := make([]float64, m.R)
+	for i := 0; i < m.R; i++ {
+		_, vals := m.Row(i)
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		sums[i] = s
+	}
+	return sums
+}
+
+// ColSums returns the per-column sum of stored values.
+func (m *CSR) ColSums() []float64 {
+	sums := make([]float64, m.C)
+	for k, c := range m.Cols {
+		sums[c] += m.Vals[k]
+	}
+	return sums
+}
+
+// Clone returns a deep copy of m.
+func (m *CSR) Clone() *CSR {
+	out := &CSR{
+		R: m.R, C: m.C,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		Cols:   append([]int32(nil), m.Cols...),
+		Vals:   append([]float64(nil), m.Vals...),
+	}
+	return out
+}

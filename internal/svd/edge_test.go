@@ -1,0 +1,69 @@
+package svd
+
+import (
+	"math/rand"
+	"testing"
+
+	"pane/internal/mat"
+)
+
+func TestJacobiZeroMatrix(t *testing.T) {
+	res := Jacobi(mat.New(6, 4))
+	for _, s := range res.S {
+		if s != 0 {
+			t.Fatalf("zero matrix has singular value %v", s)
+		}
+	}
+	if res.Reconstruct().FrobeniusNorm() != 0 {
+		t.Fatal("zero matrix reconstruction nonzero")
+	}
+}
+
+func TestQRZeroMatrix(t *testing.T) {
+	q, r := QR(mat.New(5, 3))
+	if mat.Mul(q, r).FrobeniusNorm() != 0 {
+		t.Fatal("zero QR reconstruction nonzero")
+	}
+}
+
+func TestJacobiSingleColumn(t *testing.T) {
+	a := mat.FromRows([][]float64{{3}, {4}})
+	res := Jacobi(a)
+	if len(res.S) != 1 || res.S[0] < 4.999 || res.S[0] > 5.001 {
+		t.Fatalf("S = %v, want [5]", res.S)
+	}
+}
+
+func TestRandSVDZeroMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	res := RandSVD(mat.New(10, 6), 3, 2, rng, 1)
+	for _, s := range res.S {
+		if s > 1e-12 {
+			t.Fatalf("zero matrix RandSVD singular value %v", s)
+		}
+	}
+}
+
+func TestTruncateBeyondRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomDense(rng, 8, 5)
+	res := Jacobi(a)
+	tr := res.Truncate(100)
+	if len(tr.S) != 5 {
+		t.Fatalf("Truncate(100) kept %d values", len(tr.S))
+	}
+}
+
+func TestJacobiRowOfZeros(t *testing.T) {
+	// Rank-deficient with an exactly zero row must not produce NaNs.
+	a := mat.FromRows([][]float64{{0, 0}, {1, 2}, {2, 4}})
+	res := Jacobi(a)
+	for _, v := range append(append([]float64{}, res.U.Data...), res.V.Data...) {
+		if v != v {
+			t.Fatal("NaN in singular vectors")
+		}
+	}
+	if res.Reconstruct().MaxAbsDiff(a) > 1e-10 {
+		t.Fatal("reconstruction failed")
+	}
+}

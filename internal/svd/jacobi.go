@@ -1,0 +1,159 @@
+package svd
+
+import (
+	"math"
+	"sort"
+
+	"pane/internal/mat"
+)
+
+// Result holds a (possibly truncated) singular value decomposition
+// a ≈ U · diag(S) · Vᵀ with U (r x k), S (k), V (c x k).
+type Result struct {
+	U *mat.Dense
+	S []float64
+	V *mat.Dense
+}
+
+// Jacobi computes the full SVD of a (r x c with r >= c recommended; taller
+// is cheaper) using the one-sided Jacobi method: it orthogonalizes the
+// columns of a working copy by Givens rotations, which simultaneously
+// builds U·diag(S) and accumulates V. One-sided Jacobi is slow for big
+// matrices but simple and very accurate; PANE only ever calls it on small
+// projected matrices (at most (k/2+p) x d after sketching), so simplicity
+// wins.
+func Jacobi(a *mat.Dense) Result {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		// Decompose the transpose and swap factors: a = U S Vᵀ  <=>
+		// aᵀ = V S Uᵀ.
+		res := Jacobi(a.T())
+		return Result{U: res.V, S: res.S, V: res.U}
+	}
+	u := a.Clone()
+	v := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const (
+		maxSweeps = 60
+		eps       = 1e-14
+	)
+	// Column views are easier on the transpose: work with columns of u via
+	// strided access. n is small (k/2 + oversample), so this is fine.
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					up := u.At(i, p)
+					uq := u.At(i, q)
+					app += up * up
+					aqq += uq * uq
+					apq += up * uq
+				}
+				if math.Abs(apq) <= eps*math.Sqrt(app*aqq) {
+					continue
+				}
+				off += apq * apq
+				// Compute the Jacobi rotation that zeroes apq.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					up := u.At(i, p)
+					uq := u.At(i, q)
+					u.Set(i, p, c*up-s*uq)
+					u.Set(i, q, s*up+c*uq)
+				}
+				for i := 0; i < n; i++ {
+					vp := v.At(i, p)
+					vq := v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+	// Extract singular values as column norms of u, normalize columns.
+	s := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for i := 0; i < m; i++ {
+			norm += u.At(i, j) * u.At(i, j)
+		}
+		norm = math.Sqrt(norm)
+		s[j] = norm
+		if norm > 0 {
+			inv := 1 / norm
+			for i := 0; i < m; i++ {
+				u.Set(i, j, u.At(i, j)*inv)
+			}
+		}
+	}
+	// Sort by descending singular value.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return s[idx[i]] > s[idx[j]] })
+	us := mat.New(m, n)
+	vs := mat.New(n, n)
+	ss := make([]float64, n)
+	for newJ, oldJ := range idx {
+		ss[newJ] = s[oldJ]
+		for i := 0; i < m; i++ {
+			us.Set(i, newJ, u.At(i, oldJ))
+		}
+		for i := 0; i < n; i++ {
+			vs.Set(i, newJ, v.At(i, oldJ))
+		}
+	}
+	return Result{U: us, S: ss, V: vs}
+}
+
+// Truncate returns the rank-k truncation of r, sharing no storage with r.
+func (r Result) Truncate(k int) Result {
+	if k > len(r.S) {
+		k = len(r.S)
+	}
+	return Result{
+		U: r.U.ColSlice(0, k),
+		S: append([]float64(nil), r.S[:k]...),
+		V: r.V.ColSlice(0, k),
+	}
+}
+
+// Reconstruct returns U · diag(S) · Vᵀ.
+func (r Result) Reconstruct() *mat.Dense {
+	us := r.U.Clone()
+	for i := 0; i < us.Rows; i++ {
+		row := us.Row(i)
+		for j := range row {
+			row[j] *= r.S[j]
+		}
+	}
+	return mat.MulBT(us, r.V)
+}
+
+// UScaled returns U · diag(S), the "UΣ" product GreedyInit seeds Xf with.
+func (r Result) UScaled() *mat.Dense {
+	us := r.U.Clone()
+	for i := 0; i < us.Rows; i++ {
+		row := us.Row(i)
+		for j := range row {
+			row[j] *= r.S[j]
+		}
+	}
+	return us
+}

@@ -1,0 +1,76 @@
+package svd
+
+import (
+	"math/rand"
+
+	"pane/internal/mat"
+)
+
+// Op is an implicitly represented r x c linear operator: anything that can
+// multiply a dense block from the left (A·X) and from the transposed left
+// (Aᵀ·X). Randomized SVD only needs these two products, which lets
+// callers factorize matrices — like NRP's personalized-PageRank proximity
+// — that would be quadratically large if materialized.
+type Op interface {
+	Dims() (r, c int)
+	// Apply returns A·x, where x is c x k.
+	Apply(x *mat.Dense) *mat.Dense
+	// ApplyT returns Aᵀ·x, where x is r x k.
+	ApplyT(x *mat.Dense) *mat.Dense
+}
+
+// DenseOp adapts a dense matrix to the Op interface.
+type DenseOp struct {
+	M  *mat.Dense
+	NB int
+}
+
+// Dims implements Op.
+func (o DenseOp) Dims() (int, int) { return o.M.Rows, o.M.Cols }
+
+// Apply implements Op.
+func (o DenseOp) Apply(x *mat.Dense) *mat.Dense { return mat.ParMul(o.M, x, o.nb()) }
+
+// ApplyT implements Op.
+func (o DenseOp) ApplyT(x *mat.Dense) *mat.Dense {
+	out := mat.New(o.M.Cols, x.Cols)
+	parMulATInto(out, o.M, x, o.nb())
+	return out
+}
+
+func (o DenseOp) nb() int {
+	if o.NB < 1 {
+		return 1
+	}
+	return o.NB
+}
+
+// RandSVDOp is RandSVD generalized to an implicit operator. See RandSVD
+// for the algorithm; the only difference is that every product with A or
+// Aᵀ goes through op.
+func RandSVDOp(op Op, k, q int, rng *rand.Rand, nb int) Result {
+	r, c := op.Dims()
+	p := k + Oversample
+	if p > c {
+		p = c
+	}
+	if p > r {
+		p = r
+	}
+	if k > p {
+		k = p
+	}
+	omega := mat.New(c, p)
+	for i := range omega.Data {
+		omega.Data[i] = rng.NormFloat64()
+	}
+	qm := Orthonormalize(op.Apply(omega))
+	for it := 0; it < q; it++ {
+		qm = Orthonormalize(op.Apply(op.ApplyT(qm)))
+	}
+	// b = qmᵀ·A = (Aᵀ·qm)ᵀ, computed through ApplyT to stay implicit.
+	bt := op.ApplyT(qm) // c x p
+	small := Jacobi(bt.T())
+	u := mat.ParMul(qm, small.U, nb)
+	return Result{U: u, S: small.S, V: small.V}.Truncate(k)
+}

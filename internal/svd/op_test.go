@@ -1,0 +1,52 @@
+package svd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pane/internal/mat"
+)
+
+func TestDenseOpMatchesMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDense(rng, 14, 9)
+	op := DenseOp{M: a}
+	x := randomDense(rng, 9, 4)
+	if op.Apply(x).MaxAbsDiff(mat.Mul(a, x)) > 1e-12 {
+		t.Fatal("Apply differs from dense product")
+	}
+	y := randomDense(rng, 14, 3)
+	if op.ApplyT(y).MaxAbsDiff(mat.Mul(a.T(), y)) > 1e-12 {
+		t.Fatal("ApplyT differs from dense product")
+	}
+	r, c := op.Dims()
+	if r != 14 || c != 9 {
+		t.Fatal("Dims wrong")
+	}
+}
+
+func TestRandSVDOpMatchesRandSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := lowRank(rng, 40, 18, 5)
+	direct := RandSVD(a, 5, 3, rand.New(rand.NewSource(7)), 1)
+	viaOp := RandSVDOp(DenseOp{M: a}, 5, 3, rand.New(rand.NewSource(7)), 1)
+	// Same seed, same sketch, same algorithm: reconstructions must agree.
+	if direct.Reconstruct().MaxAbsDiff(viaOp.Reconstruct()) > 1e-7 {
+		t.Fatal("operator-based RandSVD deviates from dense RandSVD")
+	}
+	for i := range direct.S {
+		if math.Abs(direct.S[i]-viaOp.S[i]) > 1e-7 {
+			t.Fatal("singular values deviate")
+		}
+	}
+}
+
+func TestRandSVDOpRecoversLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := lowRank(rng, 50, 20, 3)
+	res := RandSVDOp(DenseOp{M: a}, 3, 3, rng, 2)
+	if res.Reconstruct().MaxAbsDiff(a) > 1e-7 {
+		t.Fatal("failed to recover rank-3 matrix through the operator path")
+	}
+}
