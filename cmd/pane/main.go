@@ -1,15 +1,18 @@
 // Command pane computes PANE embeddings for an attributed graph given as
-// edge / attribute / (optional) label files, writing the forward,
-// backward, and attribute embeddings as whitespace-separated text.
+// edge / attribute / (optional) label files and writes the result as a
+// single model bundle — config + embeddings + graph in one file that
+// paneserve can load, update dynamically, and snapshot (see
+// internal/store).
 //
 // Usage:
 //
 //	pane -edges g.edges -attrs g.attrs [-labels g.labels] \
 //	     [-k 128] [-alpha 0.5] [-eps 0.015] [-threads 10] [-seed 1] \
-//	     [-out embeddings]
+//	     [-out model.pane] [-text embeddings]
 //
-// Output files: <out>.xf, <out>.xb (one node per line, k/2 values each)
-// and <out>.y (one attribute per line).
+// -text additionally dumps the matrices as whitespace-separated text for
+// ad-hoc inspection: <prefix>.xf, <prefix>.xb (one node per line, k/2
+// values each) and <prefix>.y (one attribute per line).
 package main
 
 import (
@@ -23,21 +26,23 @@ import (
 	"pane/internal/core"
 	"pane/internal/graph"
 	"pane/internal/mat"
+	"pane/internal/store"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pane: ")
 	var (
-		edgePath  = flag.String("edges", "", "edge list file: 'src dst' per line (required)")
-		attrPath  = flag.String("attrs", "", "attribute file: 'node attr [weight]' per line (required)")
-		labelPath = flag.String("labels", "", "label file: 'node label' per line (optional)")
-		outPrefix = flag.String("out", "embeddings", "output file prefix")
-		k         = flag.Int("k", 128, "space budget (even)")
-		alpha     = flag.Float64("alpha", 0.5, "random walk stopping probability")
-		eps       = flag.Float64("eps", 0.015, "error threshold")
-		threads   = flag.Int("threads", 10, "worker threads (1 = single-thread algorithm)")
-		seed      = flag.Int64("seed", 1, "random seed")
+		edgePath   = flag.String("edges", "", "edge list file: 'src dst' per line (required)")
+		attrPath   = flag.String("attrs", "", "attribute file: 'node attr [weight]' per line (required)")
+		labelPath  = flag.String("labels", "", "label file: 'node label' per line (optional)")
+		outPath    = flag.String("out", "model.pane", "output model bundle path")
+		textPrefix = flag.String("text", "", "also write text matrices under this prefix (optional)")
+		k          = flag.Int("k", 128, "space budget (even)")
+		alpha      = flag.Float64("alpha", 0.5, "random walk stopping probability")
+		eps        = flag.Float64("eps", 0.015, "error threshold")
+		threads    = flag.Int("threads", 10, "worker threads (1 = single-thread algorithm)")
+		seed       = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
 	if *edgePath == "" || *attrPath == "" {
@@ -64,17 +69,34 @@ func main() {
 	}
 	log.Printf("embedded in %.2fs (t=%d iterations)", time.Since(start).Seconds(), cfg.Iterations())
 
-	for _, out := range []struct {
-		suffix string
-		m      *mat.Dense
-	}{
-		{".xf", emb.Xf}, {".xb", emb.Xb}, {".y", emb.Y},
-	} {
-		if err := writeMatrix(*outPrefix+out.suffix, out.m); err != nil {
-			log.Fatalf("writing %s: %v", *outPrefix+out.suffix, err)
-		}
+	bundle := &store.Bundle{
+		ModelVersion: 1,
+		Cfg:          cfg,
+		Xf:           emb.Xf,
+		Xb:           emb.Xb,
+		Y:            emb.Y,
+		Adj:          g.Adj,
+		Attr:         g.Attr,
+		Labels:       g.Labels,
 	}
-	log.Printf("wrote %s.xf, %s.xb, %s.y", *outPrefix, *outPrefix, *outPrefix)
+	if err := store.SaveBundleFile(*outPath, bundle); err != nil {
+		log.Fatalf("writing bundle: %v", err)
+	}
+	log.Printf("wrote %s (version 1)", *outPath)
+
+	if *textPrefix != "" {
+		for _, out := range []struct {
+			suffix string
+			m      *mat.Dense
+		}{
+			{".xf", emb.Xf}, {".xb", emb.Xb}, {".y", emb.Y},
+		} {
+			if err := writeMatrix(*textPrefix+out.suffix, out.m); err != nil {
+				log.Fatalf("writing %s: %v", *textPrefix+out.suffix, err)
+			}
+		}
+		log.Printf("wrote %s.xf, %s.xb, %s.y", *textPrefix, *textPrefix, *textPrefix)
+	}
 }
 
 func writeMatrix(path string, m *mat.Dense) error {

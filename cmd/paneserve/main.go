@@ -1,61 +1,71 @@
-// Command paneserve trains (or loads) a PANE embedding and serves it over
-// HTTP — see internal/server for the endpoint list.
+// Command paneserve trains (or restores) a PANE model and serves it over
+// HTTP behind the lifecycle engine — see internal/server for the endpoint
+// list. The served model is live: POST /update/* applies dynamic graph
+// updates, and the model can be snapshotted to a single bundle file on
+// demand, on a timer, and on shutdown.
 //
-// Train from graph files and serve:
+// Train from graph files, snapshotting every 5 minutes:
 //
-//	paneserve -edges g.edges -attrs g.attrs -k 128 -addr :8080
+//	paneserve -edges g.edges -attrs g.attrs -k 128 \
+//	          -snapshot model.pane -snapshot-every 5m -addr :8080
 //
-// Or load previously saved binary embeddings (see internal/store):
+// Or restore a previously saved bundle (from cmd/pane or a snapshot):
 //
-//	paneserve -load embeddings -addr :8080
+//	paneserve -load model.pane -addr :8080
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"pane/internal/core"
+	"pane/internal/engine"
 	"pane/internal/graph"
 	"pane/internal/server"
-	"pane/internal/store"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paneserve: ")
 	var (
-		edgePath = flag.String("edges", "", "edge list file (training mode)")
-		attrPath = flag.String("attrs", "", "attribute file (training mode)")
-		loadPfx  = flag.String("load", "", "binary embedding prefix to load instead of training")
-		savePfx  = flag.String("save", "", "binary embedding prefix to save after training")
-		addr     = flag.String("addr", ":8080", "listen address")
-		k        = flag.Int("k", 128, "space budget")
-		alpha    = flag.Float64("alpha", 0.5, "stopping probability")
-		eps      = flag.Float64("eps", 0.015, "error threshold")
-		threads  = flag.Int("threads", 10, "worker threads")
-		seed     = flag.Int64("seed", 1, "random seed")
+		edgePath  = flag.String("edges", "", "edge list file (training mode)")
+		attrPath  = flag.String("attrs", "", "attribute file (training mode)")
+		loadPath  = flag.String("load", "", "model bundle to restore instead of training")
+		snapPath  = flag.String("snapshot", "", "bundle path for POST /snapshot, periodic and shutdown snapshots")
+		snapEvery = flag.Duration("snapshot-every", 0, "periodic snapshot interval (0 disables; requires -snapshot)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		k         = flag.Int("k", 128, "space budget")
+		alpha     = flag.Float64("alpha", 0.5, "stopping probability")
+		eps       = flag.Float64("eps", 0.015, "error threshold")
+		threads   = flag.Int("threads", 10, "worker threads")
+		seed      = flag.Int64("seed", 1, "random seed")
+		sweeps    = flag.Int("sweeps", engine.DefaultUpdateSweeps, "CCD sweeps per dynamic update")
 	)
 	flag.Parse()
+	if *snapEvery > 0 && *snapPath == "" {
+		log.Fatal("-snapshot-every requires -snapshot")
+	}
 
-	var emb *core.Embedding
+	var (
+		eng *engine.Engine
+		err error
+	)
 	switch {
-	case *loadPfx != "":
-		xf, err := store.LoadDenseFile(*loadPfx + ".xf.bin")
+	case *loadPath != "":
+		eng, err = engine.Open(*loadPath, engine.WithUpdateSweeps(*sweeps))
 		if err != nil {
-			log.Fatalf("loading: %v", err)
+			log.Fatalf("restoring bundle: %v", err)
 		}
-		xb, err := store.LoadDenseFile(*loadPfx + ".xb.bin")
-		if err != nil {
-			log.Fatalf("loading: %v", err)
-		}
-		y, err := store.LoadDenseFile(*loadPfx + ".y.bin")
-		if err != nil {
-			log.Fatalf("loading: %v", err)
-		}
-		emb = &core.Embedding{Xf: xf, Xb: xb, Y: y}
-		log.Printf("loaded embeddings: %d nodes, %d attrs, k=%d", xf.Rows, y.Rows, emb.K())
+		m := eng.Model()
+		log.Printf("restored %s: version %d, %d nodes, %d attrs, k=%d",
+			*loadPath, m.Version, m.Nodes(), m.Attrs(), m.Emb.K())
 	case *edgePath != "" && *attrPath != "":
 		g, err := graph.LoadFiles(*edgePath, *attrPath, "")
 		if err != nil {
@@ -63,34 +73,79 @@ func main() {
 		}
 		cfg := core.Config{K: *k, Alpha: *alpha, Eps: *eps, Threads: *threads, Seed: *seed}
 		start := time.Now()
-		emb, err = core.ParallelPANE(g, cfg)
+		eng, err = engine.Train(g, cfg, engine.WithUpdateSweeps(*sweeps))
 		if err != nil {
 			log.Fatalf("training: %v", err)
 		}
 		log.Printf("trained in %.1fs", time.Since(start).Seconds())
-		if *savePfx != "" {
-			if err := store.SaveDenseFile(*savePfx+".xf.bin", emb.Xf); err != nil {
-				log.Fatalf("saving: %v", err)
+		if *snapPath != "" {
+			if _, err := eng.Snapshot(*snapPath); err != nil {
+				log.Fatalf("initial snapshot: %v", err)
 			}
-			if err := store.SaveDenseFile(*savePfx+".xb.bin", emb.Xb); err != nil {
-				log.Fatalf("saving: %v", err)
-			}
-			if err := store.SaveDenseFile(*savePfx+".y.bin", emb.Y); err != nil {
-				log.Fatalf("saving: %v", err)
-			}
-			log.Printf("saved %s.{xf,xb,y}.bin", *savePfx)
+			log.Printf("saved %s", *snapPath)
 		}
 	default:
 		flag.Usage()
 		log.Fatal("either -load or both -edges and -attrs are required")
 	}
 
-	log.Printf("serving on %s", *addr)
+	var opts []server.Option
+	if *snapPath != "" {
+		opts = append(opts, server.WithSnapshotPath(*snapPath))
+	}
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      server.New(emb),
+		Handler:      server.New(eng, opts...),
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *snapEvery > 0 {
+		go func() {
+			t := time.NewTicker(*snapEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if m, err := eng.Snapshot(*snapPath); err != nil {
+						log.Printf("periodic snapshot: %v", err)
+					} else {
+						log.Printf("snapshot: version %d -> %s", m.Version, *snapPath)
+					}
+				}
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if *snapPath != "" {
+			if m, err := eng.Snapshot(*snapPath); err != nil {
+				log.Printf("final snapshot: %v", err)
+			} else {
+				log.Printf("final snapshot: version %d -> %s", m.Version, *snapPath)
+			}
+		}
+	}
 }

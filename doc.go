@@ -1,7 +1,9 @@
 // Package pane is a from-scratch Go reproduction of PANE — "Scaling
 // Attributed Network Embedding to Massive Graphs" (Yang et al., PVLDB
 // 14(1), 2020). The implementation lives under internal/: see
-// internal/core for the algorithm, internal/graph for the data model, and
+// internal/core for the algorithm, internal/graph for the data model,
+// internal/engine for the versioned model lifecycle (live updates,
+// snapshot/restore) behind the HTTP service in internal/server, and
 // cmd/benchexp for the experiment harness that regenerates every table
 // and figure of the paper's evaluation. README.md has the tour.
 package pane

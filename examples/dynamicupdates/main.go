@@ -1,18 +1,23 @@
-// Dynamic updates: the paper's §7 future-work direction (time-varying
-// graphs) implemented as warm-start re-embedding. A graph evolves by
-// gaining edges; instead of retraining from scratch, UpdateEmbedding
-// recomputes the cheap affinity phase and refines the *previous*
-// embedding with a couple of CCD sweeps.
+// Dynamic updates through the lifecycle engine: a model is trained once,
+// then kept live while the graph evolves — each batch of arriving edges
+// is applied as a warm-start update (a couple of CCD sweeps from the
+// previous solution instead of a retrain), bumping the model version.
+// The example finishes with the full serving lifecycle: snapshot the live
+// model to a single bundle file, restore it, and verify the restored
+// engine answers identically.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"time"
 
 	"pane/internal/core"
 	"pane/internal/dataset"
+	"pane/internal/engine"
 	"pane/internal/graph"
 )
 
@@ -24,67 +29,77 @@ func main() {
 	cfg := core.Config{K: 64, Alpha: 0.5, Eps: 0.015, Threads: 4, Seed: 1}
 
 	start := time.Now()
-	emb, err := core.ParallelPANE(g, cfg)
+	eng, err := engine.Train(g, cfg, engine.WithUpdateSweeps(2))
 	if err != nil {
 		log.Fatal(err)
 	}
 	coldTime := time.Since(start)
-	fmt.Printf("initial embedding: %.2fs (n=%d, m=%d)\n", coldTime.Seconds(), g.N, g.M())
+	fmt.Printf("trained version %d: %.2fs (n=%d, m=%d)\n",
+		eng.Version(), coldTime.Seconds(), g.N, g.M())
 
-	// The graph evolves: 1% new random edges arrive.
+	// The graph evolves: five batches of random edges arrive, each applied
+	// as a live update against the running engine.
 	rng := rand.New(rand.NewSource(42))
-	edges := allEdges(g)
-	for i := 0; i < g.M()/100; i++ {
-		edges = append(edges, graph.Edge{Src: rng.Intn(g.N), Dst: rng.Intn(g.N)})
+	const batches = 5
+	perBatch := g.M() / 100 / batches
+	if perBatch < 1 {
+		perBatch = 1
 	}
-	g2, err := graph.New(g.N, g.D, edges, allAttrs(g), g.Labels)
-	if err != nil {
-		log.Fatal(err)
+	var updTotal time.Duration
+	for i := 0; i < batches; i++ {
+		batch := make([]graph.Edge, perBatch)
+		for j := range batch {
+			batch[j] = graph.Edge{Src: rng.Intn(g.N), Dst: rng.Intn(g.N)}
+		}
+		start = time.Now()
+		m, err := eng.ApplyEdges(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		updTotal += time.Since(start)
+		fmt.Printf("  +%d edges -> version %d (m=%d, %.2fs)\n",
+			perBatch, m.Version, m.Graph.M(), time.Since(start).Seconds())
 	}
-	fmt.Printf("graph evolved: %d -> %d edges\n", g.M(), g2.M())
 
-	// Warm update: 2 CCD sweeps from the previous solution.
+	// How good is the warm-updated model? Compare against a cold retrain
+	// on the final graph under the same objective.
+	live := eng.Model()
 	start = time.Now()
-	warm, err := core.UpdateEmbedding(g2, emb, cfg, 2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	warmTime := time.Since(start)
-
-	// Cold retrain for comparison.
-	start = time.Now()
-	cold, err := core.ParallelPANE(g2, cfg)
+	cold, err := core.ParallelPANE(live.Graph, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	retrainTime := time.Since(start)
+	f, b := core.AffinityFromGraph(live.Graph, cfg.Alpha, cfg.Iterations(), 1)
+	fmt.Printf("\n%-18s %10s %14s\n", "variant", "time", "objective")
+	fmt.Printf("%-18s %9.2fs %14.1f\n", "live (5 updates)", updTotal.Seconds(), core.Objective(live.Emb, f, b))
+	fmt.Printf("%-18s %9.2fs %14.1f\n", "cold retrain", retrainTime.Seconds(), core.Objective(cold, f, b))
+	fmt.Printf("\nwarm updates reach retrain-level fit in %.0f%% of the time\n",
+		100*updTotal.Seconds()/retrainTime.Seconds())
 
-	f, b := core.AffinityFromGraph(g2, cfg.Alpha, cfg.Iterations(), 1)
-	fmt.Printf("\n%-14s %10s %14s\n", "variant", "time", "objective")
-	fmt.Printf("%-14s %9.2fs %14.1f\n", "warm update", warmTime.Seconds(), core.Objective(warm, f, b))
-	fmt.Printf("%-14s %9.2fs %14.1f\n", "cold retrain", retrainTime.Seconds(), core.Objective(cold, f, b))
-	fmt.Printf("%-14s %10s %14.1f\n", "stale (no upd)", "-", core.Objective(emb, f, b))
-	fmt.Printf("\nwarm update reaches retrain-level fit in %.0f%% of the time\n",
-		100*warmTime.Seconds()/retrainTime.Seconds())
-}
-
-func allEdges(g *graph.Graph) []graph.Edge {
-	var out []graph.Edge
-	for u := 0; u < g.N; u++ {
-		for _, v := range g.OutNeighbors(u) {
-			out = append(out, graph.Edge{Src: u, Dst: int(v)})
-		}
+	// Snapshot the live model and restore it: same version, same answers.
+	dir, err := os.MkdirTemp("", "pane-snapshot")
+	if err != nil {
+		log.Fatal(err)
 	}
-	return out
-}
-
-func allAttrs(g *graph.Graph) []graph.AttrEntry {
-	var out []graph.AttrEntry
-	for v := 0; v < g.N; v++ {
-		cols, vals := g.NodeAttrs(v)
-		for k, c := range cols {
-			out = append(out, graph.AttrEntry{Node: v, Attr: int(c), Weight: vals[k]})
-		}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "model.pane")
+	if _, err := eng.Snapshot(path); err != nil {
+		log.Fatal(err)
 	}
-	return out
+	restored, err := engine.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := []engine.Query{
+		{Op: engine.OpLinkScore, Src: 0, Dst: 1},
+		{Op: engine.OpTopAttrs, Node: 2, K: 3},
+	}
+	before, bv := eng.Execute(queries)
+	after, av := restored.Execute(queries)
+	if bv != av || *before[0].Score != *after[0].Score {
+		log.Fatalf("restore mismatch: version %d vs %d, score %v vs %v",
+			bv, av, *before[0].Score, *after[0].Score)
+	}
+	fmt.Printf("\nsnapshot -> restore: version %d preserved, scores identical\n", av)
 }

@@ -1,0 +1,3 @@
+module pane
+
+go 1.24

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"fmt"
+
+	"pane/internal/core"
+)
+
+// Batch query execution: N heterogeneous queries evaluated against ONE
+// model version. Under live updates this matters — issuing the same
+// queries one at a time could straddle a version swap and mix scores from
+// two embeddings; a batch never does.
+
+// Query ops understood by Execute.
+const (
+	OpAttrScore = "attr-score" // Eq. 21 affinity of (Node, Attr)
+	OpLinkScore = "link-score" // Eq. 22 plausibility of Src → Dst
+	OpTopAttrs  = "top-attrs"  // K strongest attributes for Node
+	OpTopLinks  = "top-links"  // K most plausible out-neighbors of Src
+)
+
+// Query is one element of a batch. Only the fields relevant to Op are
+// read; K defaults to 10 and is clamped to the candidate count.
+type Query struct {
+	Op   string `json:"op"`
+	Node int    `json:"node"`
+	Attr int    `json:"attr"`
+	Src  int    `json:"src"`
+	Dst  int    `json:"dst"`
+	K    int    `json:"k"`
+}
+
+// Result is the outcome of one query. Exactly one of the value fields is
+// set on success; Err is set (and the others empty) on a per-query
+// failure, so one bad query never fails its batch.
+type Result struct {
+	Op         string        `json:"op"`
+	Score      *float64      `json:"score,omitempty"`
+	Undirected *float64      `json:"undirected,omitempty"`
+	Top        []core.Scored `json:"top,omitempty"`
+	Err        string        `json:"error,omitempty"`
+}
+
+// Execute evaluates a batch of heterogeneous queries against an Engine's
+// current model and reports the version they were all answered at.
+func (e *Engine) Execute(qs []Query) ([]Result, uint64) {
+	m := e.Model()
+	return m.Execute(qs), m.Version
+}
+
+// Execute evaluates the batch against this specific model version.
+func (m *Model) Execute(qs []Query) []Result {
+	out := make([]Result, len(qs))
+	for i, q := range qs {
+		out[i] = m.run(q)
+	}
+	return out
+}
+
+func (m *Model) run(q Query) Result {
+	res := Result{Op: q.Op}
+	fail := func(format string, args ...interface{}) Result {
+		res.Err = fmt.Sprintf(format, args...)
+		return res
+	}
+	inRange := func(v, limit int) bool { return v >= 0 && v < limit }
+	switch q.Op {
+	case OpAttrScore:
+		if !inRange(q.Node, m.Nodes()) {
+			return fail("node %d out of range [0,%d)", q.Node, m.Nodes())
+		}
+		if !inRange(q.Attr, m.Attrs()) {
+			return fail("attr %d out of range [0,%d)", q.Attr, m.Attrs())
+		}
+		s := m.Emb.AttrScore(q.Node, q.Attr)
+		res.Score = &s
+	case OpLinkScore:
+		if !inRange(q.Src, m.Nodes()) {
+			return fail("src %d out of range [0,%d)", q.Src, m.Nodes())
+		}
+		if !inRange(q.Dst, m.Nodes()) {
+			return fail("dst %d out of range [0,%d)", q.Dst, m.Nodes())
+		}
+		s := m.Scorer.Directed(q.Src, q.Dst)
+		u := m.Scorer.Undirected(q.Src, q.Dst)
+		res.Score = &s
+		res.Undirected = &u
+	case OpTopAttrs:
+		if !inRange(q.Node, m.Nodes()) {
+			return fail("node %d out of range [0,%d)", q.Node, m.Nodes())
+		}
+		res.Top = m.Emb.TopKAttrs(q.Node, clampK(q.K, m.Attrs()), nil)
+	case OpTopLinks:
+		if !inRange(q.Src, m.Nodes()) {
+			return fail("src %d out of range [0,%d)", q.Src, m.Nodes())
+		}
+		res.Top = m.Scorer.TopKTargets(q.Src, clampK(q.K, m.Nodes()), nil)
+	default:
+		return fail("unknown op %q", q.Op)
+	}
+	return res
+}
+
+func clampK(k, max int) int {
+	if k < 1 {
+		k = 10
+	}
+	if k > max {
+		k = max
+	}
+	return k
+}

@@ -1,0 +1,204 @@
+// Package engine owns the lifecycle of a live PANE model: one versioned,
+// atomically swappable bundle of embedding + scorer + graph + config.
+//
+// The seed repo froze a trained embedding behind read-only HTTP handlers;
+// the paper's dynamic-update rules (core/dynamic.go) existed but nothing
+// could reach them. Engine separates the two paths the way a serving
+// system must: reads resolve the current model through one atomic pointer
+// load and then never touch shared state again (a request observes one
+// consistent model for its whole lifetime, and reads never block on
+// writes), while writes are serialized behind a mutex, warm-start a new
+// embedding from the previous one, and publish the result as a fresh
+// immutable Model with a bumped version. Snapshot/restore round-trips the
+// whole state through the single-file bundle format of internal/store.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pane/internal/core"
+	"pane/internal/graph"
+	"pane/internal/store"
+)
+
+// Model is one immutable, versioned generation of the served state.
+// Everything reachable from a Model is read-only; updates replace the
+// whole Model rather than mutating it.
+type Model struct {
+	// Version starts at 1 for a freshly trained model and increases by one
+	// per applied update. It survives snapshot/restore.
+	Version uint64
+	Cfg     core.Config
+	Graph   *graph.Graph
+	Emb     *core.Embedding
+	Scorer  *core.LinkScorer
+}
+
+// Nodes returns |V|.
+func (m *Model) Nodes() int { return m.Graph.N }
+
+// Attrs returns |R|.
+func (m *Model) Attrs() int { return m.Graph.D }
+
+// Engine coordinates readers and writers around the current Model.
+type Engine struct {
+	cur     atomic.Pointer[Model]
+	writeMu sync.Mutex // serializes updates; never held by readers
+	sweeps  int        // CCD sweeps per warm-start update
+}
+
+// DefaultUpdateSweeps is the number of CCD refinement sweeps an update
+// runs from the previous solution. Small graph deltas move the optimum of
+// Equation (4) only slightly, so 2 sweeps recover retrain-level fit (see
+// examples/dynamicupdates).
+const DefaultUpdateSweeps = 2
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithUpdateSweeps overrides the CCD sweep count used per dynamic update.
+func WithUpdateSweeps(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.sweeps = n
+		}
+	}
+}
+
+// New wraps an already-trained embedding in an Engine at version 1.
+func New(g *graph.Graph, emb *core.Embedding, cfg core.Config, opts ...Option) (*Engine, error) {
+	return newEngine(g, emb, cfg, 1, opts)
+}
+
+func newEngine(g *graph.Graph, emb *core.Embedding, cfg core.Config, version uint64, opts []Option) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if emb.Xf.Rows != g.N || emb.Y.Rows != g.D || emb.K() != cfg.K {
+		return nil, fmt.Errorf("engine: embedding %dx%d k=%d does not fit graph %dx%d with config K=%d",
+			emb.Xf.Rows, emb.Y.Rows, emb.K(), g.N, g.D, cfg.K)
+	}
+	e := &Engine{sweeps: DefaultUpdateSweeps}
+	for _, opt := range opts {
+		opt(e)
+	}
+	e.cur.Store(&Model{
+		Version: version,
+		Cfg:     cfg,
+		Graph:   g,
+		Emb:     emb,
+		Scorer:  core.NewLinkScorer(emb),
+	})
+	return e, nil
+}
+
+// Train trains a fresh model for g (parallel when cfg.Threads > 1) and
+// returns it wrapped in an Engine at version 1.
+func Train(g *graph.Graph, cfg core.Config, opts ...Option) (*Engine, error) {
+	var (
+		emb *core.Embedding
+		err error
+	)
+	if cfg.Threads > 1 {
+		emb, err = core.ParallelPANE(g, cfg)
+	} else {
+		emb, err = core.PANE(g, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return New(g, emb, cfg, opts...)
+}
+
+// Model returns the current model. The returned value is immutable and
+// remains valid (and internally consistent) even as updates land; callers
+// doing several related reads should resolve it once and reuse it.
+func (e *Engine) Model() *Model { return e.cur.Load() }
+
+// Version returns the current model version.
+func (e *Engine) Version() uint64 { return e.Model().Version }
+
+// ApplyEdges inserts directed edges into the graph and publishes a new
+// model version whose embedding is warm-started from the previous one.
+// Inserting an existing edge is a no-op on the graph but still refines
+// and republishes. The node universe is fixed: out-of-range endpoints are
+// rejected and no new version is published.
+func (e *Engine) ApplyEdges(edges []graph.Edge) (*Model, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("engine: empty edge update")
+	}
+	return e.apply(edges, nil)
+}
+
+// ApplyAttrs adds node-attribute weight to the graph (weights are
+// additive, matching the weighted set ER of §2.1) and publishes a new
+// warm-started model version.
+func (e *Engine) ApplyAttrs(attrs []graph.AttrEntry) (*Model, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("engine: empty attribute update")
+	}
+	return e.apply(nil, attrs)
+}
+
+func (e *Engine) apply(edges []graph.Edge, attrs []graph.AttrEntry) (*Model, error) {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	prev := e.Model()
+	g, err := prev.Graph.WithUpdates(edges, attrs)
+	if err != nil {
+		return nil, err
+	}
+	emb, err := core.UpdateEmbedding(g, prev.Emb, prev.Cfg, e.sweeps)
+	if err != nil {
+		return nil, err
+	}
+	next := &Model{
+		Version: prev.Version + 1,
+		Cfg:     prev.Cfg,
+		Graph:   g,
+		Emb:     emb,
+		Scorer:  core.NewLinkScorer(emb),
+	}
+	e.cur.Store(next)
+	return next, nil
+}
+
+// Snapshot atomically persists the current model as a single bundle file
+// and returns the model that was written. It reads the model through the
+// same atomic pointer as queries, so a snapshot taken mid-update-stream
+// is a consistent point-in-time version, never a torn mix of two.
+func (e *Engine) Snapshot(path string) (*Model, error) {
+	m := e.Model()
+	b := &store.Bundle{
+		ModelVersion: m.Version,
+		Cfg:          m.Cfg,
+		Xf:           m.Emb.Xf,
+		Xb:           m.Emb.Xb,
+		Y:            m.Emb.Y,
+		Adj:          m.Graph.Adj,
+		Attr:         m.Graph.Attr,
+		Labels:       m.Graph.Labels,
+	}
+	if err := store.SaveBundleFile(path, b); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Open restores an Engine from a bundle file written by Snapshot (or by
+// cmd/pane). The restored model keeps its version, so monitoring sees the
+// same version before and after a restart.
+func Open(path string, opts ...Option) (*Engine, error) {
+	b, err := store.LoadBundleFile(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.FromCSR(b.Adj, b.Attr, b.Labels)
+	if err != nil {
+		return nil, err
+	}
+	emb := &core.Embedding{Xf: b.Xf, Xb: b.Xb, Y: b.Y}
+	return newEngine(g, emb, b.Cfg, b.ModelVersion, opts)
+}

@@ -1,0 +1,293 @@
+package engine
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pane/internal/core"
+	"pane/internal/graph"
+)
+
+func testConfig() core.Config {
+	return core.Config{K: 4, Alpha: 0.15, Eps: 0.05, Seed: 1}
+}
+
+func trainTestEngine(t *testing.T, opts ...Option) *Engine {
+	t.Helper()
+	eng, err := Train(graph.RunningExample(), testConfig(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestTrainStartsAtVersionOne(t *testing.T) {
+	eng := trainTestEngine(t)
+	if eng.Version() != 1 {
+		t.Fatalf("fresh engine version = %d, want 1", eng.Version())
+	}
+	m := eng.Model()
+	if m.Nodes() != 6 || m.Attrs() != 3 {
+		t.Fatalf("model shape %dx%d", m.Nodes(), m.Attrs())
+	}
+}
+
+func TestNewRejectsMismatchedShapes(t *testing.T) {
+	g := graph.RunningExample()
+	emb, err := core.PANE(g, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := testConfig()
+	bad.K = 8 // embedding was trained with K=4
+	if _, err := New(g, emb, bad); err == nil {
+		t.Fatal("mismatched K accepted")
+	}
+}
+
+func TestApplyEdgesBumpsVersionAndChangesScores(t *testing.T) {
+	eng := trainTestEngine(t)
+	before := eng.Model()
+	scoreBefore := before.Scorer.Directed(0, 5)
+
+	m, err := eng.ApplyEdges([]graph.Edge{{Src: 0, Dst: 5}, {Src: 5, Dst: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 2 {
+		t.Fatalf("version = %d, want 2", m.Version)
+	}
+	if !m.Graph.HasEdge(0, 5) {
+		t.Fatal("inserted edge missing from new model's graph")
+	}
+	if m.Scorer.Directed(0, 5) == scoreBefore {
+		t.Fatal("score unchanged after inserting the edge")
+	}
+	// The old model is untouched: a reader holding it mid-update sees a
+	// consistent pre-update world.
+	if before.Version != 1 || before.Graph.HasEdge(0, 5) || before.Scorer.Directed(0, 5) != scoreBefore {
+		t.Fatal("previous model mutated by update")
+	}
+}
+
+func TestApplyAttrsAddsWeight(t *testing.T) {
+	eng := trainTestEngine(t)
+	w0 := eng.Model().Graph.Attr.At(0, 2)
+	m, err := eng.ApplyAttrs([]graph.AttrEntry{{Node: 0, Attr: 2, Weight: 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Graph.Attr.At(0, 2); got != w0+1.5 {
+		t.Fatalf("attribute weight %v, want %v", got, w0+1.5)
+	}
+	if m.Version != 2 {
+		t.Fatalf("version = %d", m.Version)
+	}
+}
+
+func TestApplyRejectsBadUpdates(t *testing.T) {
+	eng := trainTestEngine(t)
+	cases := []func() error{
+		func() error { _, err := eng.ApplyEdges(nil); return err },
+		func() error { _, err := eng.ApplyEdges([]graph.Edge{{Src: 0, Dst: 99}}); return err },
+		func() error { _, err := eng.ApplyAttrs(nil); return err },
+		func() error { _, err := eng.ApplyAttrs([]graph.AttrEntry{{Node: 0, Attr: 99, Weight: 1}}); return err },
+		func() error { _, err := eng.ApplyAttrs([]graph.AttrEntry{{Node: 0, Attr: 0, Weight: -1}}); return err },
+	}
+	for i, run := range cases {
+		if err := run(); err == nil {
+			t.Fatalf("case %d: bad update accepted", i)
+		}
+	}
+	if eng.Version() != 1 {
+		t.Fatalf("failed updates bumped version to %d", eng.Version())
+	}
+}
+
+func TestBatchExecutesAgainstOneVersion(t *testing.T) {
+	eng := trainTestEngine(t)
+	results, version := eng.Execute([]Query{
+		{Op: OpLinkScore, Src: 0, Dst: 4},
+		{Op: OpAttrScore, Node: 2, Attr: 1},
+		{Op: OpTopAttrs, Node: 5, K: 2},
+		{Op: OpTopLinks, Src: 0, K: 3},
+		{Op: "bogus"},
+	})
+	if version != 1 {
+		t.Fatalf("batch version %d", version)
+	}
+	m := eng.Model()
+	if *results[0].Score != m.Scorer.Directed(0, 4) || *results[0].Undirected != m.Scorer.Undirected(0, 4) {
+		t.Fatalf("link result %+v", results[0])
+	}
+	if *results[1].Score != m.Emb.AttrScore(2, 1) {
+		t.Fatalf("attr result %+v", results[1])
+	}
+	if len(results[2].Top) != 2 || len(results[3].Top) != 3 {
+		t.Fatalf("top results %+v / %+v", results[2], results[3])
+	}
+	if results[4].Err == "" {
+		t.Fatal("unknown op produced no error")
+	}
+	for i, r := range results[:4] {
+		if r.Err != "" {
+			t.Fatalf("result %d unexpectedly failed: %s", i, r.Err)
+		}
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	eng := trainTestEngine(t)
+	if _, err := eng.ApplyEdges([]graph.Edge{{Src: 1, Dst: 5}}); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.pane")
+	p2 := filepath.Join(dir, "b.pane")
+	if _, err := eng.Snapshot(p1); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Open(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Version() != 2 {
+		t.Fatalf("restored version %d, want 2", restored.Version())
+	}
+
+	// Snapshotting the restored engine must reproduce the file byte for
+	// byte: the bundle format is deterministic and lossless.
+	if _, err := restored.Snapshot(p2); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("snapshot not bit-identical after restore: %d vs %d bytes", len(b1), len(b2))
+	}
+
+	// And the restored model answers exactly like the live one.
+	qs := []Query{{Op: OpLinkScore, Src: 1, Dst: 5}, {Op: OpAttrScore, Node: 0, Attr: 0}}
+	live := eng.Model().Execute(qs)
+	back := restored.Model().Execute(qs)
+	for i := range qs {
+		if *live[i].Score != *back[i].Score {
+			t.Fatalf("query %d: restored score %v != live %v", i, *back[i].Score, *live[i].Score)
+		}
+	}
+	// A restored engine keeps accepting updates from where it left off.
+	m, err := restored.ApplyEdges([]graph.Edge{{Src: 2, Dst: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 3 {
+		t.Fatalf("post-restore update version %d, want 3", m.Version)
+	}
+}
+
+// TestConcurrentReadsUpdatesSnapshots hammers the engine from all three
+// sides at once — run under -race this is the proof that reads resolve
+// one immutable model and never observe a torn update, and that
+// snapshots taken mid-update-stream are consistent.
+func TestConcurrentReadsUpdatesSnapshots(t *testing.T) {
+	eng := trainTestEngine(t)
+	dir := t.TempDir()
+	const updates = 8
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: single queries and batches.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := eng.Model()
+				u, v := rng.Intn(m.Nodes()), rng.Intn(m.Nodes())
+				_ = m.Scorer.Directed(u, v)
+				_ = m.Emb.AttrScore(u, rng.Intn(m.Attrs()))
+				results, _ := eng.Execute([]Query{
+					{Op: OpLinkScore, Src: u, Dst: v},
+					{Op: OpTopLinks, Src: u, K: 3},
+				})
+				for _, r := range results {
+					if r.Err != "" {
+						t.Errorf("reader: %s", r.Err)
+						return
+					}
+				}
+			}
+		}(int64(i))
+	}
+
+	// Snapshotters: persist whatever version is current, repeatedly, from
+	// TWO goroutines racing on the same path — mirroring paneserve, where
+	// the periodic ticker and POST /snapshot can fire together. A fixed
+	// iteration count (not stop-gated) guarantees snapshots overlap the
+	// update stream even if the updates finish quickly.
+	var snaps atomic.Int64
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			path := filepath.Join(dir, "live.pane")
+			for i := 0; i < 5; i++ {
+				if _, err := eng.Snapshot(path); err != nil {
+					t.Errorf("snapshot: %v", err)
+					return
+				}
+				snaps.Add(1)
+			}
+		}()
+	}
+
+	// Writer: a stream of edge and attribute updates.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < updates; i++ {
+		var err error
+		if i%2 == 0 {
+			_, err = eng.ApplyEdges([]graph.Edge{{Src: rng.Intn(6), Dst: rng.Intn(6)}})
+		} else {
+			_, err = eng.ApplyAttrs([]graph.AttrEntry{{Node: rng.Intn(6), Attr: rng.Intn(3), Weight: 0.1}})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if eng.Version() != 1+updates {
+		t.Fatalf("final version %d, want %d", eng.Version(), 1+updates)
+	}
+	if snaps.Load() == 0 {
+		t.Fatal("snapshotter never ran")
+	}
+	// The last snapshot on disk is some consistent version ≤ final.
+	restored, err := Open(filepath.Join(dir, "live.pane"))
+	if err != nil {
+		t.Fatalf("restoring mid-stream snapshot: %v", err)
+	}
+	if v := restored.Version(); v < 1 || v > 1+updates {
+		t.Fatalf("restored version %d out of range", v)
+	}
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"fmt"
+
+	"pane/internal/sparse"
+)
+
+// This file supports the dynamic-update path (§7 of the paper, implemented
+// in core/dynamic.go): a Graph is immutable, so an update produces a new
+// Graph from the old one plus a delta. The node and attribute universes
+// are fixed — embeddings are positional, so growing |V| or |R| requires a
+// retrain, not an update.
+
+// Edges returns every directed edge of g in row-major (src, then dst) order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.M())
+	for u := 0; u < g.N; u++ {
+		cols, _ := g.Adj.Row(u)
+		for _, v := range cols {
+			out = append(out, Edge{Src: u, Dst: int(v)})
+		}
+	}
+	return out
+}
+
+// AttrEntries returns every node-attribute association of g.
+func (g *Graph) AttrEntries() []AttrEntry {
+	out := make([]AttrEntry, 0, g.NNZAttr())
+	for v := 0; v < g.N; v++ {
+		cols, vals := g.Attr.Row(v)
+		for k, c := range cols {
+			out = append(out, AttrEntry{Node: v, Attr: int(c), Weight: vals[k]})
+		}
+	}
+	return out
+}
+
+// WithUpdates returns a new Graph equal to g plus the given edge and
+// attribute deltas. Duplicate edges collapse (adding an existing edge is a
+// no-op); attribute weights are additive, matching New's semantics for the
+// weighted set ER. Node and attribute counts are unchanged, so entries
+// referencing ids outside [0,N) x [0,D) are rejected.
+func (g *Graph) WithUpdates(edges []Edge, attrs []AttrEntry) (*Graph, error) {
+	allEdges := append(g.Edges(), edges...)
+	allAttrs := append(g.AttrEntries(), attrs...)
+	return New(g.N, g.D, allEdges, allAttrs, g.Labels)
+}
+
+// FromCSR reconstructs a Graph directly from its adjacency and attribute
+// matrices, bypassing the entry-list normalization of New — the CSRs are
+// used as-is, so a Graph round-tripped through its matrices (e.g. via a
+// store bundle) is bit-identical. The caller must not mutate adj or attr
+// afterwards; rows must be sorted by column as NewCSR produces them.
+func FromCSR(adj, attr *sparse.CSR, labels [][]int) (*Graph, error) {
+	if adj.R != adj.C {
+		return nil, fmt.Errorf("graph: adjacency must be square, got %dx%d", adj.R, adj.C)
+	}
+	if attr.R != adj.R {
+		return nil, fmt.Errorf("graph: attribute rows %d != nodes %d", attr.R, adj.R)
+	}
+	if labels != nil && len(labels) != adj.R {
+		return nil, fmt.Errorf("graph: labels length %d != n %d", len(labels), adj.R)
+	}
+	g := &Graph{
+		N:      adj.R,
+		D:      attr.C,
+		Adj:    adj,
+		AdjT:   adj.T(),
+		Attr:   attr,
+		Labels: labels,
+	}
+	g.outDeg = adj.RowSums()
+	return g, nil
+}

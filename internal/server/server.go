@@ -1,113 +1,261 @@
-// Package server exposes a trained PANE embedding as a small JSON-over-
-// HTTP query service — the deployment artifact a downstream user runs
-// next to their application. Endpoints:
+// Package server exposes a live PANE model engine as a small JSON-over-
+// HTTP service — the deployment artifact a downstream user runs next to
+// their application. Read endpoints:
 //
-//	GET /healthz                     liveness + model shape
+//	GET /healthz                     liveness + model shape + version
 //	GET /attr-score?node=v&attr=r    Eq. 21 affinity score
 //	GET /link-score?src=u&dst=v      Eq. 22 edge plausibility
 //	GET /top-attrs?node=v&k=10       strongest attributes for a node
 //	GET /top-links?src=u&k=10        most plausible out-neighbors
 //
-// The service is read-only and the underlying embedding is immutable, so
-// handlers are safe under arbitrary concurrency.
+// Write and lifecycle endpoints:
+//
+//	POST /update/edges   {"edges":[{"src":0,"dst":4}, ...]}
+//	POST /update/attrs   {"attrs":[{"node":0,"attr":2,"weight":1}, ...]}
+//	POST /batch          {"queries":[{"op":"link-score","src":0,"dst":4}, ...]}
+//	POST /snapshot       persist the current model to the configured path
+//
+// Each request resolves the engine's current model once, so every
+// response is internally consistent even while updates land; reads never
+// block on writes. Routes are method-scoped: the wrong verb on a known
+// path gets 405 with an Allow header rather than a silently-served body.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 
-	"pane/internal/core"
+	"pane/internal/engine"
+	"pane/internal/graph"
 )
 
-// Server wraps an embedding with HTTP handlers.
+// Server wraps an engine with HTTP handlers.
 type Server struct {
-	emb    *core.Embedding
-	scorer *core.LinkScorer
-	mux    *http.ServeMux
+	eng          *engine.Engine
+	snapshotPath string
+	mux          *http.ServeMux
 }
 
-// New builds a Server for emb.
-func New(emb *core.Embedding) *Server {
-	s := &Server{emb: emb, scorer: core.NewLinkScorer(emb), mux: http.NewServeMux()}
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/attr-score", s.handleAttrScore)
-	s.mux.HandleFunc("/link-score", s.handleLinkScore)
-	s.mux.HandleFunc("/top-attrs", s.handleTopAttrs)
-	s.mux.HandleFunc("/top-links", s.handleTopLinks)
+// Option configures a Server.
+type Option func(*Server)
+
+// WithSnapshotPath sets the bundle file POST /snapshot writes. The path
+// is fixed at construction — clients trigger snapshots but never choose
+// where on the host they land. Without it, POST /snapshot returns 503.
+func WithSnapshotPath(path string) Option {
+	return func(s *Server) { s.snapshotPath = path }
+}
+
+// New builds a Server around eng.
+func New(eng *engine.Engine, opts ...Option) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /attr-score", s.handleAttrScore)
+	s.mux.HandleFunc("GET /link-score", s.handleLinkScore)
+	s.mux.HandleFunc("GET /top-attrs", s.handleTopAttrs)
+	s.mux.HandleFunc("GET /top-links", s.handleTopLinks)
+	s.mux.HandleFunc("POST /update/edges", s.handleUpdateEdges)
+	s.mux.HandleFunc("POST /update/attrs", s.handleUpdateAttrs)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-func (s *Server) n() int { return s.emb.Xf.Rows }
-func (s *Server) d() int { return s.emb.Y.Rows }
-
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	m := s.eng.Model()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status": "ok",
-		"nodes":  s.n(),
-		"attrs":  s.d(),
-		"k":      s.emb.K(),
+		"status":       "ok",
+		"version":      m.Version,
+		"nodes":        m.Nodes(),
+		"attrs":        m.Attrs(),
+		"k":            m.Emb.K(),
+		"edges":        m.Graph.M(),
+		"attr_entries": m.Graph.NNZAttr(),
 	})
 }
 
 func (s *Server) handleAttrScore(w http.ResponseWriter, r *http.Request) {
-	v, ok := s.intParam(w, r, "node", s.n())
+	m := s.eng.Model()
+	v, ok := intParam(w, r, "node", m.Nodes())
 	if !ok {
 		return
 	}
-	a, ok := s.intParam(w, r, "attr", s.d())
+	a, ok := intParam(w, r, "attr", m.Attrs())
 	if !ok {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"node": v, "attr": a, "score": s.emb.AttrScore(v, a),
+		"node": v, "attr": a, "score": m.Emb.AttrScore(v, a), "version": m.Version,
 	})
 }
 
 func (s *Server) handleLinkScore(w http.ResponseWriter, r *http.Request) {
-	u, ok := s.intParam(w, r, "src", s.n())
+	m := s.eng.Model()
+	u, ok := intParam(w, r, "src", m.Nodes())
 	if !ok {
 		return
 	}
-	v, ok := s.intParam(w, r, "dst", s.n())
+	v, ok := intParam(w, r, "dst", m.Nodes())
 	if !ok {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"src": u, "dst": v,
-		"score":      s.scorer.Directed(u, v),
-		"undirected": s.scorer.Undirected(u, v),
+		"score":      m.Scorer.Directed(u, v),
+		"undirected": m.Scorer.Undirected(u, v),
+		"version":    m.Version,
 	})
 }
 
 func (s *Server) handleTopAttrs(w http.ResponseWriter, r *http.Request) {
-	v, ok := s.intParam(w, r, "node", s.n())
+	m := s.eng.Model()
+	v, ok := intParam(w, r, "node", m.Nodes())
 	if !ok {
 		return
 	}
-	k := s.kParam(r, 10, s.d())
+	k := kParam(r, 10, m.Attrs())
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"node": v, "results": s.emb.TopKAttrs(v, k, nil),
+		"node": v, "results": m.Emb.TopKAttrs(v, k, nil), "version": m.Version,
 	})
 }
 
 func (s *Server) handleTopLinks(w http.ResponseWriter, r *http.Request) {
-	u, ok := s.intParam(w, r, "src", s.n())
+	m := s.eng.Model()
+	u, ok := intParam(w, r, "src", m.Nodes())
 	if !ok {
 		return
 	}
-	k := s.kParam(r, 10, s.n())
+	k := kParam(r, 10, m.Nodes())
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"src": u, "results": s.scorer.TopKTargets(u, k, nil),
+		"src": u, "results": m.Scorer.TopKTargets(u, k, nil), "version": m.Version,
 	})
 }
 
+type edgeUpdate struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+}
+
+func (s *Server) handleUpdateEdges(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Edges []edgeUpdate `json:"edges"`
+	}
+	if !decodeJSON(w, r, &body) {
+		return
+	}
+	if len(body.Edges) == 0 {
+		writeError(w, http.StatusBadRequest, "no edges in update")
+		return
+	}
+	edges := make([]graph.Edge, len(body.Edges))
+	for i, e := range body.Edges {
+		edges[i] = graph.Edge{Src: e.Src, Dst: e.Dst}
+	}
+	m, err := s.eng.ApplyEdges(edges)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"version": m.Version, "edges": m.Graph.M(), "applied": len(edges),
+	})
+}
+
+type attrUpdate struct {
+	Node   int     `json:"node"`
+	Attr   int     `json:"attr"`
+	Weight float64 `json:"weight"`
+}
+
+func (s *Server) handleUpdateAttrs(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Attrs []attrUpdate `json:"attrs"`
+	}
+	if !decodeJSON(w, r, &body) {
+		return
+	}
+	if len(body.Attrs) == 0 {
+		writeError(w, http.StatusBadRequest, "no attrs in update")
+		return
+	}
+	attrs := make([]graph.AttrEntry, len(body.Attrs))
+	for i, a := range body.Attrs {
+		attrs[i] = graph.AttrEntry{Node: a.Node, Attr: a.Attr, Weight: a.Weight}
+	}
+	m, err := s.eng.ApplyAttrs(attrs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"version": m.Version, "attr_entries": m.Graph.NNZAttr(), "applied": len(attrs),
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Queries []engine.Query `json:"queries"`
+	}
+	if !decodeJSON(w, r, &body) {
+		return
+	}
+	if len(body.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "no queries in batch")
+		return
+	}
+	results, version := s.eng.Execute(body.Queries)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"version": version, "results": results,
+	})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.snapshotPath == "" {
+		writeError(w, http.StatusServiceUnavailable, "no snapshot path configured")
+		return
+	}
+	m, err := s.eng.Snapshot(s.snapshotPath)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"version": m.Version, "path": s.snapshotPath,
+	})
+}
+
+// decodeJSON parses the request body into dst, rejecting oversized bodies
+// and trailing garbage. Returns false after writing the error response.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid JSON body: %v", err))
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
 // intParam parses a required integer query parameter in [0, limit).
-func (s *Server) intParam(w http.ResponseWriter, r *http.Request, name string, limit int) (int, bool) {
+func intParam(w http.ResponseWriter, r *http.Request, name string, limit int) (int, bool) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("missing parameter %q", name))
@@ -125,7 +273,7 @@ func (s *Server) intParam(w http.ResponseWriter, r *http.Request, name string, l
 	return v, true
 }
 
-func (s *Server) kParam(r *http.Request, def, max int) int {
+func kParam(r *http.Request, def, max int) int {
 	raw := r.URL.Query().Get("k")
 	if raw == "" {
 		return def

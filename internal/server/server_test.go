@@ -4,26 +4,48 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
 	"pane/internal/core"
+	"pane/internal/engine"
 	"pane/internal/graph"
 )
 
-func testServer(t *testing.T) (*Server, *core.Embedding) {
+func testEngine(t *testing.T) *engine.Engine {
 	t.Helper()
 	g := graph.RunningExample()
-	emb, err := core.PANE(g, core.Config{K: 4, Alpha: 0.15, Eps: 0.05, Seed: 1})
+	eng, err := engine.Train(g, core.Config{K: 4, Alpha: 0.15, Eps: 0.05, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(emb), emb
+	return eng
+}
+
+func testServer(t *testing.T) (*Server, *core.Embedding) {
+	t.Helper()
+	eng := testEngine(t)
+	return New(eng), eng.Model().Emb
 }
 
 func get(t *testing.T, s *Server, path string) (int, map[string]interface{}) {
 	t.Helper()
 	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var body map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON from %s: %v (%q)", path, err, rec.Body.String())
+	}
+	return rec.Code, body
+}
+
+func post(t *testing.T, s *Server, path, payload string) (int, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(payload))
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
 	var body map[string]interface{}
@@ -41,6 +63,9 @@ func TestHealthz(t *testing.T) {
 	}
 	if body["nodes"].(float64) != 6 || body["attrs"].(float64) != 3 || body["k"].(float64) != 4 {
 		t.Fatalf("health payload: %v", body)
+	}
+	if body["version"].(float64) != 1 {
+		t.Fatalf("fresh model version = %v, want 1", body["version"])
 	}
 }
 
@@ -133,6 +158,180 @@ func TestKDefaultsAndClamping(t *testing.T) {
 	_, body = get(t, s, "/top-attrs?node=0&k=0") // invalid → default → clamp
 	if got := len(body["results"].([]interface{})); got != 3 {
 		t.Fatalf("k=0 results = %d", got)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s, _ := testServer(t)
+	cases := []struct {
+		method, path string
+	}{
+		{http.MethodPost, "/healthz"},
+		{http.MethodPost, "/link-score?src=0&dst=1"},
+		{http.MethodDelete, "/top-attrs?node=0"},
+		{http.MethodGet, "/update/edges"},
+		{http.MethodGet, "/update/attrs"},
+		{http.MethodGet, "/batch"},
+		{http.MethodPut, "/snapshot"},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest(c.method, c.path, strings.NewReader("{}"))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: status %d, want 405", c.method, c.path, rec.Code)
+		}
+	}
+}
+
+func TestUpdateEdgesReflectsInScores(t *testing.T) {
+	s, _ := testServer(t)
+	_, before := get(t, s, "/link-score?src=0&dst=5")
+	code, body := post(t, s, "/update/edges", `{"edges":[{"src":0,"dst":5},{"src":5,"dst":0}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("update status %d: %v", code, body)
+	}
+	if body["version"].(float64) != 2 {
+		t.Fatalf("post-update version = %v, want 2", body["version"])
+	}
+	_, health := get(t, s, "/healthz")
+	if health["version"].(float64) != 2 {
+		t.Fatalf("healthz version = %v, want 2", health["version"])
+	}
+	_, after := get(t, s, "/link-score?src=0&dst=5")
+	if before["score"].(float64) == after["score"].(float64) {
+		t.Fatal("link score unchanged after edge update")
+	}
+	if after["version"].(float64) != 2 {
+		t.Fatalf("score version = %v, want 2", after["version"])
+	}
+}
+
+func TestUpdateAttrsBumpsVersion(t *testing.T) {
+	s, _ := testServer(t)
+	code, body := post(t, s, "/update/attrs", `{"attrs":[{"node":0,"attr":2,"weight":1.5}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	if body["version"].(float64) != 2 {
+		t.Fatalf("version = %v, want 2", body["version"])
+	}
+}
+
+func TestUpdateErrorPaths(t *testing.T) {
+	s, _ := testServer(t)
+	cases := []struct {
+		path, payload string
+	}{
+		{"/update/edges", `not json`},
+		{"/update/edges", `{"edges":[]}`},
+		{"/update/edges", `{}`},
+		{"/update/edges", `{"edges":[{"src":0,"dst":99}]}`}, // out of range
+		{"/update/edges", `{"edges":[{"src":-1,"dst":0}]}`},
+		{"/update/edges", `{"edges":[{"src":0,"dst":1}]} trailing`},
+		{"/update/attrs", `{"attrs":[]}`},
+		{"/update/attrs", `{"attrs":[{"node":0,"attr":99,"weight":1}]}`},
+		{"/update/attrs", `{"attrs":[{"node":0,"attr":0,"weight":-2}]}`}, // negative weight
+		{"/batch", `{"queries":[]}`},
+		{"/batch", `broken`},
+	}
+	for _, c := range cases {
+		code, body := post(t, s, c.path, c.payload)
+		if code != http.StatusBadRequest {
+			t.Fatalf("POST %s %q: status %d want 400 (%v)", c.path, c.payload, code, body)
+		}
+		if _, hasErr := body["error"]; !hasErr {
+			t.Fatalf("POST %s %q: error payload missing", c.path, c.payload)
+		}
+	}
+	// Failed updates must not bump the version.
+	_, health := get(t, s, "/healthz")
+	if health["version"].(float64) != 1 {
+		t.Fatalf("version moved to %v after failed updates", health["version"])
+	}
+}
+
+func TestOversizedBodyGets413(t *testing.T) {
+	s, _ := testServer(t)
+	// Valid JSON whose whitespace padding pushes the body past the 64 MB
+	// limit: the decoder reads through it and must surface 413, not 400.
+	payload := `{"edges":[` + strings.Repeat(" ", 64<<20) + `{"src":0,"dst":5}]}`
+	code, body := post(t, s, "/update/edges", payload)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d want 413 (%v)", code, body)
+	}
+	if _, hasErr := body["error"]; !hasErr {
+		t.Fatal("error payload missing")
+	}
+}
+
+func TestBatchHeterogeneous(t *testing.T) {
+	s, emb := testServer(t)
+	code, body := post(t, s, "/batch", `{"queries":[
+		{"op":"link-score","src":0,"dst":4},
+		{"op":"attr-score","node":2,"attr":1},
+		{"op":"top-attrs","node":5,"k":2},
+		{"op":"nonsense"},
+		{"op":"top-links","src":99}
+	]}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	results := body["results"].([]interface{})
+	if len(results) != 5 {
+		t.Fatalf("%d results, want 5", len(results))
+	}
+	link := results[0].(map[string]interface{})
+	sc := core.NewLinkScorer(emb)
+	if link["score"].(float64) != sc.Directed(0, 4) {
+		t.Fatalf("batch link score %v, want %v", link["score"], sc.Directed(0, 4))
+	}
+	attr := results[1].(map[string]interface{})
+	if attr["score"].(float64) != emb.AttrScore(2, 1) {
+		t.Fatalf("batch attr score %v", attr["score"])
+	}
+	top := results[2].(map[string]interface{})
+	if len(top["top"].([]interface{})) != 2 {
+		t.Fatalf("batch top-attrs %v", top["top"])
+	}
+	for _, i := range []int{3, 4} {
+		r := results[i].(map[string]interface{})
+		if _, hasErr := r["error"]; !hasErr {
+			t.Fatalf("result %d should carry an error: %v", i, r)
+		}
+	}
+	if body["version"].(float64) != 1 {
+		t.Fatalf("batch version %v", body["version"])
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	eng := testEngine(t)
+	// Unconfigured: 503.
+	s := New(eng)
+	code, body := post(t, s, "/snapshot", "")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("unconfigured snapshot: status %d (%v)", code, body)
+	}
+	// Configured: writes a loadable bundle.
+	path := filepath.Join(t.TempDir(), "model.pane")
+	s = New(eng, WithSnapshotPath(path))
+	code, body = post(t, s, "/snapshot", "")
+	if code != http.StatusOK {
+		t.Fatalf("snapshot: status %d (%v)", code, body)
+	}
+	if body["path"].(string) != path {
+		t.Fatalf("snapshot path %v", body["path"])
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot file: %v", err)
+	}
+	restored, err := engine.Open(path)
+	if err != nil {
+		t.Fatalf("reopening snapshot: %v", err)
+	}
+	if restored.Version() != eng.Version() {
+		t.Fatalf("restored version %d != live %d", restored.Version(), eng.Version())
 	}
 }
 

@@ -1,0 +1,237 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"pane/internal/core"
+	"pane/internal/mat"
+	"pane/internal/sparse"
+)
+
+// A Bundle is a complete serialized model: everything needed to serve
+// queries AND keep applying dynamic updates after a restart. The seed
+// repo persisted a model as three unrelated matrix files, which loses the
+// graph (so no further updates), the hyperparameters (so no consistent
+// warm restarts), and any notion of which version of a live model the
+// files represent. A bundle is one file, written atomically, with:
+//
+//	magic "PNB1" + format version
+//	model version (monotone counter bumped by every dynamic update)
+//	core.Config (all hyperparameters)
+//	optional per-node label sets
+//	Xf, Xb, Y dense sections
+//	adjacency and attribute CSR sections
+//
+// Serialization is deterministic: saving a loaded bundle reproduces the
+// input byte for byte, which snapshot tests rely on.
+type Bundle struct {
+	ModelVersion uint64
+	Cfg          core.Config
+	Xf, Xb, Y    *mat.Dense
+	Adj, Attr    *sparse.CSR
+	Labels       [][]int
+}
+
+const (
+	magicBundle   = 0x504E4231 // "PNB1"
+	bundleFormatV = 1
+)
+
+// WriteBundle serializes b to w.
+func WriteBundle(w io.Writer, b *Bundle) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := []uint64{
+		magicBundle, bundleFormatV, b.ModelVersion,
+		uint64(b.Cfg.K),
+		math.Float64bits(b.Cfg.Alpha),
+		math.Float64bits(b.Cfg.Eps),
+		uint64(b.Cfg.Threads),
+		uint64(b.Cfg.CCDIters),
+		uint64(b.Cfg.PowerIters),
+		uint64(b.Cfg.Seed),
+	}
+	if err := binary.Write(bw, order, hdr); err != nil {
+		return err
+	}
+	if err := writeLabels(bw, b.Labels); err != nil {
+		return err
+	}
+	for _, m := range []*mat.Dense{b.Xf, b.Xb, b.Y} {
+		if err := writeDense(bw, m); err != nil {
+			return err
+		}
+	}
+	for _, m := range []*sparse.CSR{b.Adj, b.Attr} {
+		if err := writeCSR(bw, m); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBundle deserializes a bundle written by WriteBundle and validates
+// that its parts agree with each other.
+func ReadBundle(r io.Reader) (*Bundle, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	hdr := make([]uint64, 10)
+	if err := binary.Read(br, order, hdr); err != nil {
+		return nil, fmt.Errorf("store: reading bundle header: %w", err)
+	}
+	if hdr[0] != magicBundle {
+		return nil, fmt.Errorf("store: bad bundle magic %#x", hdr[0])
+	}
+	if hdr[1] != bundleFormatV {
+		return nil, fmt.Errorf("store: unsupported bundle format version %d", hdr[1])
+	}
+	b := &Bundle{
+		ModelVersion: hdr[2],
+		Cfg: core.Config{
+			K:          int(hdr[3]),
+			Alpha:      math.Float64frombits(hdr[4]),
+			Eps:        math.Float64frombits(hdr[5]),
+			Threads:    int(hdr[6]),
+			CCDIters:   int(hdr[7]),
+			PowerIters: int(hdr[8]),
+			Seed:       int64(hdr[9]),
+		},
+	}
+	if err := b.Cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("store: bundle config: %w", err)
+	}
+	var err error
+	if b.Labels, err = readLabels(br); err != nil {
+		return nil, err
+	}
+	for _, dst := range []**mat.Dense{&b.Xf, &b.Xb, &b.Y} {
+		if *dst, err = readDense(br); err != nil {
+			return nil, err
+		}
+	}
+	for _, dst := range []**sparse.CSR{&b.Adj, &b.Attr} {
+		if *dst, err = readCSR(br); err != nil {
+			return nil, err
+		}
+	}
+	return b, b.check()
+}
+
+// check cross-validates the bundle's sections.
+func (b *Bundle) check() error {
+	n, half := b.Xf.Rows, b.Xf.Cols
+	switch {
+	case b.Xb.Rows != n || b.Xb.Cols != half:
+		return fmt.Errorf("store: bundle Xb %dx%d does not match Xf %dx%d", b.Xb.Rows, b.Xb.Cols, n, half)
+	case b.Y.Cols != half:
+		return fmt.Errorf("store: bundle Y width %d != k/2 = %d", b.Y.Cols, half)
+	case 2*half != b.Cfg.K:
+		return fmt.Errorf("store: bundle embedding width %d != config K %d", 2*half, b.Cfg.K)
+	case b.Adj.R != n || b.Adj.C != n:
+		return fmt.Errorf("store: bundle adjacency %dx%d != n=%d", b.Adj.R, b.Adj.C, n)
+	case b.Attr.R != n || b.Attr.C != b.Y.Rows:
+		return fmt.Errorf("store: bundle attribute matrix %dx%d != %dx%d", b.Attr.R, b.Attr.C, n, b.Y.Rows)
+	case b.Labels != nil && len(b.Labels) != n:
+		return fmt.Errorf("store: bundle labels length %d != n=%d", len(b.Labels), n)
+	}
+	return nil
+}
+
+// writeLabels encodes optional per-node label sets: a presence flag, then
+// node count, per-node set sizes, and the flattened label values.
+func writeLabels(w io.Writer, labels [][]int) error {
+	if labels == nil {
+		return binary.Write(w, order, uint64(0))
+	}
+	if err := binary.Write(w, order, uint64(1)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, order, uint64(len(labels))); err != nil {
+		return err
+	}
+	counts := make([]uint64, len(labels))
+	var total int
+	for i, ls := range labels {
+		counts[i] = uint64(len(ls))
+		total += len(ls)
+	}
+	if err := binary.Write(w, order, counts); err != nil {
+		return err
+	}
+	flat := make([]int64, 0, total)
+	for _, ls := range labels {
+		for _, l := range ls {
+			flat = append(flat, int64(l))
+		}
+	}
+	return binary.Write(w, order, flat)
+}
+
+func readLabels(r io.Reader) ([][]int, error) {
+	var present uint64
+	if err := binary.Read(r, order, &present); err != nil {
+		return nil, fmt.Errorf("store: reading label flag: %w", err)
+	}
+	if present == 0 {
+		return nil, nil
+	}
+	var n uint64
+	if err := binary.Read(r, order, &n); err != nil {
+		return nil, fmt.Errorf("store: reading label count: %w", err)
+	}
+	const limit = 1 << 31 // node count bound; keeps the counts slice small
+	if n > limit {
+		return nil, fmt.Errorf("store: implausible label count %d", n)
+	}
+	counts := make([]uint64, n)
+	if err := binary.Read(r, order, counts); err != nil {
+		return nil, fmt.Errorf("store: reading label sizes: %w", err)
+	}
+	// Bound each count and the running total inside the loop: a single
+	// overflow-crafted count (or a sum that wraps uint64) must fail here,
+	// not panic in make below.
+	var total uint64
+	for i, c := range counts {
+		if c > 1<<33 {
+			return nil, fmt.Errorf("store: implausible label size %d at node %d", c, i)
+		}
+		total += c
+		if total > 1<<33 {
+			return nil, fmt.Errorf("store: implausible label total %d", total)
+		}
+	}
+	flat := make([]int64, total)
+	if err := binary.Read(r, order, flat); err != nil {
+		return nil, fmt.Errorf("store: reading labels: %w", err)
+	}
+	labels := make([][]int, n)
+	off := 0
+	for i, c := range counts {
+		ls := make([]int, c)
+		for j := range ls {
+			ls[j] = int(flat[off])
+			off++
+		}
+		labels[i] = ls
+	}
+	return labels, nil
+}
+
+// SaveBundleFile writes b to path atomically (temp file + rename), so a
+// crash mid-snapshot never clobbers the previous good bundle.
+func SaveBundleFile(path string, b *Bundle) error {
+	return saveAtomic(path, func(w io.Writer) error { return WriteBundle(w, b) })
+}
+
+// LoadBundleFile reads a bundle from path.
+func LoadBundleFile(path string) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBundle(f)
+}

@@ -1,0 +1,173 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"pane/internal/core"
+	"pane/internal/mat"
+	"pane/internal/sparse"
+)
+
+func testBundle(withLabels bool) *Bundle {
+	rng := rand.New(rand.NewSource(7))
+	randDense := func(r, c int) *mat.Dense {
+		m := mat.New(r, c)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		return m
+	}
+	n, d, half := 5, 3, 2
+	adj := sparse.NewCSR(n, n, []sparse.Entry{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 2, Val: 1},
+		{Row: 2, Col: 0, Val: 1}, {Row: 3, Col: 4, Val: 1},
+	})
+	attr := sparse.NewCSR(n, d, []sparse.Entry{
+		{Row: 0, Col: 0, Val: 0.5}, {Row: 1, Col: 2, Val: 2},
+		{Row: 4, Col: 1, Val: 1},
+	})
+	b := &Bundle{
+		ModelVersion: 42,
+		Cfg:          core.Config{K: 2 * half, Alpha: 0.5, Eps: 0.015, Threads: 3, Seed: 9},
+		Xf:           randDense(n, half),
+		Xb:           randDense(n, half),
+		Y:            randDense(d, half),
+		Adj:          adj,
+		Attr:         attr,
+	}
+	if withLabels {
+		b.Labels = [][]int{{0}, {1, 2}, {}, {0, 1}, {}}
+	}
+	return b
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	for _, withLabels := range []bool{false, true} {
+		b := testBundle(withLabels)
+		var buf bytes.Buffer
+		if err := WriteBundle(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBundle(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ModelVersion != 42 {
+			t.Fatalf("version %d", got.ModelVersion)
+		}
+		if got.Cfg != b.Cfg {
+			t.Fatalf("config %+v != %+v", got.Cfg, b.Cfg)
+		}
+		for name, pair := range map[string][2]*mat.Dense{
+			"Xf": {got.Xf, b.Xf}, "Xb": {got.Xb, b.Xb}, "Y": {got.Y, b.Y},
+		} {
+			if !pair[0].Equal(pair[1], 0) {
+				t.Fatalf("%s not bit-equal after round trip", name)
+			}
+		}
+		if got.Adj.NNZ() != b.Adj.NNZ() || got.Attr.NNZ() != b.Attr.NNZ() {
+			t.Fatal("CSR nnz changed")
+		}
+		if withLabels {
+			if len(got.Labels) != 5 || len(got.Labels[1]) != 2 || got.Labels[3][1] != 1 {
+				t.Fatalf("labels %v", got.Labels)
+			}
+		} else if got.Labels != nil {
+			t.Fatalf("labels should be nil, got %v", got.Labels)
+		}
+
+		// Deterministic: re-serializing the read bundle is byte-identical.
+		var buf2 bytes.Buffer
+		if err := WriteBundle(&buf2, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("bundle serialization not deterministic")
+		}
+	}
+}
+
+func TestBundleFileAtomicSave(t *testing.T) {
+	b := testBundle(true)
+	path := filepath.Join(t.TempDir(), "m.pane")
+	if err := SaveBundleFile(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBundleFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ModelVersion != b.ModelVersion || !got.Xf.Equal(b.Xf, 0) {
+		t.Fatal("file round trip changed the bundle")
+	}
+}
+
+func TestBundleRejectsCorruption(t *testing.T) {
+	b := testBundle(false)
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xFF
+	if _, err := ReadBundle(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+	// Bad format version.
+	bad = append([]byte(nil), raw...)
+	bad[8] = 99
+	if _, err := ReadBundle(bytes.NewReader(bad)); err == nil {
+		t.Fatal("future format version accepted")
+	}
+	// Truncation anywhere must error, never panic.
+	for _, cut := range []int{10, len(raw) / 2, len(raw) - 3} {
+		if _, err := ReadBundle(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Invalid config (K = 0) must be rejected by validation.
+	bad = append([]byte(nil), raw...)
+	for i := 24; i < 32; i++ { // K field, little-endian
+		bad[i] = 0
+	}
+	if _, err := ReadBundle(bytes.NewReader(bad)); err == nil {
+		t.Fatal("zero K accepted")
+	}
+}
+
+func TestReadLabelsRejectsOverflowingCounts(t *testing.T) {
+	// Per-node counts of 2^63 sum (mod 2^64) to 0: a naive total check
+	// passes and make() panics. The reader must error gracefully instead.
+	var buf bytes.Buffer
+	for _, v := range []uint64{1, 2, 1 << 63, 1 << 63} { // present, n, counts...
+		if err := binaryWriteU64(&buf, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := readLabels(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("overflowing label counts accepted")
+	}
+	// A giant node count must be rejected before allocating the counts slice.
+	buf.Reset()
+	for _, v := range []uint64{1, 1 << 40} {
+		if err := binaryWriteU64(&buf, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := readLabels(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("giant label count accepted")
+	}
+}
+
+func binaryWriteU64(buf *bytes.Buffer, v uint64) error {
+	var b [8]byte
+	order.PutUint64(b[:], v)
+	_, err := buf.Write(b[:])
+	return err
+}

@@ -1,8 +1,9 @@
 // Package store provides compact binary serialization for the repository's
-// large artifacts — CSR graphs and embedding matrices — so pipelines can
-// persist a 10⁸-edge graph or a 10⁷-row embedding without the 3-4x size
-// and parse cost of the text formats. The format is little-endian,
-// versioned, and self-describing enough to fail loudly on corruption.
+// large artifacts — CSR graphs, embedding matrices, and whole model
+// bundles — so pipelines can persist a 10⁸-edge graph or a 10⁷-row
+// embedding without the 3-4x size and parse cost of the text formats. The
+// format is little-endian, versioned, and self-describing enough to fail
+// loudly on corruption.
 package store
 
 import (
@@ -12,12 +13,13 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"pane/internal/mat"
 	"pane/internal/sparse"
 )
 
-// Magic numbers identify the two artifact kinds.
+// Magic numbers identify the artifact kinds.
 const (
 	magicCSR   = 0x43535231 // "CSR1"
 	magicDense = 0x444E5331 // "DNS1"
@@ -28,35 +30,47 @@ var order = binary.LittleEndian
 // WriteCSR serializes m.
 func WriteCSR(w io.Writer, m *sparse.CSR) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	hdr := []uint64{magicCSR, uint64(m.R), uint64(m.C), uint64(m.NNZ())}
-	for _, v := range hdr {
-		if err := binary.Write(bw, order, v); err != nil {
-			return err
-		}
-	}
-	for _, p := range m.RowPtr {
-		if err := binary.Write(bw, order, uint64(p)); err != nil {
-			return err
-		}
-	}
-	if err := binary.Write(bw, order, m.Cols); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, order, m.Vals); err != nil {
+	if err := writeCSR(bw, m); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
+// writeCSR writes the CSR section to w without buffering or flushing,
+// so sections can be composed on one stream (see bundle.go).
+func writeCSR(w io.Writer, m *sparse.CSR) error {
+	hdr := []uint64{magicCSR, uint64(m.R), uint64(m.C), uint64(m.NNZ())}
+	if err := binary.Write(w, order, hdr); err != nil {
+		return err
+	}
+	// One bulk write for the row pointers: binary.Write on a []uint64 hits
+	// encoding/binary's fast path, vs a reflection round trip per element.
+	ptr := make([]uint64, len(m.RowPtr))
+	for i, p := range m.RowPtr {
+		ptr[i] = uint64(p)
+	}
+	if err := binary.Write(w, order, ptr); err != nil {
+		return err
+	}
+	if err := binary.Write(w, order, m.Cols); err != nil {
+		return err
+	}
+	return binary.Write(w, order, m.Vals)
+}
+
 // ReadCSR deserializes a CSR written by WriteCSR.
 func ReadCSR(r io.Reader) (*sparse.CSR, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	var magic, rows, cols, nnz uint64
-	for _, p := range []*uint64{&magic, &rows, &cols, &nnz} {
-		if err := binary.Read(br, order, p); err != nil {
-			return nil, fmt.Errorf("store: reading CSR header: %w", err)
-		}
+	return readCSR(bufio.NewReaderSize(r, 1<<20))
+}
+
+// readCSR reads exactly one CSR section from r. It performs only exact-
+// length reads (no readahead), so it is safe on a shared stream.
+func readCSR(r io.Reader) (*sparse.CSR, error) {
+	hdr := make([]uint64, 4)
+	if err := binary.Read(r, order, hdr); err != nil {
+		return nil, fmt.Errorf("store: reading CSR header: %w", err)
 	}
+	magic, rows, cols, nnz := hdr[0], hdr[1], hdr[2], hdr[3]
 	if magic != magicCSR {
 		return nil, fmt.Errorf("store: bad CSR magic %#x", magic)
 	}
@@ -70,20 +84,20 @@ func ReadCSR(r io.Reader) (*sparse.CSR, error) {
 		Cols:   make([]int32, nnz),
 		Vals:   make([]float64, nnz),
 	}
-	for i := range m.RowPtr {
-		var v uint64
-		if err := binary.Read(br, order, &v); err != nil {
-			return nil, fmt.Errorf("store: reading row pointers: %w", err)
-		}
+	ptr := make([]uint64, rows+1)
+	if err := binary.Read(r, order, ptr); err != nil {
+		return nil, fmt.Errorf("store: reading row pointers: %w", err)
+	}
+	for i, v := range ptr {
 		m.RowPtr[i] = int(v)
 	}
 	if m.RowPtr[rows] != int(nnz) {
 		return nil, fmt.Errorf("store: row pointer tail %d != nnz %d", m.RowPtr[rows], nnz)
 	}
-	if err := binary.Read(br, order, m.Cols); err != nil {
+	if err := binary.Read(r, order, m.Cols); err != nil {
 		return nil, fmt.Errorf("store: reading columns: %w", err)
 	}
-	if err := binary.Read(br, order, m.Vals); err != nil {
+	if err := binary.Read(r, order, m.Vals); err != nil {
 		return nil, fmt.Errorf("store: reading values: %w", err)
 	}
 	for i, c := range m.Cols {
@@ -97,27 +111,33 @@ func ReadCSR(r io.Reader) (*sparse.CSR, error) {
 // WriteDense serializes m.
 func WriteDense(w io.Writer, m *mat.Dense) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	hdr := []uint64{magicDense, uint64(m.Rows), uint64(m.Cols)}
-	for _, v := range hdr {
-		if err := binary.Write(bw, order, v); err != nil {
-			return err
-		}
-	}
-	if err := binary.Write(bw, order, m.Data); err != nil {
+	if err := writeDense(bw, m); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
+// writeDense writes the dense section to w without buffering or flushing.
+func writeDense(w io.Writer, m *mat.Dense) error {
+	hdr := []uint64{magicDense, uint64(m.Rows), uint64(m.Cols)}
+	if err := binary.Write(w, order, hdr); err != nil {
+		return err
+	}
+	return binary.Write(w, order, m.Data)
+}
+
 // ReadDense deserializes a matrix written by WriteDense.
 func ReadDense(r io.Reader) (*mat.Dense, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	var magic, rows, cols uint64
-	for _, p := range []*uint64{&magic, &rows, &cols} {
-		if err := binary.Read(br, order, p); err != nil {
-			return nil, fmt.Errorf("store: reading dense header: %w", err)
-		}
+	return readDense(bufio.NewReaderSize(r, 1<<20))
+}
+
+// readDense reads exactly one dense section from r with exact-length reads.
+func readDense(r io.Reader) (*mat.Dense, error) {
+	hdr := make([]uint64, 3)
+	if err := binary.Read(r, order, hdr); err != nil {
+		return nil, fmt.Errorf("store: reading dense header: %w", err)
 	}
+	magic, rows, cols := hdr[0], hdr[1], hdr[2]
 	if magic != magicDense {
 		return nil, fmt.Errorf("store: bad dense magic %#x", magic)
 	}
@@ -125,7 +145,7 @@ func ReadDense(r io.Reader) (*mat.Dense, error) {
 		return nil, fmt.Errorf("store: implausible dense dimensions %dx%d", rows, cols)
 	}
 	m := mat.New(int(rows), int(cols))
-	if err := binary.Read(br, order, m.Data); err != nil {
+	if err := binary.Read(r, order, m.Data); err != nil {
 		return nil, fmt.Errorf("store: reading dense data: %w", err)
 	}
 	return m, nil
@@ -133,21 +153,7 @@ func ReadDense(r io.Reader) (*mat.Dense, error) {
 
 // SaveDenseFile writes m to path atomically (temp file + rename).
 func SaveDenseFile(path string, m *mat.Dense) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := WriteDense(f, m); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return saveAtomic(path, func(w io.Writer) error { return WriteDense(w, m) })
 }
 
 // LoadDenseFile reads a matrix from path.
@@ -162,21 +168,7 @@ func LoadDenseFile(path string) (*mat.Dense, error) {
 
 // SaveCSRFile writes m to path atomically.
 func SaveCSRFile(path string, m *sparse.CSR) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := WriteCSR(f, m); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return saveAtomic(path, func(w io.Writer) error { return WriteCSR(w, m) })
 }
 
 // LoadCSRFile reads a CSR from path.
@@ -187,4 +179,36 @@ func LoadCSRFile(path string) (*sparse.CSR, error) {
 	}
 	defer f.Close()
 	return ReadCSR(f)
+}
+
+// saveAtomic writes via a temp file in path's directory and renames it
+// into place, so readers never observe a partially written artifact. The
+// temp name is unique per writer (os.CreateTemp), so concurrent saves to
+// the same path never interleave into one torn file — whichever rename
+// lands last wins with a complete artifact.
+func saveAtomic(path string, write func(w io.Writer) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
