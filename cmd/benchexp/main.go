@@ -7,6 +7,11 @@
 //
 //	benchexp -exp table2|table3|table4|table5|fig2|fig3|fig4a|fig4b|fig4c|fig5|fig6|fig7|fig8|all
 //	         [-datasets cora,citeseer,...] [-k 128] [-threads 10] [-quick]
+//
+// Beyond the paper, `-exp topk` measures the serving path added in
+// internal/index — brute-force scan vs exact index vs IVF QPS and
+// recall@k on a generated graph — and writes the result to -json
+// (default BENCH_topk.json).
 package main
 
 import (
@@ -30,6 +35,8 @@ func main() {
 		threads  = flag.Int("threads", 10, "worker threads")
 		quick    = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 		seed     = flag.Int64("seed", 1, "random seed")
+		topkN    = flag.Int("topk-n", 100000, "graph size for -exp topk")
+		topkJSON = flag.String("json", "BENCH_topk.json", "output path for the -exp topk JSON report")
 	)
 	flag.Parse()
 
@@ -146,6 +153,30 @@ func main() {
 			} else {
 				experiments.PrintInitPoints(os.Stdout, "Figure 8: GreedyInit vs random (attribute inference)", attr)
 			}
+		case "topk":
+			// Explicit flags win; otherwise -quick shrinks the graph and
+			// the index comparison defaults to a lighter K=32 than the
+			// paper experiments' 128.
+			n, topkK := *topkN, 32
+			nSet := false
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "k":
+					topkK = *k // not opt.K, which -quick rewrites
+				case "topk-n":
+					nSet = true
+				}
+			})
+			if *quick && !nSet {
+				n = 20000
+			}
+			b, err := experiments.RunTopK(experiments.TopKOptions{
+				N: n, K: topkK, Threads: opt.Threads, Seed: opt.Seed,
+			})
+			check(err)
+			experiments.PrintTopK(os.Stdout, b)
+			check(experiments.WriteTopKJSON(*topkJSON, b))
+			fmt.Printf("wrote %s\n", *topkJSON)
 		default:
 			log.Fatalf("unknown experiment %q", id)
 		}

@@ -47,10 +47,36 @@ func main() {
 		threads   = flag.Int("threads", 10, "worker threads")
 		seed      = flag.Int64("seed", 1, "random seed")
 		sweeps    = flag.Int("sweeps", engine.DefaultUpdateSweeps, "CCD sweeps per dynamic update")
+		indexMode = flag.String("index", "auto", "serving index: off, exact, ivf (exact+IVF), or auto (bundle setting when present, ivf otherwise)")
+		nlist     = flag.Int("nlist", 0, "IVF coarse clusters (0 = sqrt(n))")
+		nprobe    = flag.Int("nprobe", 0, "default IVF lists probed per query (0 = nlist/8)")
 	)
 	flag.Parse()
 	if *snapEvery > 0 && *snapPath == "" {
 		log.Fatal("-snapshot-every requires -snapshot")
+	}
+
+	// indexOpts maps -index to engine options. "auto" defers to a loaded
+	// bundle's recorded configuration and falls back to full indexing
+	// when there is none (or when training fresh).
+	indexOpts := func(loading bool) []engine.Option {
+		ivfCfg := engine.IndexConfig{IVF: true, NList: *nlist, NProbe: *nprobe}
+		switch *indexMode {
+		case "off":
+			if loading {
+				return []engine.Option{engine.WithoutIndex()}
+			}
+			return nil
+		case "exact":
+			return []engine.Option{engine.WithIndex(engine.IndexConfig{})}
+		case "ivf":
+			return []engine.Option{engine.WithIndex(ivfCfg)}
+		case "auto":
+			return []engine.Option{engine.WithFallbackIndex(ivfCfg)}
+		default:
+			log.Fatalf("unknown -index mode %q (want off, exact, ivf, or auto)", *indexMode)
+			return nil
+		}
 	}
 
 	var (
@@ -59,7 +85,8 @@ func main() {
 	)
 	switch {
 	case *loadPath != "":
-		eng, err = engine.Open(*loadPath, engine.WithUpdateSweeps(*sweeps))
+		opts := append([]engine.Option{engine.WithUpdateSweeps(*sweeps)}, indexOpts(true)...)
+		eng, err = engine.Open(*loadPath, opts...)
 		if err != nil {
 			log.Fatalf("restoring bundle: %v", err)
 		}
@@ -73,7 +100,8 @@ func main() {
 		}
 		cfg := core.Config{K: *k, Alpha: *alpha, Eps: *eps, Threads: *threads, Seed: *seed}
 		start := time.Now()
-		eng, err = engine.Train(g, cfg, engine.WithUpdateSweeps(*sweeps))
+		opts := append([]engine.Option{engine.WithUpdateSweeps(*sweeps)}, indexOpts(false)...)
+		eng, err = engine.Train(g, cfg, opts...)
 		if err != nil {
 			log.Fatalf("training: %v", err)
 		}
@@ -87,6 +115,12 @@ func main() {
 	default:
 		flag.Usage()
 		log.Fatal("either -load or both -edges and -attrs are required")
+	}
+
+	if st := eng.IndexStatus(); st.Enabled {
+		log.Printf("serving index: version %d, ivf=%v nlist=%d nprobe=%d", st.Version, st.IVF, st.NList, st.NProbe)
+	} else {
+		log.Print("serving index: disabled (top-k queries scan)")
 	}
 
 	var opts []server.Option

@@ -29,7 +29,9 @@ func main() {
 	cfg := core.Config{K: 64, Alpha: 0.5, Eps: 0.015, Threads: 4, Seed: 1}
 
 	start := time.Now()
-	eng, err := engine.Train(g, cfg, engine.WithUpdateSweeps(2))
+	eng, err := engine.Train(g, cfg,
+		engine.WithUpdateSweeps(2),
+		engine.WithIndex(engine.IndexConfig{IVF: true}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,6 +61,20 @@ func main() {
 		updTotal += time.Since(start)
 		fmt.Printf("  +%d edges -> version %d (m=%d, %.2fs)\n",
 			perBatch, m.Version, m.Graph.M(), time.Since(start).Seconds())
+	}
+
+	// Top-k queries stay live throughout: each model version gets its own
+	// serving index (exact + IVF), rebuilt asynchronously after an update
+	// lands. A query that arrives mid-rebuild is answered by brute force
+	// at the current version — the response says which backend ran.
+	eng.WaitForIndex()
+	for _, mode := range []string{engine.ModeExact, engine.ModeIVF} {
+		ans, err := eng.TopLinks(0, 3, mode, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("top-links(0) mode=%-5s -> backend=%-5s version=%d top=%v\n",
+			mode, ans.Backend, ans.Version, ans.Results)
 	}
 
 	// How good is the warm-updated model? Compare against a cold retrain
@@ -91,9 +107,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	three := 3
 	queries := []engine.Query{
 		{Op: engine.OpLinkScore, Src: 0, Dst: 1},
-		{Op: engine.OpTopAttrs, Node: 2, K: 3},
+		{Op: engine.OpTopAttrs, Node: 2, K: &three},
 	}
 	before, bv := eng.Execute(queries)
 	after, av := restored.Execute(queries)

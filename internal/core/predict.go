@@ -54,6 +54,28 @@ func (s *LinkScorer) Undirected(u, v int) float64 {
 	return s.Directed(u, v) + s.Directed(v, u)
 }
 
+// TransformedCandidates materializes Z = Xb·G (G = YᵀY is symmetric), the
+// n x k/2 candidate matrix of the link model: p(u, v) = Xf[u]·Z[v]ᵀ.
+// Computing Z once per model version moves the per-query O(k²) transform
+// of TopKTargets into an index build step (internal/index), leaving each
+// candidate at one O(k/2) dot product with no per-query setup. nb is the
+// worker count for the multiply.
+func (s *LinkScorer) TransformedCandidates(nb int) *mat.Dense {
+	return mat.ParMul(s.e.Xb, s.g, nb)
+}
+
+// AttrQueryInto writes the attribute-inference query vector of node v,
+// Xf[v] + Xb[v], into dst (which must have length k/2) and returns it:
+// dst·Y[r]ᵀ equals AttrScore(v, r) up to floating-point association, so Y
+// itself is the candidate matrix for indexed attribute retrieval.
+func (e *Embedding) AttrQueryInto(v int, dst []float64) []float64 {
+	xf, xb := e.Xf.Row(v), e.Xb.Row(v)
+	for i := range dst {
+		dst[i] = xf[i] + xb[i]
+	}
+	return dst
+}
+
 // ClassifierFeatures returns the per-node feature vectors used for node
 // classification (§5.4): the forward and backward embeddings of each node
 // are L2-normalized independently and concatenated into a length-K vector.

@@ -10,11 +10,25 @@ type Scored struct {
 	Score float64
 }
 
-// scoredHeap is a min-heap on Score, used to keep the running top-k.
+// Better reports whether a ranks strictly ahead of b in top-k order:
+// higher score first, equal scores broken by ascending ID. The explicit
+// tie-break makes every top-k producer in the repository — the heap scans
+// below, and the exact and IVF backends of internal/index — return
+// bit-for-bit identical rankings on identical scores, regardless of
+// candidate visit order or worker count.
+func Better(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// scoredHeap is a min-heap whose root is the weakest kept candidate under
+// Better — the next one to evict when a better candidate arrives.
 type scoredHeap []Scored
 
 func (h scoredHeap) Len() int            { return len(h) }
-func (h scoredHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h scoredHeap) Less(i, j int) bool  { return Better(h[j], h[i]) }
 func (h scoredHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *scoredHeap) Push(x interface{}) { *h = append(*h, x.(Scored)) }
 func (h *scoredHeap) Pop() interface{} {
@@ -25,11 +39,52 @@ func (h *scoredHeap) Pop() interface{} {
 	return item
 }
 
-// topK drains a heap into descending score order.
-func topK(h *scoredHeap) []Scored {
-	out := make([]Scored, h.Len())
+// TopK accumulates a stream of scored candidates and retains the k best
+// under Better. Candidate ids must be unique within one accumulation.
+// The zero value is unusable; call NewTopK.
+type TopK struct {
+	k int
+	h scoredHeap
+}
+
+// NewTopK returns an accumulator keeping the best k candidates. k < 1
+// keeps none.
+func NewTopK(k int) *TopK {
+	if k < 0 {
+		k = 0
+	}
+	prealloc := k
+	if prealloc > 1024 {
+		prealloc = 1024
+	}
+	return &TopK{k: k, h: make(scoredHeap, 0, prealloc)}
+}
+
+// Offer considers one candidate.
+func (t *TopK) Offer(id int, score float64) {
+	if t.k == 0 {
+		return
+	}
+	s := Scored{ID: id, Score: score}
+	if len(t.h) < t.k {
+		heap.Push(&t.h, s)
+		return
+	}
+	if Better(s, t.h[0]) {
+		t.h[0] = s
+		heap.Fix(&t.h, 0)
+	}
+}
+
+// Len returns the number of candidates currently retained.
+func (t *TopK) Len() int { return len(t.h) }
+
+// Take drains the accumulator into descending rank order (highest score
+// first, ascending ID on ties). The accumulator is empty afterwards.
+func (t *TopK) Take() []Scored {
+	out := make([]Scored, len(t.h))
 	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(Scored)
+		out[i] = heap.Pop(&t.h).(Scored)
 	}
 	return out
 }
@@ -37,33 +92,28 @@ func topK(h *scoredHeap) []Scored {
 // TopKAttrs returns the k attributes with the highest inferred affinity
 // to node v (Equation 21), optionally excluding a set of attribute ids
 // (e.g. the ones already observed, for missing-attribute suggestion).
-// Results are sorted by descending score.
+// Results are sorted by descending score, ties by ascending id.
 func (e *Embedding) TopKAttrs(v, k int, exclude map[int]bool) []Scored {
-	h := &scoredHeap{}
-	heap.Init(h)
+	t := NewTopK(k)
 	for r := 0; r < e.Y.Rows; r++ {
 		if exclude != nil && exclude[r] {
 			continue
 		}
-		s := e.AttrScore(v, r)
-		if h.Len() < k {
-			heap.Push(h, Scored{ID: r, Score: s})
-		} else if s > (*h)[0].Score {
-			(*h)[0] = Scored{ID: r, Score: s}
-			heap.Fix(h, 0)
-		}
+		t.Offer(r, e.AttrScore(v, r))
 	}
-	return topK(h)
+	return t.Take()
 }
 
 // TopKTargets returns the k most plausible out-neighbors of node u under
 // the link model (Equation 22), excluding u itself and any ids in
 // exclude (e.g. existing out-neighbors, for recommendation). Results are
-// sorted by descending score.
+// sorted by descending score, ties by ascending id.
 //
 // Complexity: O(n·k²/4) per query via the precomputed Gram matrix —
 // compute q = Xf[u]·G once (O(k²)), then score each candidate with one
-// O(k/2) dot product.
+// O(k/2) dot product. internal/index amortizes the per-query transform
+// across queries by materializing the whole candidate matrix per model
+// version.
 func (s *LinkScorer) TopKTargets(u, k int, exclude map[int]bool) []Scored {
 	half := s.e.Xf.Cols
 	// q = Xf[u] · G, a length-(k/2) vector.
@@ -78,8 +128,7 @@ func (s *LinkScorer) TopKTargets(u, k int, exclude map[int]bool) []Scored {
 			q[j] += xu[i] * gi[j]
 		}
 	}
-	h := &scoredHeap{}
-	heap.Init(h)
+	t := NewTopK(k)
 	n := s.e.Xb.Rows
 	for v := 0; v < n; v++ {
 		if v == u || (exclude != nil && exclude[v]) {
@@ -90,12 +139,7 @@ func (s *LinkScorer) TopKTargets(u, k int, exclude map[int]bool) []Scored {
 		for j := 0; j < half; j++ {
 			sc += q[j] * xv[j]
 		}
-		if h.Len() < k {
-			heap.Push(h, Scored{ID: v, Score: sc})
-		} else if sc > (*h)[0].Score {
-			(*h)[0] = Scored{ID: v, Score: sc}
-			heap.Fix(h, 0)
-		}
+		t.Offer(v, sc)
 	}
-	return topK(h)
+	return t.Take()
 }

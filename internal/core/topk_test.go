@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"pane/internal/graph"
+	"pane/internal/mat"
 )
 
 func topkEmbedding(t *testing.T) (*graph.Graph, *Embedding) {
@@ -112,6 +113,78 @@ func TestTopKTargetsExcludesSelfAndGiven(t *testing.T) {
 	}
 	if len(got) != g.N-1-len(excl) {
 		t.Fatalf("len = %d, want %d", len(got), g.N-1-len(excl))
+	}
+}
+
+func TestTopKAccumulatorMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(20)
+		// Coarse quantization forces plenty of score ties.
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(8))
+		}
+		// Offer in a random order: the result must not depend on it.
+		acc := NewTopK(k)
+		for _, i := range rng.Perm(n) {
+			acc.Offer(i, scores[i])
+		}
+		got := acc.Take()
+
+		all := make([]Scored, n)
+		for i, s := range scores {
+			all[i] = Scored{ID: i, Score: s}
+		}
+		sort.Slice(all, func(i, j int) bool { return Better(all[i], all[j]) })
+		want := all
+		if k < n {
+			want = all[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d rank %d: got %v want %v (k=%d n=%d)", trial, i, got[i], want[i], k, n)
+			}
+		}
+	}
+}
+
+func TestTopKTieBreakAscendingID(t *testing.T) {
+	// An embedding with identical attribute rows produces exact score
+	// ties; the ranking must come back in ascending attribute id.
+	row := []float64{0.3, 0.7}
+	e := &Embedding{
+		Xf: mat.FromRows([][]float64{{1, 2}}),
+		Xb: mat.FromRows([][]float64{{0.5, 0.25}}),
+		Y:  mat.FromRows([][]float64{row, row, row, row}),
+	}
+	got := e.TopKAttrs(0, 3, nil)
+	for i, s := range got {
+		if s.ID != i {
+			t.Fatalf("tie order %v, want ids 0,1,2", got)
+		}
+	}
+	// And with an exclusion, the next-smallest id fills in.
+	got = e.TopKAttrs(0, 3, map[int]bool{0: true})
+	if got[0].ID != 1 || got[1].ID != 2 || got[2].ID != 3 {
+		t.Fatalf("tie order with exclusion %v", got)
+	}
+}
+
+func TestTopKZeroAndNegativeK(t *testing.T) {
+	acc := NewTopK(0)
+	acc.Offer(1, 5)
+	if acc.Len() != 0 || len(acc.Take()) != 0 {
+		t.Fatal("k=0 kept candidates")
+	}
+	acc = NewTopK(-3)
+	acc.Offer(1, 5)
+	if len(acc.Take()) != 0 {
+		t.Fatal("negative k kept candidates")
 	}
 }
 

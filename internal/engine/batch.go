@@ -9,7 +9,9 @@ import (
 // Batch query execution: N heterogeneous queries evaluated against ONE
 // model version. Under live updates this matters — issuing the same
 // queries one at a time could straddle a version swap and mix scores from
-// two embeddings; a batch never does.
+// two embeddings; a batch never does. Top-k queries in a batch route
+// through the same per-version index as the single-query endpoints, and
+// each result reports the backend that answered it.
 
 // Query ops understood by Execute.
 const (
@@ -19,15 +21,27 @@ const (
 	OpTopLinks  = "top-links"  // K most plausible out-neighbors of Src
 )
 
+// DefaultK is the top-k result count when a query leaves K unset.
+const DefaultK = 10
+
 // Query is one element of a batch. Only the fields relevant to Op are
-// read; K defaults to 10 and is clamped to the candidate count.
+// read.
 type Query struct {
 	Op   string `json:"op"`
 	Node int    `json:"node"`
 	Attr int    `json:"attr"`
 	Src  int    `json:"src"`
 	Dst  int    `json:"dst"`
-	K    int    `json:"k"`
+	// K is the result count for top-k ops: omitted defaults to DefaultK
+	// and is clamped to the candidate count, but an explicit value < 1
+	// fails the query rather than being silently rewritten.
+	K *int `json:"k,omitempty"`
+	// Mode selects the top-k backend, ModeExact (default when empty) or
+	// ModeIVF.
+	Mode string `json:"mode,omitempty"`
+	// NProbe overrides the IVF probe count for this query; 0 keeps the
+	// index default.
+	NProbe int `json:"nprobe,omitempty"`
 }
 
 // Result is the outcome of one query. Exactly one of the value fields is
@@ -38,26 +52,35 @@ type Result struct {
 	Score      *float64      `json:"score,omitempty"`
 	Undirected *float64      `json:"undirected,omitempty"`
 	Top        []core.Scored `json:"top,omitempty"`
-	Err        string        `json:"error,omitempty"`
+	// Backend reports which path answered a top-k op: BackendExact,
+	// BackendIVF, or BackendScan (brute force; no fresh index).
+	Backend string `json:"backend,omitempty"`
+	Err     string `json:"error,omitempty"`
 }
 
 // Execute evaluates a batch of heterogeneous queries against an Engine's
-// current model and reports the version they were all answered at.
+// current model — resolving the model and its serving index once, so the
+// whole batch is answered at one version — and reports that version.
 func (e *Engine) Execute(qs []Query) ([]Result, uint64) {
 	m := e.Model()
-	return m.Execute(qs), m.Version
+	s := e.freshIndex(m)
+	return m.execute(qs, s), m.Version
 }
 
-// Execute evaluates the batch against this specific model version.
-func (m *Model) Execute(qs []Query) []Result {
+// Execute evaluates the batch against this specific model version. Top-k
+// queries take the brute-force scan path; use Engine.Execute for indexed
+// batches.
+func (m *Model) Execute(qs []Query) []Result { return m.execute(qs, nil) }
+
+func (m *Model) execute(qs []Query, s *indexSet) []Result {
 	out := make([]Result, len(qs))
 	for i, q := range qs {
-		out[i] = m.run(q)
+		out[i] = m.run(q, s)
 	}
 	return out
 }
 
-func (m *Model) run(q Query) Result {
+func (m *Model) run(q Query, s *indexSet) Result {
 	res := Result{Op: q.Op}
 	fail := func(format string, args ...interface{}) Result {
 		res.Err = fmt.Sprintf(format, args...)
@@ -86,27 +109,39 @@ func (m *Model) run(q Query) Result {
 		res.Score = &s
 		res.Undirected = &u
 	case OpTopAttrs:
-		if !inRange(q.Node, m.Nodes()) {
-			return fail("node %d out of range [0,%d)", q.Node, m.Nodes())
+		k, err := batchK(q.K)
+		if err != nil {
+			return fail("%v", err)
 		}
-		res.Top = m.Emb.TopKAttrs(q.Node, clampK(q.K, m.Attrs()), nil)
+		top, backend, err := m.topAttrs(s, q.Node, k, q.Mode, q.NProbe)
+		if err != nil {
+			return fail("%v", err)
+		}
+		res.Top, res.Backend = top, backend
 	case OpTopLinks:
-		if !inRange(q.Src, m.Nodes()) {
-			return fail("src %d out of range [0,%d)", q.Src, m.Nodes())
+		k, err := batchK(q.K)
+		if err != nil {
+			return fail("%v", err)
 		}
-		res.Top = m.Scorer.TopKTargets(q.Src, clampK(q.K, m.Nodes()), nil)
+		top, backend, err := m.topLinks(s, q.Src, k, q.Mode, q.NProbe)
+		if err != nil {
+			return fail("%v", err)
+		}
+		res.Top, res.Backend = top, backend
 	default:
 		return fail("unknown op %q", q.Op)
 	}
 	return res
 }
 
-func clampK(k, max int) int {
-	if k < 1 {
-		k = 10
+// batchK resolves a batch query's K: nil means DefaultK, and an explicit
+// value below 1 is an error — never a silent rewrite.
+func batchK(k *int) (int, error) {
+	if k == nil {
+		return DefaultK, nil
 	}
-	if k > max {
-		k = max
+	if *k < 1 {
+		return 0, fmt.Errorf("k must be >= 1, got %d", *k)
 	}
-	return k
+	return *k, nil
 }

@@ -46,7 +46,29 @@ func (m *Model) Attrs() int { return m.Graph.D }
 type Engine struct {
 	cur     atomic.Pointer[Model]
 	writeMu sync.Mutex // serializes updates; never held by readers
-	sweeps  int        // CCD sweeps per warm-start update
+
+	sweeps int // CCD sweeps per warm-start update
+
+	// Serving-index state (see index.go). idx is published separately
+	// from cur: queries accept it only when its version matches the model
+	// they resolved, so a mid-rebuild index is never consulted.
+	idxCfg    *IndexConfig
+	idxManual bool
+	idx       atomic.Pointer[indexSet]
+	idxMu     sync.Mutex // serializes index builds
+	// Async rebuild scheduling state, all under idxStateMu: at most one
+	// worker goroutine runs at a time (idxRunning); updates mark
+	// idxDirty instead of spawning, and the worker loops until it exits
+	// with the dirty flag clear — so every published version is either
+	// seen by the running worker's next loop or triggers a fresh worker,
+	// and a sustained update stream never piles up goroutines.
+	// WaitForIndex waits on idxIdleC for both flags to drop. (A plain
+	// WaitGroup would be unsafe here: updates keep Add-ing while waiters
+	// Wait, the exact concurrent Add/Wait reuse the contract forbids.)
+	idxStateMu sync.Mutex
+	idxIdleC   *sync.Cond
+	idxDirty   bool
+	idxRunning bool
 }
 
 // DefaultUpdateSweeps is the number of CCD refinement sweeps an update
@@ -81,6 +103,7 @@ func newEngine(g *graph.Graph, emb *core.Embedding, cfg core.Config, version uin
 			emb.Xf.Rows, emb.Y.Rows, emb.K(), g.N, g.D, cfg.K)
 	}
 	e := &Engine{sweeps: DefaultUpdateSweeps}
+	e.idxIdleC = sync.NewCond(&e.idxStateMu)
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -91,6 +114,11 @@ func newEngine(g *graph.Graph, emb *core.Embedding, cfg core.Config, version uin
 		Emb:     emb,
 		Scorer:  core.NewLinkScorer(emb),
 	})
+	// Build the initial index synchronously so a fresh engine serves
+	// indexed queries from its first request.
+	if e.idxCfg != nil {
+		e.rebuildIndex()
+	}
 	return e, nil
 }
 
@@ -162,6 +190,9 @@ func (e *Engine) apply(edges []graph.Edge, attrs []graph.AttrEntry) (*Model, err
 		Scorer:  core.NewLinkScorer(emb),
 	}
 	e.cur.Store(next)
+	// The model is live immediately; the index catches up asynchronously
+	// and queries fall back to the scan path until it publishes.
+	e.scheduleIndexRebuild()
 	return next, nil
 }
 
@@ -181,6 +212,11 @@ func (e *Engine) Snapshot(path string) (*Model, error) {
 		Attr:         m.Graph.Attr,
 		Labels:       m.Graph.Labels,
 	}
+	if c := e.idxCfg; c != nil {
+		// writeIndexMeta normalizes negative tuning values to 0 ("use
+		// defaults") so the written bundle always reloads.
+		b.Index = &store.IndexMeta{IVF: c.IVF, NList: c.NList, NProbe: c.NProbe, Seed: c.Seed}
+	}
 	if err := store.SaveBundleFile(path, b); err != nil {
 		return nil, err
 	}
@@ -189,7 +225,10 @@ func (e *Engine) Snapshot(path string) (*Model, error) {
 
 // Open restores an Engine from a bundle file written by Snapshot (or by
 // cmd/pane). The restored model keeps its version, so monitoring sees the
-// same version before and after a restart.
+// same version before and after a restart. A bundle that recorded an
+// index configuration restores it too (the index itself is rebuilt, not
+// deserialized); caller options run afterwards and may override or
+// disable it (WithIndex, WithoutIndex).
 func Open(path string, opts ...Option) (*Engine, error) {
 	b, err := store.LoadBundleFile(path)
 	if err != nil {
@@ -200,5 +239,9 @@ func Open(path string, opts ...Option) (*Engine, error) {
 		return nil, err
 	}
 	emb := &core.Embedding{Xf: b.Xf, Xb: b.Xb, Y: b.Y}
+	if im := b.Index; im != nil {
+		restore := WithIndex(IndexConfig{IVF: im.IVF, NList: im.NList, NProbe: im.NProbe, Seed: im.Seed})
+		opts = append([]Option{restore}, opts...)
+	}
 	return newEngine(g, emb, b.Cfg, b.ModelVersion, opts)
 }

@@ -17,6 +17,9 @@ func testConfig() core.Config {
 	return core.Config{K: 4, Alpha: 0.15, Eps: 0.05, Seed: 1}
 }
 
+// kp builds the *int K field of a batch Query.
+func kp(k int) *int { return &k }
+
 func trainTestEngine(t *testing.T, opts ...Option) *Engine {
 	t.Helper()
 	eng, err := Train(graph.RunningExample(), testConfig(), opts...)
@@ -114,8 +117,8 @@ func TestBatchExecutesAgainstOneVersion(t *testing.T) {
 	results, version := eng.Execute([]Query{
 		{Op: OpLinkScore, Src: 0, Dst: 4},
 		{Op: OpAttrScore, Node: 2, Attr: 1},
-		{Op: OpTopAttrs, Node: 5, K: 2},
-		{Op: OpTopLinks, Src: 0, K: 3},
+		{Op: OpTopAttrs, Node: 5, K: kp(2)},
+		{Op: OpTopLinks, Src: 0, K: kp(3)},
 		{Op: "bogus"},
 	})
 	if version != 1 {
@@ -197,19 +200,24 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	}
 }
 
-// TestConcurrentReadsUpdatesSnapshots hammers the engine from all three
+// TestConcurrentReadsUpdatesSnapshots hammers the engine from all four
 // sides at once — run under -race this is the proof that reads resolve
-// one immutable model and never observe a torn update, and that
-// snapshots taken mid-update-stream are consistent.
+// one immutable model and never observe a torn update, that the serving
+// index never answers for a version other than the model it was resolved
+// against (queries mid-rebuild degrade to the scan backend instead of
+// serving stale rankings), and that snapshots taken mid-update-stream
+// are consistent.
 func TestConcurrentReadsUpdatesSnapshots(t *testing.T) {
-	eng := trainTestEngine(t)
+	// nprobe == nlist so IVF answers are full-coverage: result counts stay
+	// deterministic while the race test hammers both search paths.
+	eng := trainTestEngine(t, WithIndex(IndexConfig{IVF: true, NList: 2, NProbe: 2}))
 	dir := t.TempDir()
 	const updates = 8
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 
-	// Readers: single queries and batches.
+	// Readers: single queries, batches, and indexed top-k in both modes.
 	for i := 0; i < 4; i++ {
 		wg.Add(1)
 		go func(seed int64) {
@@ -227,13 +235,32 @@ func TestConcurrentReadsUpdatesSnapshots(t *testing.T) {
 				_ = m.Emb.AttrScore(u, rng.Intn(m.Attrs()))
 				results, _ := eng.Execute([]Query{
 					{Op: OpLinkScore, Src: u, Dst: v},
-					{Op: OpTopLinks, Src: u, K: 3},
+					{Op: OpTopLinks, Src: u, K: kp(3)},
 				})
 				for _, r := range results {
 					if r.Err != "" {
 						t.Errorf("reader: %s", r.Err)
 						return
 					}
+				}
+				mode := ModeExact
+				if rng.Intn(2) == 1 {
+					mode = ModeIVF
+				}
+				ans, err := eng.TopLinks(u, 3, mode, 0)
+				if err != nil {
+					t.Errorf("indexed reader: %v", err)
+					return
+				}
+				switch ans.Backend {
+				case BackendExact, BackendIVF, BackendScan:
+				default:
+					t.Errorf("indexed reader: unknown backend %q", ans.Backend)
+					return
+				}
+				if len(ans.Results) != 3 {
+					t.Errorf("indexed reader: %d results", len(ans.Results))
+					return
 				}
 			}
 		}(int64(i))
@@ -278,6 +305,15 @@ func TestConcurrentReadsUpdatesSnapshots(t *testing.T) {
 
 	if eng.Version() != 1+updates {
 		t.Fatalf("final version %d, want %d", eng.Version(), 1+updates)
+	}
+	// Once the rebuild queue drains, the index serves the final version
+	// again: no rebuild was lost and none outran the model.
+	eng.WaitForIndex()
+	if st := eng.IndexStatus(); !st.Enabled || st.Version != eng.Version() {
+		t.Fatalf("index status %+v after quiesce, model version %d", st, eng.Version())
+	}
+	if ans, err := eng.TopLinks(0, 3, ModeIVF, 0); err != nil || ans.Backend != BackendIVF {
+		t.Fatalf("post-quiesce ivf query: backend %q err %v", ans.Backend, err)
 	}
 	if snaps.Load() == 0 {
 		t.Fatal("snapshotter never ran")

@@ -1,0 +1,334 @@
+package engine
+
+// Per-version top-k index lifecycle. An Engine with indexing enabled
+// maintains one immutable indexSet per published model version: an exact
+// backend over the precomputed candidate matrices (Z = Xb·G for links, Y
+// for attributes) and, optionally, IVF backends over the same vectors for
+// approximate sub-linear search.
+//
+// The set is published through its own atomic pointer, separate from the
+// model pointer. A query resolves the model first, then accepts the index
+// only if its version matches exactly; otherwise it answers from the
+// model's brute-force scan path. The index is therefore never stale:
+// between an update landing and the asynchronous rebuild publishing,
+// queries degrade to the PR-1 scan (reported as backend "scan") but keep
+// answering at the current model version.
+
+import (
+	"fmt"
+
+	"pane/internal/core"
+	"pane/internal/index"
+)
+
+// Query modes accepted by the top-k paths.
+const (
+	ModeExact = "exact" // exact answer: indexed scan, or brute force mid-rebuild
+	ModeIVF   = "ivf"   // approximate answer from the IVF backend when fresh
+)
+
+// Backend labels reported with every top-k answer.
+const (
+	BackendExact = "exact" // precomputed candidate matrix, parallel blocked scan
+	BackendIVF   = "ivf"   // inverted-file approximate search
+	BackendScan  = "scan"  // per-query brute force; no fresh index (disabled or mid-rebuild)
+)
+
+// IndexConfig selects and tunes the per-version indexes an Engine
+// maintains. The zero value enables the exact backend only; defaults are
+// resolved against the model at build time.
+type IndexConfig struct {
+	// IVF additionally builds the approximate backend.
+	IVF bool
+	// NList is the IVF coarse cluster count; 0 means ~sqrt(n).
+	NList int
+	// NProbe is the default number of IVF lists probed per query;
+	// 0 means max(1, nlist/8). Queries can override it per request.
+	NProbe int
+	// Threads is the index build/search parallelism; 0 follows the model
+	// config's Threads.
+	Threads int
+	// Seed drives k-means determinism; 0 follows the model config's Seed.
+	Seed int64
+}
+
+// WithIndex enables per-version top-k indexing with the given config.
+func WithIndex(cfg IndexConfig) Option {
+	return func(e *Engine) {
+		c := cfg
+		e.idxCfg = &c
+	}
+}
+
+// WithoutIndex disables indexing even if a restored bundle carries an
+// index configuration (engine.Open applies bundle settings first, then
+// caller options).
+func WithoutIndex() Option {
+	return func(e *Engine) { e.idxCfg = nil }
+}
+
+// WithFallbackIndex enables indexing with cfg only when no configuration
+// was set earlier in the option list — notably when a restored bundle
+// did not record one. It lets a server default to indexed serving while
+// still honoring explicit bundle or caller settings.
+func WithFallbackIndex(cfg IndexConfig) Option {
+	return func(e *Engine) {
+		if e.idxCfg == nil {
+			c := cfg
+			e.idxCfg = &c
+		}
+	}
+}
+
+// WithManualIndexRebuild turns off the automatic asynchronous rebuild
+// after updates; callers invoke RebuildIndex themselves. Tests use this
+// to pin the "update applied, index not yet republished" state
+// deterministically.
+func WithManualIndexRebuild() Option {
+	return func(e *Engine) { e.idxManual = true }
+}
+
+// indexSet is one immutable generation of serving indexes, valid for
+// exactly one model version.
+type indexSet struct {
+	version  uint64
+	links    *index.Exact // over Z = Xb·G; query vector is Xf[u]
+	attrs    *index.Exact // over Y; query vector is Xf[v]+Xb[v]
+	linksIVF *index.IVF   // nil unless cfg.IVF
+	attrsIVF *index.IVF
+}
+
+// buildIndexSet materializes the indexes for m.
+func buildIndexSet(m *Model, cfg IndexConfig) *indexSet {
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = m.Cfg.Threads
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = m.Cfg.Seed
+	}
+	z := m.Scorer.TransformedCandidates(threads)
+	s := &indexSet{
+		version: m.Version,
+		links:   index.NewExact(z, threads),
+		attrs:   index.NewExact(m.Emb.Y, threads),
+	}
+	if cfg.IVF {
+		ivfCfg := index.IVFConfig{
+			NList: cfg.NList, NProbe: cfg.NProbe,
+			Seed: seed, Threads: threads,
+		}
+		s.linksIVF = index.BuildIVF(z, ivfCfg)
+		s.attrsIVF = index.BuildIVF(m.Emb.Y, ivfCfg)
+	}
+	return s
+}
+
+// freshIndex returns the published index set only when it serves exactly
+// m's version; anything else (disabled, still building, or built for a
+// different generation) returns nil and the caller scans.
+func (e *Engine) freshIndex(m *Model) *indexSet {
+	s := e.idx.Load()
+	if s == nil || s.version != m.Version {
+		return nil
+	}
+	return s
+}
+
+// scheduleIndexRebuild records that the published model moved ahead of
+// the index and ensures one worker goroutine is (or becomes) responsible
+// for catching up. No-op when indexing is disabled or manual. Callers
+// publish the new model BEFORE calling this, so marking dirty afterwards
+// guarantees the version is covered: the running worker re-checks the
+// flag before exiting (under idxStateMu, so a concurrent mark either is
+// seen by that check or observes idxRunning == false and spawns a new
+// worker), and the worker resolves the model fresh on every build. A
+// sustained update stream therefore collapses into at most one build
+// behind the in-flight one, with never more than one goroutine alive.
+func (e *Engine) scheduleIndexRebuild() {
+	if e.idxCfg == nil || e.idxManual {
+		return
+	}
+	e.idxStateMu.Lock()
+	e.idxDirty = true
+	if e.idxRunning {
+		e.idxStateMu.Unlock()
+		return
+	}
+	e.idxRunning = true
+	e.idxStateMu.Unlock()
+	go e.indexWorker()
+}
+
+// indexWorker drains the dirty flag, rebuilding toward whatever model is
+// current each iteration, and announces idleness on exit.
+func (e *Engine) indexWorker() {
+	for {
+		e.idxStateMu.Lock()
+		if !e.idxDirty {
+			e.idxRunning = false
+			e.idxIdleC.Broadcast()
+			e.idxStateMu.Unlock()
+			return
+		}
+		e.idxDirty = false
+		e.idxStateMu.Unlock()
+		e.rebuildIndex()
+	}
+}
+
+// RebuildIndex synchronously builds and publishes the index for the
+// engine's current model version. Redundant calls — an index at or past
+// that version is already published — return immediately, so a burst of
+// updates collapses into one build of the latest version.
+func (e *Engine) RebuildIndex() {
+	if e.idxCfg == nil {
+		return
+	}
+	e.rebuildIndex()
+}
+
+func (e *Engine) rebuildIndex() {
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	m := e.Model()
+	if cur := e.idx.Load(); cur != nil && cur.version >= m.Version {
+		return
+	}
+	e.idx.Store(buildIndexSet(m, *e.idxCfg))
+}
+
+// WaitForIndex blocks until the asynchronous rebuild worker has drained
+// every scheduled rebuild, and is safe to call while further updates
+// keep scheduling new ones. After it returns (and absent concurrent
+// updates) the published index matches the current model version —
+// under automatic rebuilds, that is; with WithManualIndexRebuild
+// nothing is ever scheduled, so it returns immediately and freshness is
+// the caller's RebuildIndex responsibility.
+func (e *Engine) WaitForIndex() {
+	e.idxStateMu.Lock()
+	for e.idxRunning || e.idxDirty {
+		e.idxIdleC.Wait()
+	}
+	e.idxStateMu.Unlock()
+}
+
+// IndexStatus reports the serving-index state for monitoring.
+type IndexStatus struct {
+	Enabled bool   `json:"enabled"`
+	Version uint64 `json:"version,omitempty"` // model version the published index serves
+	IVF     bool   `json:"ivf,omitempty"`
+	NList   int    `json:"nlist,omitempty"`
+	NProbe  int    `json:"nprobe,omitempty"` // default probes per IVF query
+}
+
+// IndexStatus returns the current index state.
+func (e *Engine) IndexStatus() IndexStatus {
+	if e.idxCfg == nil {
+		return IndexStatus{}
+	}
+	st := IndexStatus{Enabled: true, IVF: e.idxCfg.IVF}
+	if s := e.idx.Load(); s != nil {
+		st.Version = s.version
+		if s.linksIVF != nil {
+			st.NList = s.linksIVF.NList()
+			st.NProbe = s.linksIVF.DefaultNProbe()
+		}
+	}
+	return st
+}
+
+// TopKAnswer is one served top-k result with its provenance: the model
+// version it was computed against and the backend that answered.
+type TopKAnswer struct {
+	Results []core.Scored
+	Version uint64
+	Backend string
+}
+
+// TopLinks answers a link-prediction top-k query through the index when a
+// fresh one exists, falling back to the brute-force scan otherwise. mode
+// is ModeExact (default when empty) or ModeIVF; nprobe overrides the IVF
+// probe count when > 0. The query node itself is excluded.
+func (e *Engine) TopLinks(u, k int, mode string, nprobe int) (TopKAnswer, error) {
+	m := e.Model()
+	s := e.freshIndex(m)
+	res, backend, err := m.topLinks(s, u, k, mode, nprobe)
+	if err != nil {
+		return TopKAnswer{}, err
+	}
+	return TopKAnswer{Results: res, Version: m.Version, Backend: backend}, nil
+}
+
+// TopAttrs answers an attribute-inference top-k query; see TopLinks for
+// mode/nprobe semantics.
+func (e *Engine) TopAttrs(v, k int, mode string, nprobe int) (TopKAnswer, error) {
+	m := e.Model()
+	s := e.freshIndex(m)
+	res, backend, err := m.topAttrs(s, v, k, mode, nprobe)
+	if err != nil {
+		return TopKAnswer{}, err
+	}
+	return TopKAnswer{Results: res, Version: m.Version, Backend: backend}, nil
+}
+
+// validateTopK checks the shared top-k query parameters.
+func validateTopK(k int, mode string, nprobe int) (string, error) {
+	if k < 1 {
+		return "", fmt.Errorf("engine: k must be >= 1, got %d", k)
+	}
+	if mode == "" {
+		mode = ModeExact
+	}
+	if mode != ModeExact && mode != ModeIVF {
+		return "", fmt.Errorf("engine: unknown mode %q (want %q or %q)", mode, ModeExact, ModeIVF)
+	}
+	if nprobe < 0 {
+		return "", fmt.Errorf("engine: nprobe must be >= 0 (0 means the index default), got %d", nprobe)
+	}
+	return mode, nil
+}
+
+// topLinks runs the link top-k against this model, using s when non-nil.
+func (m *Model) topLinks(s *indexSet, u, k int, mode string, nprobe int) ([]core.Scored, string, error) {
+	mode, err := validateTopK(k, mode, nprobe)
+	if err != nil {
+		return nil, "", err
+	}
+	if u < 0 || u >= m.Nodes() {
+		return nil, "", fmt.Errorf("engine: src %d out of range [0,%d)", u, m.Nodes())
+	}
+	if s != nil {
+		q := m.Emb.Xf.Row(u)
+		skip := func(id int) bool { return id == u }
+		if mode == ModeIVF && s.linksIVF != nil {
+			return s.linksIVF.Search(q, k, index.Options{NProbe: nprobe, Skip: skip}), BackendIVF, nil
+		}
+		return s.links.Search(q, k, index.Options{Skip: skip}), BackendExact, nil
+	}
+	return m.Scorer.TopKTargets(u, k, nil), BackendScan, nil
+}
+
+// topAttrs runs the attribute top-k against this model, using s when
+// non-nil.
+func (m *Model) topAttrs(s *indexSet, v, k int, mode string, nprobe int) ([]core.Scored, string, error) {
+	mode, err := validateTopK(k, mode, nprobe)
+	if err != nil {
+		return nil, "", err
+	}
+	if v < 0 || v >= m.Nodes() {
+		return nil, "", fmt.Errorf("engine: node %d out of range [0,%d)", v, m.Nodes())
+	}
+	if s != nil {
+		q := m.Emb.AttrQueryInto(v, make([]float64, m.Emb.Xf.Cols))
+		if mode == ModeIVF && s.attrsIVF != nil {
+			return s.attrsIVF.Search(q, k, index.Options{NProbe: nprobe}), BackendIVF, nil
+		}
+		return s.attrs.Search(q, k, index.Options{}), BackendExact, nil
+	}
+	return m.Emb.TopKAttrs(v, k, nil), BackendScan, nil
+}

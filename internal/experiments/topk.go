@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"pane/internal/core"
+	"pane/internal/datagen"
+	"pane/internal/engine"
+)
+
+// TopKOptions configures the serving-index comparison of RunTopK. Zero
+// values pick the defaults noted per field.
+type TopKOptions struct {
+	N       int   // nodes; 0 → 100000
+	D       int   // attributes; 0 → 100
+	K       int   // space budget; 0 → 32
+	Threads int   // 0 → 1 (the comparison is about work, not cores)
+	Seed    int64 // 0 → 1
+	NList   int   // IVF lists; 0 → sqrt(n)
+	NProbe  int   // probes per query; 0 → index default
+	Queries int   // measured queries; 0 → 200
+	TopK    int   // k per query; 0 → 10
+}
+
+// TopKBench is the measured exact-vs-IVF serving comparison emitted as
+// BENCH_topk.json by `benchexp -exp topk`. QPS numbers are single-stream
+// (one query at a time, as a latency-sensitive caller sees them).
+type TopKBench struct {
+	N       int `json:"n"`
+	Edges   int `json:"edges"`
+	D       int `json:"d"`
+	K       int `json:"k"`
+	Queries int `json:"queries"`
+	TopK    int `json:"top_k"`
+	NList   int `json:"nlist"`
+	NProbe  int `json:"nprobe"`
+
+	TrainSeconds      float64 `json:"train_seconds"`
+	IndexBuildSeconds float64 `json:"index_build_seconds"`
+
+	ScanQPS  float64 `json:"scan_qps"`  // PR-1 brute force (per-query transform + full scan)
+	ExactQPS float64 `json:"exact_qps"` // exact backend over precomputed Z
+	IVFQPS   float64 `json:"ivf_qps"`   // IVF backend at NProbe
+
+	RecallAtK          float64 `json:"recall_at_k"` // IVF vs exact, fraction of top-k ids recovered
+	SpeedupExactVsScan float64 `json:"speedup_exact_vs_scan"`
+	SpeedupIVFVsScan   float64 `json:"speedup_ivf_vs_scan"`
+}
+
+// RunTopK generates a community-structured graph, trains a model, builds
+// the serving indexes, and measures the three top-links paths against
+// each other.
+func RunTopK(opt TopKOptions) (*TopKBench, error) {
+	if opt.N <= 0 {
+		opt.N = 100000
+	}
+	if opt.D <= 0 {
+		opt.D = 100
+	}
+	if opt.K <= 0 {
+		opt.K = 32
+	}
+	if opt.Threads <= 0 {
+		opt.Threads = 1
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.Queries <= 0 {
+		opt.Queries = 200
+	}
+	if opt.TopK <= 0 {
+		opt.TopK = 10
+	}
+
+	g, err := datagen.Generate(datagen.Config{
+		Name: "topkbench", N: opt.N, AvgOutDeg: 8, D: opt.D, AttrsPer: 6,
+		Communities: 50, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Eps 0.25 keeps the training loop short (t = 1); the index
+	// comparison needs realistic vector structure, not converged quality.
+	cfg := core.Config{K: opt.K, Alpha: 0.5, Eps: 0.25, Threads: opt.Threads, Seed: opt.Seed}
+
+	start := time.Now()
+	emb, err := core.ParallelPANE(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	trainSec := time.Since(start).Seconds()
+
+	start = time.Now()
+	eng, err := engine.New(g, emb, cfg, engine.WithIndex(engine.IndexConfig{
+		IVF: true, NList: opt.NList, NProbe: opt.NProbe,
+	}))
+	if err != nil {
+		return nil, err
+	}
+	buildSec := time.Since(start).Seconds()
+
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	nodes := make([]int, opt.Queries)
+	for i := range nodes {
+		nodes[i] = rng.Intn(g.N)
+	}
+	m := eng.Model()
+
+	timeQueries := func(run func(u int) []core.Scored) ([][]core.Scored, float64) {
+		out := make([][]core.Scored, len(nodes))
+		t0 := time.Now()
+		for i, u := range nodes {
+			out[i] = run(u)
+		}
+		return out, float64(len(nodes)) / time.Since(t0).Seconds()
+	}
+
+	_, scanQPS := timeQueries(func(u int) []core.Scored {
+		return m.Scorer.TopKTargets(u, opt.TopK, nil)
+	})
+	exactRes, exactQPS := timeQueries(func(u int) []core.Scored {
+		ans, err := eng.TopLinks(u, opt.TopK, engine.ModeExact, 0)
+		if err != nil {
+			panic(err)
+		}
+		if ans.Backend != engine.BackendExact {
+			panic("exact backend not used: " + ans.Backend)
+		}
+		return ans.Results
+	})
+	ivfRes, ivfQPS := timeQueries(func(u int) []core.Scored {
+		ans, err := eng.TopLinks(u, opt.TopK, engine.ModeIVF, 0)
+		if err != nil {
+			panic(err)
+		}
+		if ans.Backend != engine.BackendIVF {
+			panic("ivf backend not used: " + ans.Backend)
+		}
+		return ans.Results
+	})
+	var hit, total int
+	for i := range exactRes {
+		in := make(map[int]bool, len(exactRes[i]))
+		for _, s := range exactRes[i] {
+			in[s.ID] = true
+		}
+		for _, s := range ivfRes[i] {
+			if in[s.ID] {
+				hit++
+			}
+		}
+		total += len(exactRes[i])
+	}
+
+	st := eng.IndexStatus()
+	b := &TopKBench{
+		N: g.N, Edges: g.M(), D: g.D, K: opt.K,
+		Queries: opt.Queries, TopK: opt.TopK,
+		NList: st.NList, NProbe: st.NProbe,
+		TrainSeconds: trainSec, IndexBuildSeconds: buildSec,
+		ScanQPS: scanQPS, ExactQPS: exactQPS, IVFQPS: ivfQPS,
+		RecallAtK:          float64(hit) / float64(total),
+		SpeedupExactVsScan: exactQPS / scanQPS,
+		SpeedupIVFVsScan:   ivfQPS / scanQPS,
+	}
+	return b, nil
+}
+
+// PrintTopK renders the comparison as a table.
+func PrintTopK(w io.Writer, b *TopKBench) {
+	fmt.Fprintf(w, "Top-k serving: n=%d m=%d d=%d k=%d, %d queries, top-%d (nlist=%d nprobe=%d)\n",
+		b.N, b.Edges, b.D, b.K, b.Queries, b.TopK, b.NList, b.NProbe)
+	fmt.Fprintf(w, "train %.1fs, index build %.1fs\n", b.TrainSeconds, b.IndexBuildSeconds)
+	fmt.Fprintf(w, "%-22s %12s %10s %10s\n", "path", "QPS", "speedup", "recall")
+	fmt.Fprintf(w, "%-22s %12.1f %10s %10s\n", "scan (PR-1 brute)", b.ScanQPS, "1.0x", "1.000")
+	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10s\n", "index exact", b.ExactQPS, b.SpeedupExactVsScan, "1.000")
+	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10.3f\n", "index ivf", b.IVFQPS, b.SpeedupIVFVsScan, b.RecallAtK)
+}
+
+// WriteTopKJSON writes the comparison to path as indented JSON.
+func WriteTopKJSON(path string, b *TopKBench) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

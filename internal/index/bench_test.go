@@ -1,0 +1,67 @@
+package index
+
+import (
+	"testing"
+
+	"pane/internal/core"
+	"pane/internal/mat"
+)
+
+// benchData is shared across benchmarks and built once per size.
+var benchCache = map[int]*mat.Dense{}
+
+func benchMatrix(n int) *mat.Dense {
+	if m, ok := benchCache[n]; ok {
+		return m
+	}
+	m := mixture(n, 32, 128, 99)
+	benchCache[n] = m
+	return m
+}
+
+func benchQueries(b *testing.B, nq int) *mat.Dense {
+	b.Helper()
+	return mixture(nq, 32, 128, 100)
+}
+
+// BenchmarkScanBaseline is the PR-1 shape: a fresh heap scan per query
+// with no precomputation sharing.
+func BenchmarkScanBaseline(b *testing.B) {
+	data := benchMatrix(100000)
+	qs := benchQueries(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs.Row(i % qs.Rows)
+		t := core.NewTopK(10)
+		for r := 0; r < data.Rows; r++ {
+			t.Offer(r, mat.Dot(q, data.Row(r)))
+		}
+		_ = t.Take()
+	}
+}
+
+func BenchmarkExactSearch(b *testing.B) {
+	x := NewExact(benchMatrix(100000), 8)
+	qs := benchQueries(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Search(qs.Row(i%qs.Rows), 10, Options{})
+	}
+}
+
+func BenchmarkIVFSearch(b *testing.B) {
+	iv := BuildIVF(benchMatrix(100000), IVFConfig{Seed: 1, Threads: 8})
+	qs := benchQueries(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = iv.Search(qs.Row(i%qs.Rows), 10, Options{})
+	}
+}
+
+func BenchmarkIVFBuild(b *testing.B) {
+	data := benchMatrix(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BuildIVF(data, IVFConfig{Seed: int64(i + 1), Threads: 8})
+	}
+}

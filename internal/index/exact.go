@@ -1,0 +1,103 @@
+package index
+
+import (
+	"sync"
+
+	"pane/internal/core"
+	"pane/internal/mat"
+)
+
+// Exact is the always-correct backend: a flat candidate matrix scanned in
+// parallel row blocks. Each worker keeps its own top-k accumulator over a
+// contiguous block and the partial results are merged under core.Better,
+// so the answer is deterministic and independent of the worker count.
+type Exact struct {
+	data    *mat.Dense
+	threads int
+}
+
+// NewExact wraps data (one candidate vector per row) without copying; the
+// caller must not mutate data afterwards. In the engine the matrix is
+// derived from an immutable model version, so sharing is safe. threads is
+// the search fan-out; values <= 1 scan serially.
+func NewExact(data *mat.Dense, threads int) *Exact {
+	if threads < 1 {
+		threads = 1
+	}
+	return &Exact{data: data, threads: threads}
+}
+
+// Len returns the candidate count.
+func (x *Exact) Len() int { return x.data.Rows }
+
+// Dim returns the vector dimension.
+func (x *Exact) Dim() int { return x.data.Cols }
+
+// Kind returns KindExact.
+func (x *Exact) Kind() string { return KindExact }
+
+// minParallelRows is the per-worker row budget below which goroutine
+// fan-out costs more than the scan it parallelizes.
+const minParallelRows = 2048
+
+// Search scans every candidate. See Index for the result contract.
+func (x *Exact) Search(q []float64, k int, opt Options) []core.Scored {
+	n := x.data.Rows
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		return nil
+	}
+	nb := x.threads
+	if lim := n / minParallelRows; nb > lim {
+		nb = lim
+	}
+	return mergeSearch(k, n, nb, func(t *core.TopK, lo, hi int) {
+		scanRows(t, x.data, q, lo, hi, opt.Skip)
+	})
+}
+
+// scanRows offers rows [lo, hi) of data to t, scored by inner product
+// with q.
+func scanRows(t *core.TopK, data *mat.Dense, q []float64, lo, hi int, skip func(int) bool) {
+	for i := lo; i < hi; i++ {
+		if skip != nil && skip(i) {
+			continue
+		}
+		t.Offer(i, mat.Dot(q, data.Row(i)))
+	}
+}
+
+// mergeSearch is the fan-out/merge skeleton both backends share: it
+// splits n work units into at most nb contiguous chunks, runs scan over
+// each chunk with a private top-k accumulator, and merges the partial
+// results under core.Better's total order — so the answer is identical
+// for every worker count. nb <= 1 runs the scan inline.
+func mergeSearch(k, n, nb int, scan func(t *core.TopK, lo, hi int)) []core.Scored {
+	if nb <= 1 {
+		t := core.NewTopK(k)
+		scan(t, 0, n)
+		return t.Take()
+	}
+	ranges := mat.SplitRanges(n, nb)
+	parts := make([][]core.Scored, len(ranges))
+	var wg sync.WaitGroup
+	for i, r := range ranges {
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			t := core.NewTopK(k)
+			scan(t, lo, hi)
+			parts[i] = t.Take()
+		}(i, r[0], r[1])
+	}
+	wg.Wait()
+	final := core.NewTopK(k)
+	for _, p := range parts {
+		for _, s := range p {
+			final.Offer(s.ID, s.Score)
+		}
+	}
+	return final.Take()
+}

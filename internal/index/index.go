@@ -1,0 +1,55 @@
+// Package index provides top-k maximum-inner-product retrieval over a
+// fixed set of candidate vectors — the serving-path complement to the
+// training code in internal/core. Two backends implement one interface:
+//
+//   - Exact scans a flat candidate matrix with a parallel blocked kernel
+//     and is always correct. For the link model the matrix is the
+//     precomputed transform Z = Xb·G, so a query is a single scan with no
+//     per-query O(k²) setup.
+//   - IVF adds a k-means coarse quantizer (an inverted file over the same
+//     vectors) for approximate sub-linear search; the recall/latency
+//     trade-off is controlled per query by the number of probed lists.
+//
+// Both backends are immutable after construction and safe for concurrent
+// searches. internal/engine builds one index per model version and swaps
+// whole sets atomically, so a query never observes a half-built
+// structure. All rankings use core.Better ordering (score descending,
+// ties by ascending id), which makes exact and IVF results bit-for-bit
+// comparable: IVF probing every list returns exactly the exact backend's
+// answer.
+package index
+
+import (
+	"pane/internal/core"
+)
+
+// Backend kinds reported by Kind().
+const (
+	KindExact = "exact"
+	KindIVF   = "ivf"
+)
+
+// Options tunes one Search call.
+type Options struct {
+	// NProbe is the number of inverted lists an IVF search scans. Values
+	// <= 0 mean the index's build-time default; values above nlist are
+	// clamped. The exact backend ignores it.
+	NProbe int
+	// Skip, when non-nil, excludes candidate ids from the result (e.g.
+	// the query node itself in link prediction).
+	Skip func(id int) bool
+}
+
+// Index is a top-k retrieval structure over Len() candidate vectors of
+// dimension Dim(). Search returns the k candidates with the largest inner
+// product against q in core.Better order (highest score first, ties by
+// ascending id); k is clamped to the candidate count. For Exact (and IVF
+// probing every list) fewer than k results mean the candidate set after
+// Skip was exhausted; a partial-probe IVF search may return fewer simply
+// because the probed lists held fewer candidates.
+type Index interface {
+	Search(q []float64, k int, opt Options) []core.Scored
+	Len() int
+	Dim() int
+	Kind() string
+}

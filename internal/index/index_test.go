@@ -1,0 +1,273 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pane/internal/core"
+	"pane/internal/mat"
+)
+
+// mixture generates n rows from nc Gaussian clusters in dim dimensions —
+// the shape real embedding matrices take, and the regime IVF is built
+// for.
+func mixture(n, dim, nc int, seed int64) *mat.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	centers := mat.New(nc, dim)
+	for i := range centers.Data {
+		centers.Data[i] = rng.NormFloat64()
+	}
+	out := mat.New(n, dim)
+	for i := 0; i < n; i++ {
+		c := centers.Row(rng.Intn(nc))
+		row := out.Row(i)
+		for j := range row {
+			row[j] = c[j] + 0.15*rng.NormFloat64()
+		}
+	}
+	return out
+}
+
+// bruteTopK is the reference answer: score everything, sort under
+// core.Better.
+func bruteTopK(data *mat.Dense, q []float64, k int, skip func(int) bool) []core.Scored {
+	var all []core.Scored
+	for i := 0; i < data.Rows; i++ {
+		if skip != nil && skip(i) {
+			continue
+		}
+		all = append(all, core.Scored{ID: i, Score: mat.Dot(q, data.Row(i))})
+	}
+	sort.Slice(all, func(i, j int) bool { return core.Better(all[i], all[j]) })
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+func sameScored(a, b []core.Scored) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	data := mixture(3000, 8, 12, 1)
+	queries := mixture(20, 8, 12, 2)
+	// Every thread count must give the identical (bit-for-bit) answer:
+	// the parallel merge is deterministic.
+	for _, threads := range []int{1, 2, 3, 8} {
+		x := NewExact(data, threads)
+		for qi := 0; qi < queries.Rows; qi++ {
+			q := queries.Row(qi)
+			want := bruteTopK(data, q, 10, nil)
+			got := x.Search(q, 10, Options{})
+			if !sameScored(got, want) {
+				t.Fatalf("threads=%d query %d:\ngot  %v\nwant %v", threads, qi, got, want)
+			}
+		}
+	}
+}
+
+func TestExactSkipAndClamp(t *testing.T) {
+	data := mixture(100, 4, 3, 3)
+	x := NewExact(data, 2)
+	q := data.Row(0)
+
+	skip := func(id int) bool { return id%2 == 0 }
+	got := x.Search(q, 10, Options{Skip: skip})
+	if !sameScored(got, bruteTopK(data, q, 10, skip)) {
+		t.Fatal("skip filter not honored")
+	}
+	for _, s := range got {
+		if s.ID%2 == 0 {
+			t.Fatalf("skipped id %d returned", s.ID)
+		}
+	}
+
+	if got := x.Search(q, 1000, Options{}); len(got) != 100 {
+		t.Fatalf("k clamp: %d results, want 100", len(got))
+	}
+	if got := x.Search(q, 0, Options{}); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+}
+
+// TestIVFFullProbeEqualsExact is the core property: probing every list
+// degenerates IVF to the exact backend, bit for bit — same scores, same
+// deterministic tie order.
+func TestIVFFullProbeEqualsExact(t *testing.T) {
+	data := mixture(2000, 8, 16, 4)
+	queries := mixture(50, 8, 16, 5)
+	exact := NewExact(data, 4)
+	for _, threads := range []int{1, 4} {
+		iv := BuildIVF(data, IVFConfig{NList: 16, Seed: 7, Threads: threads})
+		if iv.NList() != 16 {
+			t.Fatalf("nlist %d", iv.NList())
+		}
+		for qi := 0; qi < queries.Rows; qi++ {
+			q := queries.Row(qi)
+			want := exact.Search(q, 10, Options{})
+			got := iv.Search(q, 10, Options{NProbe: iv.NList()})
+			if !sameScored(got, want) {
+				t.Fatalf("threads=%d query %d:\nivf   %v\nexact %v", threads, qi, got, want)
+			}
+		}
+	}
+}
+
+func TestIVFFullProbeWithSkip(t *testing.T) {
+	data := mixture(500, 6, 8, 6)
+	exact := NewExact(data, 1)
+	iv := BuildIVF(data, IVFConfig{NList: 8, Seed: 1})
+	skip := func(id int) bool { return id == 42 || id == 7 }
+	q := data.Row(42)
+	want := exact.Search(q, 5, Options{Skip: skip})
+	got := iv.Search(q, 5, Options{NProbe: 8, Skip: skip})
+	if !sameScored(got, want) {
+		t.Fatalf("skip mismatch:\nivf   %v\nexact %v", got, want)
+	}
+}
+
+func TestIVFDeterministicBuild(t *testing.T) {
+	data := mixture(1500, 8, 10, 8)
+	a := BuildIVF(data, IVFConfig{NList: 12, Seed: 3, Threads: 4})
+	b := BuildIVF(data, IVFConfig{NList: 12, Seed: 3, Threads: 1})
+	q := data.Row(17)
+	for _, nprobe := range []int{1, 3, 12} {
+		ra := a.Search(q, 8, Options{NProbe: nprobe})
+		rb := b.Search(q, 8, Options{NProbe: nprobe})
+		if !sameScored(ra, rb) {
+			t.Fatalf("nprobe=%d: builds differ across thread counts:\n%v\n%v", nprobe, ra, rb)
+		}
+	}
+}
+
+// TestIVFRecall checks the headline property on clustered data at the
+// default probe budget: recall@10 ≥ 0.9 against the exact answer while
+// scanning a fraction of the candidates.
+func TestIVFRecall(t *testing.T) {
+	const (
+		n, dim, nc = 20000, 16, 64
+		k          = 10
+		nq         = 100
+	)
+	data := mixture(n, dim, nc, 10)
+	queries := mixture(nq, dim, nc, 11)
+	exact := NewExact(data, 4)
+	iv := BuildIVF(data, IVFConfig{Seed: 12, Threads: 4}) // all defaults
+	if iv.NList() < 100 || iv.DefaultNProbe() >= iv.NList()/2 {
+		t.Fatalf("defaults not sub-linear: nlist=%d nprobe=%d", iv.NList(), iv.DefaultNProbe())
+	}
+	var hit, total int
+	for qi := 0; qi < nq; qi++ {
+		q := queries.Row(qi)
+		want := exact.Search(q, k, Options{})
+		got := iv.Search(q, k, Options{})
+		in := make(map[int]bool, len(want))
+		for _, s := range want {
+			in[s.ID] = true
+		}
+		for _, s := range got {
+			if in[s.ID] {
+				hit++
+			}
+		}
+		total += len(want)
+	}
+	recall := float64(hit) / float64(total)
+	t.Logf("recall@%d = %.3f (nlist=%d nprobe=%d)", k, recall, iv.NList(), iv.DefaultNProbe())
+	if recall < 0.9 {
+		t.Fatalf("recall@%d = %.3f < 0.9", k, recall)
+	}
+}
+
+func TestIVFDegenerateInputs(t *testing.T) {
+	// Empty index.
+	empty := BuildIVF(mat.New(0, 4), IVFConfig{})
+	if got := empty.Search([]float64{1, 2, 3, 4}, 5, Options{}); got != nil {
+		t.Fatalf("empty index returned %v", got)
+	}
+	if empty.Len() != 0 {
+		t.Fatalf("empty Len %d", empty.Len())
+	}
+
+	// One candidate; nlist > n clamps.
+	one := mat.FromRows([][]float64{{1, 0}})
+	iv := BuildIVF(one, IVFConfig{NList: 50, NProbe: 50})
+	if iv.NList() != 1 {
+		t.Fatalf("nlist %d, want 1", iv.NList())
+	}
+	got := iv.Search([]float64{2, 0}, 3, Options{})
+	if len(got) != 1 || got[0].ID != 0 || got[0].Score != 2 {
+		t.Fatalf("one-candidate search %v", got)
+	}
+
+	// All-identical vectors: ties everywhere, order must be ascending id.
+	same := mat.New(10, 3)
+	for i := 0; i < 10; i++ {
+		copy(same.Row(i), []float64{1, 1, 1})
+	}
+	iv = BuildIVF(same, IVFConfig{NList: 3, Seed: 1})
+	got = iv.Search([]float64{1, 0, 0}, 4, Options{NProbe: 3})
+	for i, s := range got {
+		if s.ID != i {
+			t.Fatalf("tie order %v, want ascending ids from 0", got)
+		}
+	}
+}
+
+func TestProbeGroupsBalancedAndComplete(t *testing.T) {
+	// A pathologically skewed probe set: one huge list, several tiny ones.
+	sizes := map[int]int{3: 50000, 7: 10, 1: 3, 9: 120}
+	lists := []core.Scored{{ID: 3}, {ID: 7}, {ID: 1}, {ID: 9}}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	nb := 8
+	groups := probeGroups(lists, func(l int) int { return sizes[l] }, total, nb)
+	if len(groups) > nb {
+		t.Fatalf("%d groups for nb=%d", len(groups), nb)
+	}
+	target := (total + nb - 1) / nb
+	covered := map[int]int{}
+	for _, g := range groups {
+		rows := 0
+		for _, seg := range g {
+			if seg.lo >= seg.hi || seg.hi > sizes[seg.list] {
+				t.Fatalf("bad segment %+v", seg)
+			}
+			rows += seg.hi - seg.lo
+			covered[seg.list] += seg.hi - seg.lo
+		}
+		if rows > target {
+			t.Fatalf("group holds %d rows, target %d — skew not split", rows, target)
+		}
+	}
+	for l, sz := range sizes {
+		if covered[l] != sz {
+			t.Fatalf("list %d: covered %d of %d rows", l, covered[l], sz)
+		}
+	}
+}
+
+func TestExactInterfaceCompliance(t *testing.T) {
+	var _ Index = NewExact(mat.New(1, 1), 1)
+	var _ Index = BuildIVF(mat.New(1, 1), IVFConfig{})
+	x := NewExact(mat.New(5, 3), 2)
+	if x.Len() != 5 || x.Dim() != 3 || x.Kind() != KindExact {
+		t.Fatalf("exact metadata: %d %d %s", x.Len(), x.Dim(), x.Kind())
+	}
+	iv := BuildIVF(mat.New(5, 3), IVFConfig{})
+	if iv.Len() != 5 || iv.Dim() != 3 || iv.Kind() != KindIVF {
+		t.Fatalf("ivf metadata: %d %d %s", iv.Len(), iv.Dim(), iv.Kind())
+	}
+}

@@ -2,11 +2,18 @@
 // HTTP service — the deployment artifact a downstream user runs next to
 // their application. Read endpoints:
 //
-//	GET /healthz                     liveness + model shape + version
+//	GET /healthz                     liveness + model shape + version + index state
 //	GET /attr-score?node=v&attr=r    Eq. 21 affinity score
 //	GET /link-score?src=u&dst=v      Eq. 22 edge plausibility
 //	GET /top-attrs?node=v&k=10       strongest attributes for a node
 //	GET /top-links?src=u&k=10        most plausible out-neighbors
+//
+// The top-k routes additionally accept mode=exact|ivf (backend choice;
+// exact is the default) and nprobe=N (IVF probe count override), and
+// every top-k response reports which backend actually answered ("exact",
+// "ivf", or "scan" — the brute-force path used while a new index version
+// is still building). k must be a positive integer; values above the
+// candidate count are clamped.
 //
 // Write and lifecycle endpoints:
 //
@@ -71,6 +78,11 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	// Resolve the index status BEFORE the model: the two reads are not
+	// atomic together, and in this order any skew shows the index at or
+	// behind the model — the legitimate "rebuild pending" state — rather
+	// than impossibly ahead of it.
+	idx := s.eng.IndexStatus()
 	m := s.eng.Model()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":       "ok",
@@ -80,6 +92,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"k":            m.Emb.K(),
 		"edges":        m.Graph.M(),
 		"attr_entries": m.Graph.NNZAttr(),
+		"index":        idx,
 	})
 }
 
@@ -122,9 +135,17 @@ func (s *Server) handleTopAttrs(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	k := kParam(r, 10, m.Attrs())
+	k, mode, nprobe, ok := topkParams(w, r)
+	if !ok {
+		return
+	}
+	ans, err := s.eng.TopAttrs(v, k, mode, nprobe)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"node": v, "results": m.Emb.TopKAttrs(v, k, nil), "version": m.Version,
+		"node": v, "results": ans.Results, "version": ans.Version, "backend": ans.Backend,
 	})
 }
 
@@ -134,9 +155,17 @@ func (s *Server) handleTopLinks(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	k := kParam(r, 10, m.Nodes())
+	k, mode, nprobe, ok := topkParams(w, r)
+	if !ok {
+		return
+	}
+	ans, err := s.eng.TopLinks(u, k, mode, nprobe)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"src": u, "results": m.Scorer.TopKTargets(u, k, nil), "version": m.Version,
+		"src": u, "results": ans.Results, "version": ans.Version, "backend": ans.Backend,
 	})
 }
 
@@ -273,19 +302,42 @@ func intParam(w http.ResponseWriter, r *http.Request, name string, limit int) (i
 	return v, true
 }
 
-func kParam(r *http.Request, def, max int) int {
-	raw := r.URL.Query().Get("k")
-	if raw == "" {
-		return def
+// topkParams parses the shared top-k query parameters. k defaults to 10
+// when absent but an explicit k < 1 (or non-integer) is a 400 — never a
+// silent rewrite; values above the candidate count are clamped downstream.
+// mode must be "exact" or "ivf" when present; nprobe must be a positive
+// integer when present (it is only consulted on IVF searches). Returns
+// ok=false after writing the error response.
+func topkParams(w http.ResponseWriter, r *http.Request) (k int, mode string, nprobe int, ok bool) {
+	q := r.URL.Query()
+	k = engine.DefaultK
+	if raw := q.Get("k"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("parameter \"k\" must be a positive integer, got %q", raw))
+			return 0, "", 0, false
+		}
+		k = v
 	}
-	k, err := strconv.Atoi(raw)
-	if err != nil || k < 1 {
-		return def
+	mode = q.Get("mode")
+	switch mode {
+	case "", engine.ModeExact, engine.ModeIVF:
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("parameter \"mode\" must be %q or %q, got %q", engine.ModeExact, engine.ModeIVF, mode))
+		return 0, "", 0, false
 	}
-	if k > max {
-		return max
+	if raw := q.Get("nprobe"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("parameter \"nprobe\" must be a positive integer, got %q", raw))
+			return 0, "", 0, false
+		}
+		nprobe = v
 	}
-	return k
+	return k, mode, nprobe, true
 }
 
 func writeJSON(w http.ResponseWriter, status int, payload interface{}) {

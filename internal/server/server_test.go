@@ -15,10 +15,10 @@ import (
 	"pane/internal/graph"
 )
 
-func testEngine(t *testing.T) *engine.Engine {
+func testEngine(t *testing.T, opts ...engine.Option) *engine.Engine {
 	t.Helper()
 	g := graph.RunningExample()
-	eng, err := engine.Train(g, core.Config{K: 4, Alpha: 0.15, Eps: 0.05, Seed: 1})
+	eng, err := engine.Train(g, core.Config{K: 4, Alpha: 0.15, Eps: 0.05, Seed: 1}, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,9 +155,34 @@ func TestKDefaultsAndClamping(t *testing.T) {
 	if got := len(body["results"].([]interface{})); got != 3 {
 		t.Fatalf("default k results = %d, want 3 (clamped)", got)
 	}
-	_, body = get(t, s, "/top-attrs?node=0&k=0") // invalid → default → clamp
+	_, body = get(t, s, "/top-attrs?node=0&k=99") // above candidate count → clamp
 	if got := len(body["results"].([]interface{})); got != 3 {
-		t.Fatalf("k=0 results = %d", got)
+		t.Fatalf("k=99 results = %d, want 3 (clamped)", got)
+	}
+}
+
+func TestInvalidTopKParamsRejected(t *testing.T) {
+	s, _ := testServer(t)
+	// An explicit k < 1 (or junk) is a 400, never silently rewritten to
+	// the default; same for malformed mode/nprobe.
+	for _, path := range []string{
+		"/top-attrs?node=0&k=0",
+		"/top-attrs?node=0&k=-3",
+		"/top-attrs?node=0&k=abc",
+		"/top-links?src=0&k=0",
+		"/top-links?src=0&mode=bogus",
+		"/top-links?src=0&nprobe=0",
+		"/top-links?src=0&nprobe=-1",
+		"/top-links?src=0&nprobe=x",
+		"/top-attrs?node=0&mode=IVF", // case-sensitive
+	} {
+		code, body := get(t, s, path)
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d want 400 (%v)", path, code, body)
+		}
+		if _, hasErr := body["error"]; !hasErr {
+			t.Fatalf("%s: error payload missing", path)
+		}
 	}
 }
 
@@ -332,6 +357,121 @@ func TestSnapshotEndpoint(t *testing.T) {
 	}
 	if restored.Version() != eng.Version() {
 		t.Fatalf("restored version %d != live %d", restored.Version(), eng.Version())
+	}
+}
+
+// indexedServer builds a server over an engine with full indexing and
+// manual rebuilds, so tests can pin the mid-rebuild state.
+func indexedServer(t *testing.T) (*Server, *engine.Engine) {
+	t.Helper()
+	eng := testEngine(t,
+		engine.WithIndex(engine.IndexConfig{IVF: true, NList: 2, NProbe: 2}),
+		engine.WithManualIndexRebuild())
+	return New(eng), eng
+}
+
+func TestTopKBackendReporting(t *testing.T) {
+	s, _ := indexedServer(t)
+	cases := []struct {
+		path, backend string
+	}{
+		{"/top-links?src=0&k=3", "exact"}, // default mode
+		{"/top-links?src=0&k=3&mode=exact", "exact"},
+		{"/top-links?src=0&k=3&mode=ivf", "ivf"},
+		{"/top-links?src=0&k=3&mode=ivf&nprobe=1", "ivf"},
+		{"/top-attrs?node=0&k=2&mode=ivf", "ivf"},
+		{"/top-attrs?node=0&k=2", "exact"},
+	}
+	for _, c := range cases {
+		code, body := get(t, s, c.path)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d (%v)", c.path, code, body)
+		}
+		if got := body["backend"]; got != c.backend {
+			t.Fatalf("%s: backend %v, want %q", c.path, got, c.backend)
+		}
+		if body["version"].(float64) != 1 {
+			t.Fatalf("%s: version %v", c.path, body["version"])
+		}
+	}
+	// An unindexed engine answers the same queries from the scan path.
+	plain, _ := testServer(t)
+	_, body := get(t, plain, "/top-links?src=0&k=3&mode=ivf")
+	if got := body["backend"]; got != "scan" {
+		t.Fatalf("unindexed backend %v, want scan", got)
+	}
+}
+
+// TestVersionDuringIndexRebuild pins the update-applied-index-pending
+// state: the response must carry the NEW model version with the scan
+// backend (never a stale index), and flip to the indexed backend once
+// the rebuild publishes.
+func TestVersionDuringIndexRebuild(t *testing.T) {
+	s, eng := indexedServer(t)
+
+	_, body := get(t, s, "/top-links?src=0&k=3")
+	if body["backend"] != "exact" || body["version"].(float64) != 1 {
+		t.Fatalf("fresh engine: %v", body)
+	}
+
+	code, _ := post(t, s, "/update/edges", `{"edges":[{"src":0,"dst":5}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("update status %d", code)
+	}
+	// Manual rebuild mode: the index is still at version 1, the model at
+	// 2 — exactly what a query sees mid-rebuild.
+	for _, path := range []string{"/top-links?src=0&k=3", "/top-links?src=0&k=3&mode=ivf"} {
+		_, body = get(t, s, path)
+		if body["version"].(float64) != 2 {
+			t.Fatalf("%s mid-rebuild: version %v, want 2", path, body["version"])
+		}
+		if body["backend"] != "scan" {
+			t.Fatalf("%s mid-rebuild: backend %v, want scan", path, body["backend"])
+		}
+	}
+	_, health := get(t, s, "/healthz")
+	idx := health["index"].(map[string]interface{})
+	if idx["enabled"] != true || idx["version"].(float64) != 1 {
+		t.Fatalf("healthz index mid-rebuild: %v", idx)
+	}
+
+	eng.RebuildIndex()
+	_, body = get(t, s, "/top-links?src=0&k=3&mode=ivf")
+	if body["backend"] != "ivf" || body["version"].(float64) != 2 {
+		t.Fatalf("post-rebuild: %v", body)
+	}
+	_, health = get(t, s, "/healthz")
+	if idx := health["index"].(map[string]interface{}); idx["version"].(float64) != 2 {
+		t.Fatalf("healthz index post-rebuild: %v", idx)
+	}
+}
+
+func TestBatchTopKThroughIndex(t *testing.T) {
+	s, _ := indexedServer(t)
+	code, body := post(t, s, "/batch", `{"queries":[
+		{"op":"top-links","src":0,"k":3},
+		{"op":"top-links","src":0,"k":3,"mode":"ivf"},
+		{"op":"top-attrs","node":1,"k":0},
+		{"op":"top-links","src":0,"k":-2},
+		{"op":"top-links","src":0,"mode":"bogus"}
+	]}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	results := body["results"].([]interface{})
+	if got := results[0].(map[string]interface{})["backend"]; got != "exact" {
+		t.Fatalf("batch exact backend %v", got)
+	}
+	if got := results[1].(map[string]interface{})["backend"]; got != "ivf" {
+		t.Fatalf("batch ivf backend %v", got)
+	}
+	// Explicit k < 1 and bad mode are per-query errors, not silent
+	// rewrites and not batch failures.
+	for _, i := range []int{2, 3, 4} {
+		r := results[i].(map[string]interface{})
+		if _, hasErr := r["error"]; !hasErr {
+			t.Fatalf("result %d should carry an error: %v", i, r)
+		}
 	}
 }
 

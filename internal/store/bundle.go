@@ -26,20 +26,40 @@ import (
 //	optional per-node label sets
 //	Xf, Xb, Y dense sections
 //	adjacency and attribute CSR sections
+//	optional serving-index configuration (format version 2)
 //
-// Serialization is deterministic: saving a loaded bundle reproduces the
-// input byte for byte, which snapshot tests rely on.
+// Serialization is deterministic: saving a loaded current-format bundle
+// reproduces the input byte for byte, which snapshot tests rely on. (A
+// loaded format-1 bundle re-saves as format 2, so only its payload — not
+// its bytes — survives the round trip.)
 type Bundle struct {
 	ModelVersion uint64
 	Cfg          core.Config
 	Xf, Xb, Y    *mat.Dense
 	Adj, Attr    *sparse.CSR
 	Labels       [][]int
+	// Index optionally records the serving-index configuration so a
+	// restored server rebuilds the same index without re-specifying it.
+	// The index structures themselves are never persisted — they are
+	// derived state, cheaply rebuilt from the embeddings on load.
+	Index *IndexMeta
+}
+
+// IndexMeta mirrors engine.IndexConfig for persistence (raw configured
+// values, not resolved defaults, so round trips are exact). Thread counts
+// are deliberately excluded: they are host properties, not model state.
+type IndexMeta struct {
+	IVF    bool
+	NList  int
+	NProbe int
+	Seed   int64
 }
 
 const (
-	magicBundle   = 0x504E4231 // "PNB1"
-	bundleFormatV = 1
+	magicBundle = 0x504E4231 // "PNB1"
+	// bundleFormatV is the version written; version 1 (no index section)
+	// is still read.
+	bundleFormatV = 2
 )
 
 // WriteBundle serializes b to w.
@@ -71,7 +91,59 @@ func WriteBundle(w io.Writer, b *Bundle) error {
 			return err
 		}
 	}
+	if err := writeIndexMeta(bw, b.Index); err != nil {
+		return err
+	}
 	return bw.Flush()
+}
+
+// writeIndexMeta encodes the optional serving-index section: a presence
+// flag, then the configuration words. Negative tuning values mean "use
+// defaults" everywhere they are consumed, so they are normalized to 0
+// here — every bundle this writes must be loadable, and readIndexMeta
+// rejects negative words.
+func writeIndexMeta(w io.Writer, im *IndexMeta) error {
+	if im == nil {
+		return binary.Write(w, order, uint64(0))
+	}
+	ivf := uint64(0)
+	if im.IVF {
+		ivf = 1
+	}
+	nlist, nprobe := im.NList, im.NProbe
+	if nlist < 0 {
+		nlist = 0
+	}
+	if nprobe < 0 {
+		nprobe = 0
+	}
+	return binary.Write(w, order, []uint64{
+		1, ivf, uint64(nlist), uint64(nprobe), uint64(im.Seed),
+	})
+}
+
+func readIndexMeta(r io.Reader) (*IndexMeta, error) {
+	var present uint64
+	if err := binary.Read(r, order, &present); err != nil {
+		return nil, fmt.Errorf("store: reading index flag: %w", err)
+	}
+	if present == 0 {
+		return nil, nil
+	}
+	words := make([]uint64, 4)
+	if err := binary.Read(r, order, words); err != nil {
+		return nil, fmt.Errorf("store: reading index config: %w", err)
+	}
+	im := &IndexMeta{
+		IVF:    words[0] != 0,
+		NList:  int(words[1]),
+		NProbe: int(words[2]),
+		Seed:   int64(words[3]),
+	}
+	if im.NList < 0 || im.NProbe < 0 {
+		return nil, fmt.Errorf("store: negative index config nlist=%d nprobe=%d", im.NList, im.NProbe)
+	}
+	return im, nil
 }
 
 // ReadBundle deserializes a bundle written by WriteBundle and validates
@@ -85,7 +157,7 @@ func ReadBundle(r io.Reader) (*Bundle, error) {
 	if hdr[0] != magicBundle {
 		return nil, fmt.Errorf("store: bad bundle magic %#x", hdr[0])
 	}
-	if hdr[1] != bundleFormatV {
+	if hdr[1] != 1 && hdr[1] != bundleFormatV {
 		return nil, fmt.Errorf("store: unsupported bundle format version %d", hdr[1])
 	}
 	b := &Bundle{
@@ -114,6 +186,11 @@ func ReadBundle(r io.Reader) (*Bundle, error) {
 	}
 	for _, dst := range []**sparse.CSR{&b.Adj, &b.Attr} {
 		if *dst, err = readCSR(br); err != nil {
+			return nil, err
+		}
+	}
+	if hdr[1] >= 2 {
+		if b.Index, err = readIndexMeta(br); err != nil {
 			return nil, err
 		}
 	}

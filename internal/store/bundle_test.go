@@ -90,6 +90,52 @@ func TestBundleRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBundleIndexMetaRoundTrip(t *testing.T) {
+	b := testBundle(false)
+	b.Index = &IndexMeta{IVF: true, NList: 128, NProbe: 16, Seed: -7}
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Index == nil || *got.Index != *b.Index {
+		t.Fatalf("index meta %+v, want %+v", got.Index, b.Index)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteBundle(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("index meta serialization not deterministic")
+	}
+}
+
+func TestBundleReadsFormatV1(t *testing.T) {
+	// A v1 bundle is exactly a v2 bundle without the trailing index
+	// section and with format word 1. Readers must keep accepting it.
+	b := testBundle(true)
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	v1 := append([]byte(nil), raw[:len(raw)-8]...) // drop index presence word
+	order.PutUint64(v1[8:16], 1)                   // format version field
+	got, err := ReadBundle(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 bundle rejected: %v", err)
+	}
+	if got.Index != nil {
+		t.Fatalf("v1 bundle grew an index meta: %+v", got.Index)
+	}
+	if got.ModelVersion != b.ModelVersion || !got.Xf.Equal(b.Xf, 0) {
+		t.Fatal("v1 payload mangled")
+	}
+}
+
 func TestBundleFileAtomicSave(t *testing.T) {
 	b := testBundle(true)
 	path := filepath.Join(t.TempDir(), "m.pane")
