@@ -10,8 +10,13 @@
 //
 // Beyond the paper, `-exp topk` measures the serving path added in
 // internal/index — brute-force scan vs exact index vs IVF QPS and
-// recall@k on a generated graph — and writes the result to -json
-// (default BENCH_topk.json).
+// recall@k on a generated graph, plus a shard-count scaling sweep — and
+// writes the result to -json (default BENCH_topk.json). The run itself
+// fails when IVF at full nprobe cannot reproduce the exact answer or
+// when sharded exact diverges from single-shard exact. With -baseline, a
+// committed report is compared against the fresh run and the process
+// exits non-zero when IVF throughput or recall@k regressed by more than
+// -tolerance — the CI perf gate.
 package main
 
 import (
@@ -29,14 +34,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchexp: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table2..fig8 or all)")
-		datasets = flag.String("datasets", "", "comma-separated dataset names (default: experiment-appropriate)")
-		k        = flag.Int("k", 128, "space budget")
-		threads  = flag.Int("threads", 10, "worker threads")
-		quick    = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
-		seed     = flag.Int64("seed", 1, "random seed")
-		topkN    = flag.Int("topk-n", 100000, "graph size for -exp topk")
-		topkJSON = flag.String("json", "BENCH_topk.json", "output path for the -exp topk JSON report")
+		exp       = flag.String("exp", "all", "experiment id (table2..fig8 or all)")
+		datasets  = flag.String("datasets", "", "comma-separated dataset names (default: experiment-appropriate)")
+		k         = flag.Int("k", 128, "space budget")
+		threads   = flag.Int("threads", 10, "worker threads")
+		quick     = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
+		seed      = flag.Int64("seed", 1, "random seed")
+		topkN     = flag.Int("topk-n", 100000, "graph size for -exp topk")
+		topkJSON  = flag.String("json", "BENCH_topk.json", "output path for the -exp topk JSON report")
+		baseline  = flag.String("baseline", "", "committed BENCH_topk.json to gate -exp topk against (empty = no gate)")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional regression vs -baseline before failing")
 	)
 	flag.Parse()
 
@@ -170,13 +177,25 @@ func main() {
 			if *quick && !nSet {
 				n = 20000
 			}
+			// 2000 queries keep each timed path's window tens of
+			// milliseconds at minimum, so the perf gate's speedup ratio
+			// is not at the mercy of a single GC pause or scheduler
+			// hiccup on a shared CI runner.
 			b, err := experiments.RunTopK(experiments.TopKOptions{
 				N: n, K: topkK, Threads: opt.Threads, Seed: opt.Seed,
+				Queries: 2000,
 			})
 			check(err)
 			experiments.PrintTopK(os.Stdout, b)
 			check(experiments.WriteTopKJSON(*topkJSON, b))
 			fmt.Printf("wrote %s\n", *topkJSON)
+			if *baseline != "" {
+				base, err := experiments.ReadTopKJSON(*baseline)
+				check(err)
+				check(experiments.CheckTopKBaseline(b, base, *tolerance))
+				fmt.Printf("perf gate: within %.0f%% of %s (ivf %.1fx vs baseline %.1fx, recall %.3f vs %.3f)\n",
+					*tolerance*100, *baseline, b.SpeedupIVFVsScan, base.SpeedupIVFVsScan, b.RecallAtK, base.RecallAtK)
+			}
 		default:
 			log.Fatalf("unknown experiment %q", id)
 		}

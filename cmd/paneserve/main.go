@@ -48,19 +48,31 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		sweeps    = flag.Int("sweeps", engine.DefaultUpdateSweeps, "CCD sweeps per dynamic update")
 		indexMode = flag.String("index", "auto", "serving index: off, exact, ivf (exact+IVF), or auto (bundle setting when present, ivf otherwise)")
-		nlist     = flag.Int("nlist", 0, "IVF coarse clusters (0 = sqrt(n))")
+		nlist     = flag.Int("nlist", 0, "IVF coarse clusters per shard (0 = sqrt(shard rows))")
 		nprobe    = flag.Int("nprobe", 0, "default IVF lists probed per query (0 = nlist/8)")
+		shards    = flag.Int("shards", 1, "serving-index shards: contiguous candidate row partitions rebuilt and searched concurrently")
 	)
 	flag.Parse()
 	if *snapEvery > 0 && *snapPath == "" {
 		log.Fatal("-snapshot-every requires -snapshot")
 	}
 
+	// An explicitly passed -shards must win even when "auto" restores a
+	// bundle-recorded index configuration.
+	shardsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsSet = true
+		}
+	})
+
 	// indexOpts maps -index to engine options. "auto" defers to a loaded
 	// bundle's recorded configuration and falls back to full indexing
-	// when there is none (or when training fresh).
+	// when there is none (or when training fresh); an explicit -shards
+	// overrides the shard count either way.
 	indexOpts := func(loading bool) []engine.Option {
-		ivfCfg := engine.IndexConfig{IVF: true, NList: *nlist, NProbe: *nprobe}
+		ivfCfg := engine.IndexConfig{IVF: true, NList: *nlist, NProbe: *nprobe, Shards: *shards}
+		var opts []engine.Option
 		switch *indexMode {
 		case "off":
 			if loading {
@@ -68,15 +80,21 @@ func main() {
 			}
 			return nil
 		case "exact":
-			return []engine.Option{engine.WithIndex(engine.IndexConfig{})}
+			opts = []engine.Option{engine.WithIndex(engine.IndexConfig{Shards: *shards})}
 		case "ivf":
-			return []engine.Option{engine.WithIndex(ivfCfg)}
+			opts = []engine.Option{engine.WithIndex(ivfCfg)}
 		case "auto":
-			return []engine.Option{engine.WithFallbackIndex(ivfCfg)}
+			opts = []engine.Option{engine.WithFallbackIndex(ivfCfg)}
+			// Only "auto" can restore a bundle-recorded layout that
+			// disagrees with the flag; the explicit modes above already
+			// carry *shards in their configs.
+			if shardsSet {
+				opts = append(opts, engine.WithShards(*shards))
+			}
 		default:
 			log.Fatalf("unknown -index mode %q (want off, exact, ivf, or auto)", *indexMode)
-			return nil
 		}
+		return opts
 	}
 
 	var (
@@ -118,7 +136,8 @@ func main() {
 	}
 
 	if st := eng.IndexStatus(); st.Enabled {
-		log.Printf("serving index: version %d, ivf=%v nlist=%d nprobe=%d", st.Version, st.IVF, st.NList, st.NProbe)
+		log.Printf("serving index: version %d, %d shard(s), ivf=%v nlist=%d nprobe=%d",
+			st.Version, st.Shards, st.IVF, st.NList, st.NProbe)
 	} else {
 		log.Print("serving index: disabled (top-k queries scan)")
 	}

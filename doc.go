@@ -3,9 +3,10 @@
 // 14(1), 2020). The implementation lives under internal/: see
 // internal/core for the algorithm, internal/graph for the data model,
 // internal/engine for the versioned model lifecycle (live updates,
-// snapshot/restore) behind the HTTP service in internal/server,
-// internal/index for the versioned top-k serving indexes (exact parallel
-// scan and approximate IVF) those queries run on, and cmd/benchexp for
-// the experiment harness that regenerates every table and figure of the
-// paper's evaluation. README.md has the tour.
+// sharded per-version serving indexes, snapshot/restore) behind the HTTP
+// service in internal/server, internal/index for the top-k backends
+// (exact parallel scan, approximate IVF, and the shard fan-out/merge
+// layer) those queries run on, and cmd/benchexp for the experiment
+// harness that regenerates every table and figure of the paper's
+// evaluation. README.md has the tour.
 package pane

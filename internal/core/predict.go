@@ -61,7 +61,16 @@ func (s *LinkScorer) Undirected(u, v int) float64 {
 // candidate at one O(k/2) dot product with no per-query setup. nb is the
 // worker count for the multiply.
 func (s *LinkScorer) TransformedCandidates(nb int) *mat.Dense {
-	return mat.ParMul(s.e.Xb, s.g, nb)
+	return s.TransformedCandidatesRange(0, s.e.Xb.Rows, nb)
+}
+
+// TransformedCandidatesRange materializes rows [lo, hi) of Z = Xb·G — one
+// contiguous shard of the candidate matrix. Each output row is computed by
+// the same row-owned kernel as the full product, so shard-wise assembly is
+// bit-for-bit identical to TransformedCandidates: sharded serving can
+// build S independent blocks concurrently without changing any score.
+func (s *LinkScorer) TransformedCandidatesRange(lo, hi, nb int) *mat.Dense {
+	return mat.ParMul(s.e.Xb.RowSlice(lo, hi), s.g, nb)
 }
 
 // AttrQueryInto writes the attribute-inference query vector of node v,

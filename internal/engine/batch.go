@@ -2,16 +2,27 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"pane/internal/core"
+	"pane/internal/index"
 )
 
 // Batch query execution: N heterogeneous queries evaluated against ONE
 // model version. Under live updates this matters — issuing the same
 // queries one at a time could straddle a version swap and mix scores from
 // two embeddings; a batch never does. Top-k queries in a batch route
-// through the same per-version index as the single-query endpoints, and
-// each result reports the backend that answered it.
+// through the same per-version sharded index as the single-query
+// endpoints, and each result reports the backend that answered it.
+//
+// Dispatch is shard-first: instead of fanning each top-k query out to
+// every shard (queries × shards goroutines, one dispatch per pair), the
+// batch prepares all its top-k searches up front and runs one worker per
+// shard that scans every prepared query against that shard's index. The
+// per-query partial results are then merged under core.TopK, which is
+// order-independent for unique ids — so the batch answers are bit-for-bit
+// identical to issuing the queries one at a time, with S dispatches
+// instead of queries × S.
 
 // Query ops understood by Execute.
 const (
@@ -59,12 +70,14 @@ type Result struct {
 }
 
 // Execute evaluates a batch of heterogeneous queries against an Engine's
-// current model — resolving the model and its serving index once, so the
-// whole batch is answered at one version — and reports that version.
+// current model — resolving the model and one consistent shard set once,
+// so the whole batch is answered at one version — and reports that
+// version. With a fresh sharded index the batch's top-k queries are
+// dispatched shard-first (see the package comment above).
 func (e *Engine) Execute(qs []Query) ([]Result, uint64) {
 	m := e.Model()
-	s := e.freshIndex(m)
-	return m.execute(qs, s), m.Version
+	shards := e.freshShards(m)
+	return m.execute(qs, shards), m.Version
 }
 
 // Execute evaluates the batch against this specific model version. Top-k
@@ -72,15 +85,67 @@ func (e *Engine) Execute(qs []Query) ([]Result, uint64) {
 // batches.
 func (m *Model) Execute(qs []Query) []Result { return m.execute(qs, nil) }
 
-func (m *Model) execute(qs []Query, s *indexSet) []Result {
+// preparedTopK is one validated top-k search of a batch, ready to run
+// against any shard: the query vector, the global-id skip, and the
+// per-shard sub-index selection.
+type preparedTopK struct {
+	resIdx int // index of the result slot to fill after the merge
+	q      []float64
+	k      int
+	opt    index.Options
+	subs   []index.Index
+}
+
+func (m *Model) execute(qs []Query, shards []*shardIdx) []Result {
 	out := make([]Result, len(qs))
+	var prep []preparedTopK
 	for i, q := range qs {
-		out[i] = m.run(q, s)
+		out[i] = m.run(q, shards, i, &prep)
+	}
+	if len(prep) > 0 {
+		runShardFirst(prep, len(shards), out)
 	}
 	return out
 }
 
-func (m *Model) run(q Query, s *indexSet) Result {
+// runShardFirst executes the batch's prepared top-k searches with one
+// worker per shard, then merges each query's per-shard partials into its
+// result slot.
+func runShardFirst(prep []preparedTopK, nShards int, out []Result) {
+	// partials[p][s] is query p's top-k within shard s.
+	partials := make([][][]core.Scored, len(prep))
+	for p := range partials {
+		partials[p] = make([][]core.Scored, nShards)
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < nShards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for p, pq := range prep {
+				if sub := pq.subs[s]; sub != nil {
+					partials[p][s] = sub.Search(pq.q, pq.k, pq.opt)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for p, pq := range prep {
+		final := core.NewTopK(pq.k)
+		for _, part := range partials[p] {
+			for _, sc := range part {
+				final.Offer(sc.ID, sc.Score)
+			}
+		}
+		out[pq.resIdx].Top = final.Take()
+	}
+}
+
+// run evaluates one query. Scalar ops are answered inline; top-k ops with
+// a fresh shard set are validated, appended to prep for the shard-first
+// pass, and have their Backend set immediately (the merge later fills
+// Top). Without shards, top-k ops scan inline.
+func (m *Model) run(q Query, shards []*shardIdx, resIdx int, prep *[]preparedTopK) Result {
 	res := Result{Op: q.Op}
 	fail := func(format string, args ...interface{}) Result {
 		res.Err = fmt.Sprintf(format, args...)
@@ -108,26 +173,46 @@ func (m *Model) run(q Query, s *indexSet) Result {
 		u := m.Scorer.Undirected(q.Src, q.Dst)
 		res.Score = &s
 		res.Undirected = &u
-	case OpTopAttrs:
+	case OpTopAttrs, OpTopLinks:
 		k, err := batchK(q.K)
 		if err != nil {
 			return fail("%v", err)
 		}
-		top, backend, err := m.topAttrs(s, q.Node, k, q.Mode, q.NProbe)
+		if shards == nil {
+			var top []core.Scored
+			var backend string
+			if q.Op == OpTopAttrs {
+				top, backend, err = m.topAttrs(nil, q.Node, k, q.Mode, q.NProbe)
+			} else {
+				top, backend, err = m.topLinks(nil, q.Src, k, q.Mode, q.NProbe)
+			}
+			if err != nil {
+				return fail("%v", err)
+			}
+			res.Top, res.Backend = top, backend
+			return res
+		}
+		mode, err := validateTopK(k, q.Mode, q.NProbe)
 		if err != nil {
 			return fail("%v", err)
 		}
-		res.Top, res.Backend = top, backend
-	case OpTopLinks:
-		k, err := batchK(q.K)
-		if err != nil {
-			return fail("%v", err)
+		p := preparedTopK{resIdx: resIdx, k: k, opt: index.Options{NProbe: q.NProbe}}
+		if q.Op == OpTopAttrs {
+			if !inRange(q.Node, m.Nodes()) {
+				return fail("engine: node %d out of range [0,%d)", q.Node, m.Nodes())
+			}
+			p.q = m.Emb.AttrQueryInto(q.Node, make([]float64, m.Emb.Xf.Cols))
+			p.subs, res.Backend = attrSubs(shards, mode)
+		} else {
+			if !inRange(q.Src, m.Nodes()) {
+				return fail("engine: src %d out of range [0,%d)", q.Src, m.Nodes())
+			}
+			u := q.Src
+			p.q = m.Emb.Xf.Row(u)
+			p.opt.Skip = func(id int) bool { return id == u }
+			p.subs, res.Backend = linkSubs(shards, mode)
 		}
-		top, backend, err := m.topLinks(s, q.Src, k, q.Mode, q.NProbe)
-		if err != nil {
-			return fail("%v", err)
-		}
-		res.Top, res.Backend = top, backend
+		*prep = append(*prep, p)
 	default:
 		return fail("unknown op %q", q.Op)
 	}

@@ -49,26 +49,13 @@ type Engine struct {
 
 	sweeps int // CCD sweeps per warm-start update
 
-	// Serving-index state (see index.go). idx is published separately
-	// from cur: queries accept it only when its version matches the model
-	// they resolved, so a mid-rebuild index is never consulted.
+	// Sharded serving-index state (see index.go). Each shard's index is
+	// published separately from cur: queries accept the shard set only
+	// when every shard's version matches the model they resolved, so a
+	// mid-rebuild (or mixed-generation) set is never consulted.
 	idxCfg    *IndexConfig
 	idxManual bool
-	idx       atomic.Pointer[indexSet]
-	idxMu     sync.Mutex // serializes index builds
-	// Async rebuild scheduling state, all under idxStateMu: at most one
-	// worker goroutine runs at a time (idxRunning); updates mark
-	// idxDirty instead of spawning, and the worker loops until it exits
-	// with the dirty flag clear — so every published version is either
-	// seen by the running worker's next loop or triggers a fresh worker,
-	// and a sustained update stream never piles up goroutines.
-	// WaitForIndex waits on idxIdleC for both flags to drop. (A plain
-	// WaitGroup would be unsafe here: updates keep Add-ing while waiters
-	// Wait, the exact concurrent Add/Wait reuse the contract forbids.)
-	idxStateMu sync.Mutex
-	idxIdleC   *sync.Cond
-	idxDirty   bool
-	idxRunning bool
+	shards    *shardSet
 }
 
 // DefaultUpdateSweeps is the number of CCD refinement sweeps an update
@@ -103,7 +90,6 @@ func newEngine(g *graph.Graph, emb *core.Embedding, cfg core.Config, version uin
 			emb.Xf.Rows, emb.Y.Rows, emb.K(), g.N, g.D, cfg.K)
 	}
 	e := &Engine{sweeps: DefaultUpdateSweeps}
-	e.idxIdleC = sync.NewCond(&e.idxStateMu)
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -114,10 +100,13 @@ func newEngine(g *graph.Graph, emb *core.Embedding, cfg core.Config, version uin
 		Emb:     emb,
 		Scorer:  core.NewLinkScorer(emb),
 	})
-	// Build the initial index synchronously so a fresh engine serves
-	// indexed queries from its first request.
+	// Lay out the shard set (the node and attribute universes are fixed,
+	// so the row ranges never change) and build the initial per-shard
+	// indexes synchronously — concurrently across shards — so a fresh
+	// engine serves indexed queries from its first request.
 	if e.idxCfg != nil {
-		e.rebuildIndex()
+		e.shards = newShardSet(g.N, g.D, e.idxCfg.Shards)
+		e.RebuildIndex()
 	}
 	return e, nil
 }
@@ -215,7 +204,7 @@ func (e *Engine) Snapshot(path string) (*Model, error) {
 	if c := e.idxCfg; c != nil {
 		// writeIndexMeta normalizes negative tuning values to 0 ("use
 		// defaults") so the written bundle always reloads.
-		b.Index = &store.IndexMeta{IVF: c.IVF, NList: c.NList, NProbe: c.NProbe, Seed: c.Seed}
+		b.Index = &store.IndexMeta{IVF: c.IVF, NList: c.NList, NProbe: c.NProbe, Seed: c.Seed, Shards: c.Shards}
 	}
 	if err := store.SaveBundleFile(path, b); err != nil {
 		return nil, err
@@ -240,7 +229,7 @@ func Open(path string, opts ...Option) (*Engine, error) {
 	}
 	emb := &core.Embedding{Xf: b.Xf, Xb: b.Xb, Y: b.Y}
 	if im := b.Index; im != nil {
-		restore := WithIndex(IndexConfig{IVF: im.IVF, NList: im.NList, NProbe: im.NProbe, Seed: im.Seed})
+		restore := WithIndex(IndexConfig{IVF: im.IVF, NList: im.NList, NProbe: im.NProbe, Seed: im.Seed, Shards: im.Shards})
 		opts = append([]Option{restore}, opts...)
 	}
 	return newEngine(g, emb, b.Cfg, b.ModelVersion, opts)

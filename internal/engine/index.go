@@ -1,24 +1,33 @@
 package engine
 
-// Per-version top-k index lifecycle. An Engine with indexing enabled
-// maintains one immutable indexSet per published model version: an exact
-// backend over the precomputed candidate matrices (Z = Xb·G for links, Y
-// for attributes) and, optionally, IVF backends over the same vectors for
-// approximate sub-linear search.
+// Sharded per-version top-k index lifecycle. An Engine with indexing
+// enabled partitions the candidate matrices — Z = Xb·G for links (n
+// rows), Y for attributes (d rows) — into S contiguous row shards. Each
+// shard owns an exact backend (and optionally an IVF backend) over its
+// block only, published through its own atomic pointer and rebuilt by its
+// own worker goroutine: after an update, S independent, smaller rebuilds
+// overlap instead of one O(n) blocking build.
 //
-// The set is published through its own atomic pointer, separate from the
-// model pointer. A query resolves the model first, then accepts the index
-// only if its version matches exactly; otherwise it answers from the
-// model's brute-force scan path. The index is therefore never stale:
-// between an update landing and the asynchronous rebuild publishing,
-// queries degrade to the PR-1 scan (reported as backend "scan") but keep
-// answering at the current model version.
+// A query resolves the model first, then accepts the shard set only if
+// EVERY shard's published index matches that model version exactly — a
+// consistent cut. Anything else (disabled, some shard still building, or
+// built for a different generation) falls back to the model's brute-force
+// scan path, so a query never mixes shards from two generations and is
+// never answered by a stale index: between an update landing and the last
+// shard publishing, queries degrade to the scan (reported as backend
+// "scan") but keep answering at the current model version. Accepted
+// queries fan out across the shards in parallel and merge through
+// core.TopK, which keeps sharded exact answers bit-for-bit identical to
+// single-shard exact.
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"pane/internal/core"
 	"pane/internal/index"
+	"pane/internal/mat"
 )
 
 // Query modes accepted by the top-k paths.
@@ -35,21 +44,28 @@ const (
 )
 
 // IndexConfig selects and tunes the per-version indexes an Engine
-// maintains. The zero value enables the exact backend only; defaults are
-// resolved against the model at build time.
+// maintains. The zero value enables the exact backend only, unsharded;
+// defaults are resolved against the model at build time.
 type IndexConfig struct {
 	// IVF additionally builds the approximate backend.
 	IVF bool
-	// NList is the IVF coarse cluster count; 0 means ~sqrt(n).
+	// NList is the IVF coarse cluster count per shard; 0 means
+	// ~sqrt(shard rows).
 	NList int
-	// NProbe is the default number of IVF lists probed per query;
-	// 0 means max(1, nlist/8). Queries can override it per request.
+	// NProbe is the default number of IVF lists probed per query in each
+	// shard; 0 means max(1, nlist/8). Queries can override it per request.
 	NProbe int
 	// Threads is the index build/search parallelism; 0 follows the model
-	// config's Threads.
+	// config's Threads. Builds divide it across concurrently rebuilding
+	// shards.
 	Threads int
 	// Seed drives k-means determinism; 0 follows the model config's Seed.
 	Seed int64
+	// Shards is the number of contiguous row shards the candidate
+	// matrices are split into; values <= 1 mean one shard, and values
+	// above the row count are clamped. Each shard rebuilds independently
+	// and queries fan out across all of them.
+	Shards int
 }
 
 // WithIndex enables per-version top-k indexing with the given config.
@@ -80,6 +96,18 @@ func WithFallbackIndex(cfg IndexConfig) Option {
 	}
 }
 
+// WithShards overrides the shard count of whatever index configuration
+// is in effect at this point in the option list — typically one restored
+// from a bundle — without touching its other settings. No-op when
+// indexing is disabled.
+func WithShards(n int) Option {
+	return func(e *Engine) {
+		if e.idxCfg != nil {
+			e.idxCfg.Shards = n
+		}
+	}
+}
+
 // WithManualIndexRebuild turns off the automatic asynchronous rebuild
 // after updates; callers invoke RebuildIndex themselves. Tests use this
 // to pin the "update applied, index not yet republished" state
@@ -88,22 +116,78 @@ func WithManualIndexRebuild() Option {
 	return func(e *Engine) { e.idxManual = true }
 }
 
-// indexSet is one immutable generation of serving indexes, valid for
-// exactly one model version.
-type indexSet struct {
+// shardIdx is one shard's immutable index generation, valid for exactly
+// one model version. All ids it returns are global (see index.Shift).
+type shardIdx struct {
 	version  uint64
-	links    *index.Exact // over Z = Xb·G; query vector is Xf[u]
-	attrs    *index.Exact // over Y; query vector is Xf[v]+Xb[v]
-	linksIVF *index.IVF   // nil unless cfg.IVF
-	attrsIVF *index.IVF
+	links    index.Index // over Z[lo:hi); query vector is Xf[u]
+	attrs    index.Index // over Y[alo:ahi); nil when the shard has no attr rows
+	linksIVF index.Index // nil unless cfg.IVF
+	attrsIVF index.Index
 }
 
-// buildIndexSet materializes the indexes for m.
-func buildIndexSet(m *Model, cfg IndexConfig) *indexSet {
+// shardSet is the sharded serving-index state of one Engine: the fixed
+// shard layout (node and attribute universes are fixed at training time,
+// so the ranges never change), one published-index slot per shard, and
+// the per-shard rebuild scheduling state.
+type shardSet struct {
+	linkRanges [][2]int // contiguous row ranges of Z; one per shard
+	attrRanges [][2]int // contiguous row ranges of Y; len <= len(linkRanges)
+	slots      []atomic.Pointer[shardIdx]
+
+	// Per-shard async rebuild scheduling, all under mu: at most one
+	// worker goroutine runs per shard (running[s]); updates mark dirty[s]
+	// instead of spawning, and a worker loops until it exits with its
+	// dirty flag clear — so every published version is either seen by the
+	// running worker's next loop or triggers a fresh worker, and a
+	// sustained update stream never piles up goroutines. WaitForIndex
+	// waits on idleC for every shard's flags to drop. buildMu serializes
+	// the builds of one shard (worker vs. manual RebuildIndex) without
+	// ever blocking other shards.
+	mu      sync.Mutex
+	idleC   *sync.Cond
+	dirty   []bool
+	running []bool
+	buildMu []sync.Mutex
+}
+
+// newShardSet lays out s shards over n candidate rows and d attribute
+// rows. SplitRanges clamps: more shards than rows collapses to one shard
+// per row, and the attribute space may span fewer shards than the link
+// space when d < n.
+func newShardSet(n, d, s int) *shardSet {
+	if s < 1 {
+		s = 1
+	}
+	linkRanges := mat.SplitRanges(n, s)
+	if len(linkRanges) == 0 { // n == 0: keep one empty shard so slots exist
+		linkRanges = [][2]int{{0, 0}}
+	}
+	ss := &shardSet{
+		linkRanges: linkRanges,
+		attrRanges: mat.SplitRanges(d, len(linkRanges)),
+		slots:      make([]atomic.Pointer[shardIdx], len(linkRanges)),
+		dirty:      make([]bool, len(linkRanges)),
+		running:    make([]bool, len(linkRanges)),
+		buildMu:    make([]sync.Mutex, len(linkRanges)),
+	}
+	ss.idleC = sync.NewCond(&ss.mu)
+	return ss
+}
+
+// buildShardIdx materializes shard s's indexes for m. Only the shard's
+// own block of Z is computed (rows linkRanges[s]), which is what makes S
+// rebuilds S-times smaller than one monolithic build.
+func (e *Engine) buildShardIdx(m *Model, s int) *shardIdx {
+	cfg := *e.idxCfg
+	ss := e.shards
 	threads := cfg.Threads
 	if threads <= 0 {
 		threads = m.Cfg.Threads
 	}
+	// Divide build parallelism across shards: their rebuilds overlap, so
+	// each gets a slice of the budget rather than all of it.
+	threads /= len(ss.slots)
 	if threads < 1 {
 		threads = 1
 	}
@@ -111,135 +195,222 @@ func buildIndexSet(m *Model, cfg IndexConfig) *indexSet {
 	if seed == 0 {
 		seed = m.Cfg.Seed
 	}
-	z := m.Scorer.TransformedCandidates(threads)
-	s := &indexSet{
+	ivfCfg := index.IVFConfig{
+		NList: cfg.NList, NProbe: cfg.NProbe,
+		Seed: seed, Threads: threads,
+	}
+	lo, hi := ss.linkRanges[s][0], ss.linkRanges[s][1]
+	z := m.Scorer.TransformedCandidatesRange(lo, hi, threads)
+	si := &shardIdx{
 		version: m.Version,
-		links:   index.NewExact(z, threads),
-		attrs:   index.NewExact(m.Emb.Y, threads),
+		links:   index.Shift(index.NewExact(z, threads), lo),
 	}
 	if cfg.IVF {
-		ivfCfg := index.IVFConfig{
-			NList: cfg.NList, NProbe: cfg.NProbe,
-			Seed: seed, Threads: threads,
-		}
-		s.linksIVF = index.BuildIVF(z, ivfCfg)
-		s.attrsIVF = index.BuildIVF(m.Emb.Y, ivfCfg)
+		si.linksIVF = index.Shift(index.BuildIVF(z, ivfCfg), lo)
 	}
-	return s
+	if s < len(ss.attrRanges) {
+		alo, ahi := ss.attrRanges[s][0], ss.attrRanges[s][1]
+		y := m.Emb.Y.RowSlice(alo, ahi)
+		si.attrs = index.Shift(index.NewExact(y, threads), alo)
+		if cfg.IVF {
+			si.attrsIVF = index.Shift(index.BuildIVF(y, ivfCfg), alo)
+		}
+	}
+	return si
 }
 
-// freshIndex returns the published index set only when it serves exactly
-// m's version; anything else (disabled, still building, or built for a
-// different generation) returns nil and the caller scans.
-func (e *Engine) freshIndex(m *Model) *indexSet {
-	s := e.idx.Load()
-	if s == nil || s.version != m.Version {
+// freshShards returns one consistent cut of the published shard indexes:
+// every shard serving exactly m's version. Anything else (disabled, some
+// shard still building, or a mixed generation set mid-catchup) returns
+// nil and the caller scans — a query can never combine shards from two
+// model versions.
+func (e *Engine) freshShards(m *Model) []*shardIdx {
+	ss := e.shards
+	if ss == nil {
 		return nil
 	}
-	return s
+	out := make([]*shardIdx, len(ss.slots))
+	for s := range ss.slots {
+		si := ss.slots[s].Load()
+		if si == nil || si.version != m.Version {
+			return nil
+		}
+		out[s] = si
+	}
+	return out
 }
 
 // scheduleIndexRebuild records that the published model moved ahead of
-// the index and ensures one worker goroutine is (or becomes) responsible
-// for catching up. No-op when indexing is disabled or manual. Callers
-// publish the new model BEFORE calling this, so marking dirty afterwards
-// guarantees the version is covered: the running worker re-checks the
-// flag before exiting (under idxStateMu, so a concurrent mark either is
-// seen by that check or observes idxRunning == false and spawns a new
-// worker), and the worker resolves the model fresh on every build. A
-// sustained update stream therefore collapses into at most one build
-// behind the in-flight one, with never more than one goroutine alive.
+// the index and ensures each shard has (or gets) a worker responsible for
+// catching up. No-op when indexing is disabled or manual. Callers publish
+// the new model BEFORE calling this, so marking dirty afterwards
+// guarantees the version is covered: a running worker re-checks its flag
+// before exiting (under mu, so a concurrent mark either is seen by that
+// check or observes running == false and spawns a new worker), and every
+// build resolves the model fresh. A sustained update stream therefore
+// collapses into at most one build behind the in-flight one per shard,
+// with never more than one goroutine alive per shard.
 func (e *Engine) scheduleIndexRebuild() {
-	if e.idxCfg == nil || e.idxManual {
+	if e.shards == nil || e.idxManual {
 		return
 	}
-	e.idxStateMu.Lock()
-	e.idxDirty = true
-	if e.idxRunning {
-		e.idxStateMu.Unlock()
-		return
+	ss := e.shards
+	ss.mu.Lock()
+	for s := range ss.slots {
+		ss.dirty[s] = true
+		if !ss.running[s] {
+			ss.running[s] = true
+			go e.shardWorker(s)
+		}
 	}
-	e.idxRunning = true
-	e.idxStateMu.Unlock()
-	go e.indexWorker()
+	ss.mu.Unlock()
 }
 
-// indexWorker drains the dirty flag, rebuilding toward whatever model is
-// current each iteration, and announces idleness on exit.
-func (e *Engine) indexWorker() {
+// shardWorker drains shard s's dirty flag, rebuilding toward whatever
+// model is current each iteration, and announces idleness on exit.
+func (e *Engine) shardWorker(s int) {
+	ss := e.shards
 	for {
-		e.idxStateMu.Lock()
-		if !e.idxDirty {
-			e.idxRunning = false
-			e.idxIdleC.Broadcast()
-			e.idxStateMu.Unlock()
+		ss.mu.Lock()
+		if !ss.dirty[s] {
+			ss.running[s] = false
+			ss.idleC.Broadcast()
+			ss.mu.Unlock()
 			return
 		}
-		e.idxDirty = false
-		e.idxStateMu.Unlock()
-		e.rebuildIndex()
+		ss.dirty[s] = false
+		ss.mu.Unlock()
+		e.buildShard(s)
 	}
 }
 
-// RebuildIndex synchronously builds and publishes the index for the
-// engine's current model version. Redundant calls — an index at or past
-// that version is already published — return immediately, so a burst of
-// updates collapses into one build of the latest version.
-func (e *Engine) RebuildIndex() {
-	if e.idxCfg == nil {
-		return
-	}
-	e.rebuildIndex()
-}
-
-func (e *Engine) rebuildIndex() {
-	e.idxMu.Lock()
-	defer e.idxMu.Unlock()
+// buildShard brings shard s up to the engine's current model version.
+// Redundant calls — a shard index at or past that version is already
+// published — return immediately, so a burst of updates collapses into
+// one build of the latest version per shard.
+func (e *Engine) buildShard(s int) {
+	ss := e.shards
+	ss.buildMu[s].Lock()
+	defer ss.buildMu[s].Unlock()
 	m := e.Model()
-	if cur := e.idx.Load(); cur != nil && cur.version >= m.Version {
+	if cur := ss.slots[s].Load(); cur != nil && cur.version >= m.Version {
 		return
 	}
-	e.idx.Store(buildIndexSet(m, *e.idxCfg))
+	ss.slots[s].Store(e.buildShardIdx(m, s))
 }
 
-// WaitForIndex blocks until the asynchronous rebuild worker has drained
-// every scheduled rebuild, and is safe to call while further updates
-// keep scheduling new ones. After it returns (and absent concurrent
-// updates) the published index matches the current model version —
-// under automatic rebuilds, that is; with WithManualIndexRebuild
-// nothing is ever scheduled, so it returns immediately and freshness is
-// the caller's RebuildIndex responsibility.
-func (e *Engine) WaitForIndex() {
-	e.idxStateMu.Lock()
-	for e.idxRunning || e.idxDirty {
-		e.idxIdleC.Wait()
+// RebuildIndex synchronously builds and publishes every shard's index for
+// the engine's current model version, rebuilding the shards concurrently.
+// Shards already at or past that version are skipped.
+func (e *Engine) RebuildIndex() {
+	if e.shards == nil {
+		return
 	}
-	e.idxStateMu.Unlock()
+	var wg sync.WaitGroup
+	for s := range e.shards.slots {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			e.buildShard(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// WaitForIndex blocks until every shard's asynchronous rebuild worker has
+// drained its scheduled rebuilds, and is safe to call while further
+// updates keep scheduling new ones. After it returns (and absent
+// concurrent updates) every published shard matches the current model
+// version — under automatic rebuilds, that is; with
+// WithManualIndexRebuild nothing is ever scheduled, so it returns
+// immediately and freshness is the caller's RebuildIndex responsibility.
+func (e *Engine) WaitForIndex() {
+	ss := e.shards
+	if ss == nil {
+		return
+	}
+	ss.mu.Lock()
+	for ss.anyBusy() {
+		ss.idleC.Wait()
+	}
+	ss.mu.Unlock()
+}
+
+// anyBusy reports whether any shard has a running worker or a pending
+// rebuild. Callers hold mu.
+func (ss *shardSet) anyBusy() bool {
+	for s := range ss.running {
+		if ss.running[s] || ss.dirty[s] {
+			return true
+		}
+	}
+	return false
 }
 
 // IndexStatus reports the serving-index state for monitoring.
 type IndexStatus struct {
-	Enabled bool   `json:"enabled"`
-	Version uint64 `json:"version,omitempty"` // model version the published index serves
+	Enabled bool `json:"enabled"`
+	// Version is the model version served by the full shard set: the
+	// minimum over the per-shard generations, 0 while any shard has yet
+	// to publish. Queries use the index only when it equals the current
+	// model version.
+	Version uint64 `json:"version,omitempty"`
 	IVF     bool   `json:"ivf,omitempty"`
-	NList   int    `json:"nlist,omitempty"`
+	NList   int    `json:"nlist,omitempty"`  // per-shard IVF lists (first shard)
 	NProbe  int    `json:"nprobe,omitempty"` // default probes per IVF query
+	// Shards is the shard count; ShardVersions the per-shard index
+	// generations, exposing rebuild progress shard by shard (0 = not yet
+	// published).
+	Shards        int      `json:"shards,omitempty"`
+	ShardVersions []uint64 `json:"shard_versions,omitempty"`
 }
 
 // IndexStatus returns the current index state.
 func (e *Engine) IndexStatus() IndexStatus {
-	if e.idxCfg == nil {
+	if e.shards == nil {
 		return IndexStatus{}
 	}
-	st := IndexStatus{Enabled: true, IVF: e.idxCfg.IVF}
-	if s := e.idx.Load(); s != nil {
-		st.Version = s.version
-		if s.linksIVF != nil {
-			st.NList = s.linksIVF.NList()
-			st.NProbe = s.linksIVF.DefaultNProbe()
+	ss := e.shards
+	st := IndexStatus{
+		Enabled:       true,
+		IVF:           e.idxCfg.IVF,
+		Shards:        len(ss.slots),
+		ShardVersions: make([]uint64, len(ss.slots)),
+	}
+	minVer, complete := uint64(0), true
+	for s := range ss.slots {
+		si := ss.slots[s].Load()
+		if si == nil {
+			complete = false
+			continue
+		}
+		st.ShardVersions[s] = si.version
+		if minVer == 0 || si.version < minVer {
+			minVer = si.version
+		}
+		if s == 0 && si.linksIVF != nil {
+			if iv, ok := unshift(si.linksIVF).(*index.IVF); ok {
+				st.NList = iv.NList()
+				st.NProbe = iv.DefaultNProbe()
+			}
 		}
 	}
+	if complete {
+		st.Version = minVer
+	}
 	return st
+}
+
+// unshift unwraps index.Shift wrappers for status introspection.
+func unshift(idx index.Index) index.Index {
+	type unwrapper interface{ Unwrap() index.Index }
+	for {
+		u, ok := idx.(unwrapper)
+		if !ok {
+			return idx
+		}
+		idx = u.Unwrap()
+	}
 }
 
 // TopKAnswer is one served top-k result with its provenance: the model
@@ -250,14 +421,15 @@ type TopKAnswer struct {
 	Backend string
 }
 
-// TopLinks answers a link-prediction top-k query through the index when a
-// fresh one exists, falling back to the brute-force scan otherwise. mode
-// is ModeExact (default when empty) or ModeIVF; nprobe overrides the IVF
-// probe count when > 0. The query node itself is excluded.
+// TopLinks answers a link-prediction top-k query through the sharded
+// index when a fresh consistent shard set exists, falling back to the
+// brute-force scan otherwise. mode is ModeExact (default when empty) or
+// ModeIVF; nprobe overrides the per-shard IVF probe count when > 0. The
+// query node itself is excluded.
 func (e *Engine) TopLinks(u, k int, mode string, nprobe int) (TopKAnswer, error) {
 	m := e.Model()
-	s := e.freshIndex(m)
-	res, backend, err := m.topLinks(s, u, k, mode, nprobe)
+	shards := e.freshShards(m)
+	res, backend, err := m.topLinks(shards, u, k, mode, nprobe)
 	if err != nil {
 		return TopKAnswer{}, err
 	}
@@ -268,8 +440,8 @@ func (e *Engine) TopLinks(u, k int, mode string, nprobe int) (TopKAnswer, error)
 // mode/nprobe semantics.
 func (e *Engine) TopAttrs(v, k int, mode string, nprobe int) (TopKAnswer, error) {
 	m := e.Model()
-	s := e.freshIndex(m)
-	res, backend, err := m.topAttrs(s, v, k, mode, nprobe)
+	shards := e.freshShards(m)
+	res, backend, err := m.topAttrs(shards, v, k, mode, nprobe)
 	if err != nil {
 		return TopKAnswer{}, err
 	}
@@ -293,8 +465,43 @@ func validateTopK(k int, mode string, nprobe int) (string, error) {
 	return mode, nil
 }
 
-// topLinks runs the link top-k against this model, using s when non-nil.
-func (m *Model) topLinks(s *indexSet, u, k int, mode string, nprobe int) ([]core.Scored, string, error) {
+// linkSubs selects each shard's link backend for mode. The choice is
+// uniform across shards (every generation builds the same backends), so
+// one backend label describes the whole fan-out.
+func linkSubs(shards []*shardIdx, mode string) ([]index.Index, string) {
+	subs := make([]index.Index, len(shards))
+	if mode == ModeIVF && shards[0].linksIVF != nil {
+		for i, si := range shards {
+			subs[i] = si.linksIVF
+		}
+		return subs, BackendIVF
+	}
+	for i, si := range shards {
+		subs[i] = si.links
+	}
+	return subs, BackendExact
+}
+
+// attrSubs selects each shard's attribute backend for mode. Shards past
+// the attribute row space contribute nil entries, which the fan-out
+// skips.
+func attrSubs(shards []*shardIdx, mode string) ([]index.Index, string) {
+	subs := make([]index.Index, len(shards))
+	if mode == ModeIVF && shards[0].attrsIVF != nil {
+		for i, si := range shards {
+			subs[i] = si.attrsIVF
+		}
+		return subs, BackendIVF
+	}
+	for i, si := range shards {
+		subs[i] = si.attrs
+	}
+	return subs, BackendExact
+}
+
+// topLinks runs the link top-k against this model, fanning out over
+// shards when non-nil.
+func (m *Model) topLinks(shards []*shardIdx, u, k int, mode string, nprobe int) ([]core.Scored, string, error) {
 	mode, err := validateTopK(k, mode, nprobe)
 	if err != nil {
 		return nil, "", err
@@ -302,20 +509,18 @@ func (m *Model) topLinks(s *indexSet, u, k int, mode string, nprobe int) ([]core
 	if u < 0 || u >= m.Nodes() {
 		return nil, "", fmt.Errorf("engine: src %d out of range [0,%d)", u, m.Nodes())
 	}
-	if s != nil {
+	if shards != nil {
 		q := m.Emb.Xf.Row(u)
 		skip := func(id int) bool { return id == u }
-		if mode == ModeIVF && s.linksIVF != nil {
-			return s.linksIVF.Search(q, k, index.Options{NProbe: nprobe, Skip: skip}), BackendIVF, nil
-		}
-		return s.links.Search(q, k, index.Options{Skip: skip}), BackendExact, nil
+		subs, backend := linkSubs(shards, mode)
+		return index.SearchSharded(subs, q, k, index.Options{NProbe: nprobe, Skip: skip}), backend, nil
 	}
 	return m.Scorer.TopKTargets(u, k, nil), BackendScan, nil
 }
 
-// topAttrs runs the attribute top-k against this model, using s when
-// non-nil.
-func (m *Model) topAttrs(s *indexSet, v, k int, mode string, nprobe int) ([]core.Scored, string, error) {
+// topAttrs runs the attribute top-k against this model, fanning out over
+// shards when non-nil.
+func (m *Model) topAttrs(shards []*shardIdx, v, k int, mode string, nprobe int) ([]core.Scored, string, error) {
 	mode, err := validateTopK(k, mode, nprobe)
 	if err != nil {
 		return nil, "", err
@@ -323,12 +528,10 @@ func (m *Model) topAttrs(s *indexSet, v, k int, mode string, nprobe int) ([]core
 	if v < 0 || v >= m.Nodes() {
 		return nil, "", fmt.Errorf("engine: node %d out of range [0,%d)", v, m.Nodes())
 	}
-	if s != nil {
+	if shards != nil {
 		q := m.Emb.AttrQueryInto(v, make([]float64, m.Emb.Xf.Cols))
-		if mode == ModeIVF && s.attrsIVF != nil {
-			return s.attrsIVF.Search(q, k, index.Options{NProbe: nprobe}), BackendIVF, nil
-		}
-		return s.attrs.Search(q, k, index.Options{}), BackendExact, nil
+		subs, backend := attrSubs(shards, mode)
+		return index.SearchSharded(subs, q, k, index.Options{NProbe: nprobe}), backend, nil
 	}
 	return m.Emb.TopKAttrs(v, k, nil), BackendScan, nil
 }

@@ -25,6 +25,25 @@ type TopKOptions struct {
 	NProbe  int   // probes per query; 0 → index default
 	Queries int   // measured queries; 0 → 200
 	TopK    int   // k per query; 0 → 10
+	// ShardPoints are the shard counts of the scaling sweep; nil → {1, 2,
+	// 4, 8}. Empty (non-nil) skips the sweep.
+	ShardPoints []int
+}
+
+// minFullProbeRecall is the report-integrity floor: IVF probing every
+// list must reproduce the exact answer, so full-probe recall@k below this
+// means the index is structurally broken and the run fails instead of
+// printing a report that masks it.
+const minFullProbeRecall = 0.9
+
+// ShardScalingPoint is one row of the shard-count sweep: the same model
+// and query stream served through S shards.
+type ShardScalingPoint struct {
+	Shards            int     `json:"shards"`
+	IndexBuildSeconds float64 `json:"index_build_seconds"`
+	ExactQPS          float64 `json:"exact_qps"`
+	IVFQPS            float64 `json:"ivf_qps"`
+	RecallAtK         float64 `json:"recall_at_k"`
 }
 
 // TopKBench is the measured exact-vs-IVF serving comparison emitted as
@@ -47,14 +66,21 @@ type TopKBench struct {
 	ExactQPS float64 `json:"exact_qps"` // exact backend over precomputed Z
 	IVFQPS   float64 `json:"ivf_qps"`   // IVF backend at NProbe
 
-	RecallAtK          float64 `json:"recall_at_k"` // IVF vs exact, fraction of top-k ids recovered
+	RecallAtK          float64 `json:"recall_at_k"`       // IVF vs exact, fraction of top-k ids recovered
+	RecallFullProbe    float64 `json:"recall_full_probe"` // IVF probing every list; < 0.9 fails the run
 	SpeedupExactVsScan float64 `json:"speedup_exact_vs_scan"`
 	SpeedupIVFVsScan   float64 `json:"speedup_ivf_vs_scan"`
+
+	// Sharding is the shard-count scaling sweep: the same model served at
+	// S ∈ ShardPoints, exact answers verified bit-for-bit against S=1.
+	Sharding []ShardScalingPoint `json:"sharding,omitempty"`
 }
 
 // RunTopK generates a community-structured graph, trains a model, builds
 // the serving indexes, and measures the three top-links paths against
-// each other.
+// each other, then sweeps the shard count. It fails (rather than writing
+// a misleading report) when IVF at full probe cannot reproduce the exact
+// answer, and when sharded exact diverges from single-shard exact.
 func RunTopK(opt TopKOptions) (*TopKBench, error) {
 	if opt.N <= 0 {
 		opt.N = 100000
@@ -77,6 +103,9 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 	if opt.TopK <= 0 {
 		opt.TopK = 10
 	}
+	if opt.ShardPoints == nil {
+		opt.ShardPoints = []int{1, 2, 4, 8}
+	}
 
 	g, err := datagen.Generate(datagen.Config{
 		Name: "topkbench", N: opt.N, AvgOutDeg: 8, D: opt.D, AttrsPer: 6,
@@ -96,14 +125,19 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 	}
 	trainSec := time.Since(start).Seconds()
 
-	start = time.Now()
-	eng, err := engine.New(g, emb, cfg, engine.WithIndex(engine.IndexConfig{
-		IVF: true, NList: opt.NList, NProbe: opt.NProbe,
-	}))
+	// One engine per shard count, all wrapping the SAME trained
+	// embedding, so every sweep point serves identical vectors.
+	buildEngine := func(shards int) (*engine.Engine, float64, error) {
+		t0 := time.Now()
+		eng, err := engine.New(g, emb, cfg, engine.WithIndex(engine.IndexConfig{
+			IVF: true, NList: opt.NList, NProbe: opt.NProbe, Shards: shards,
+		}))
+		return eng, time.Since(t0).Seconds(), err
+	}
+	eng, buildSec, err := buildEngine(1)
 	if err != nil {
 		return nil, err
 	}
-	buildSec := time.Since(start).Seconds()
 
 	rng := rand.New(rand.NewSource(opt.Seed + 1))
 	nodes := make([]int, opt.Queries)
@@ -120,54 +154,102 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 		}
 		return out, float64(len(nodes)) / time.Since(t0).Seconds()
 	}
+	topLinks := func(e *engine.Engine, mode string, nprobe int, wantBackend string) func(u int) []core.Scored {
+		return func(u int) []core.Scored {
+			ans, err := e.TopLinks(u, opt.TopK, mode, nprobe)
+			if err != nil {
+				panic(err)
+			}
+			if ans.Backend != wantBackend {
+				panic(wantBackend + " backend not used: " + ans.Backend)
+			}
+			return ans.Results
+		}
+	}
+	recall := func(truth, got [][]core.Scored) float64 {
+		var hit, total int
+		for i := range truth {
+			in := make(map[int]bool, len(truth[i]))
+			for _, s := range truth[i] {
+				in[s.ID] = true
+			}
+			for _, s := range got[i] {
+				if in[s.ID] {
+					hit++
+				}
+			}
+			total += len(truth[i])
+		}
+		return float64(hit) / float64(total)
+	}
 
 	_, scanQPS := timeQueries(func(u int) []core.Scored {
 		return m.Scorer.TopKTargets(u, opt.TopK, nil)
 	})
-	exactRes, exactQPS := timeQueries(func(u int) []core.Scored {
-		ans, err := eng.TopLinks(u, opt.TopK, engine.ModeExact, 0)
-		if err != nil {
-			panic(err)
-		}
-		if ans.Backend != engine.BackendExact {
-			panic("exact backend not used: " + ans.Backend)
-		}
-		return ans.Results
-	})
-	ivfRes, ivfQPS := timeQueries(func(u int) []core.Scored {
-		ans, err := eng.TopLinks(u, opt.TopK, engine.ModeIVF, 0)
-		if err != nil {
-			panic(err)
-		}
-		if ans.Backend != engine.BackendIVF {
-			panic("ivf backend not used: " + ans.Backend)
-		}
-		return ans.Results
-	})
-	var hit, total int
-	for i := range exactRes {
-		in := make(map[int]bool, len(exactRes[i]))
-		for _, s := range exactRes[i] {
-			in[s.ID] = true
-		}
-		for _, s := range ivfRes[i] {
-			if in[s.ID] {
-				hit++
-			}
-		}
-		total += len(exactRes[i])
-	}
+	exactRes, exactQPS := timeQueries(topLinks(eng, engine.ModeExact, 0, engine.BackendExact))
+	ivfRes, ivfQPS := timeQueries(topLinks(eng, engine.ModeIVF, 0, engine.BackendIVF))
 
 	st := eng.IndexStatus()
+	// Full-probe IVF must reproduce the exact answer; anything well below
+	// 1.0 means the inverted file itself lost candidates, and the report
+	// must not mask that as an aggressive-nprobe artifact.
+	fullRes, _ := timeQueries(topLinks(eng, engine.ModeIVF, st.NList, engine.BackendIVF))
+	fullRecall := recall(exactRes, fullRes)
+	if fullRecall < minFullProbeRecall {
+		return nil, fmt.Errorf("experiments: IVF recall@%d at full nprobe is %.3f (< %.2f): serving index is broken",
+			opt.TopK, fullRecall, minFullProbeRecall)
+	}
+
 	b := &TopKBench{
 		N: g.N, Edges: g.M(), D: g.D, K: opt.K,
 		Queries: opt.Queries, TopK: opt.TopK,
 		NList: st.NList, NProbe: st.NProbe,
 		TrainSeconds: trainSec, IndexBuildSeconds: buildSec,
 		ScanQPS: scanQPS, ExactQPS: exactQPS, IVFQPS: ivfQPS,
-		RecallAtK:          float64(hit) / float64(total),
+		RecallAtK:          recall(exactRes, ivfRes),
+		RecallFullProbe:    fullRecall,
 		SpeedupExactVsScan: exactQPS / scanQPS,
 		SpeedupIVFVsScan:   ivfQPS / scanQPS,
+	}
+
+	for _, s := range opt.ShardPoints {
+		if s < 1 {
+			continue
+		}
+		if s == 1 {
+			// Already built and measured for the headline numbers; a
+			// second identical engine would add nothing but build time.
+			b.Sharding = append(b.Sharding, ShardScalingPoint{
+				Shards: 1, IndexBuildSeconds: buildSec,
+				ExactQPS: exactQPS, IVFQPS: ivfQPS, RecallAtK: b.RecallAtK,
+			})
+			continue
+		}
+		se, sBuild, err := buildEngine(s)
+		if err != nil {
+			return nil, err
+		}
+		sExactRes, sExactQPS := timeQueries(topLinks(se, engine.ModeExact, 0, engine.BackendExact))
+		for i := range exactRes {
+			if len(sExactRes[i]) != len(exactRes[i]) {
+				return nil, fmt.Errorf("experiments: shards=%d exact returned %d results for query %d, single-shard %d",
+					s, len(sExactRes[i]), i, len(exactRes[i]))
+			}
+			for j := range exactRes[i] {
+				if sExactRes[i][j] != exactRes[i][j] {
+					return nil, fmt.Errorf("experiments: shards=%d exact diverges from single-shard at query %d rank %d: %v != %v",
+						s, i, j, sExactRes[i][j], exactRes[i][j])
+				}
+			}
+		}
+		sIvfRes, sIvfQPS := timeQueries(topLinks(se, engine.ModeIVF, 0, engine.BackendIVF))
+		b.Sharding = append(b.Sharding, ShardScalingPoint{
+			Shards:            s,
+			IndexBuildSeconds: sBuild,
+			ExactQPS:          sExactQPS,
+			IVFQPS:            sIvfQPS,
+			RecallAtK:         recall(exactRes, sIvfRes),
+		})
 	}
 	return b, nil
 }
@@ -176,11 +258,20 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 func PrintTopK(w io.Writer, b *TopKBench) {
 	fmt.Fprintf(w, "Top-k serving: n=%d m=%d d=%d k=%d, %d queries, top-%d (nlist=%d nprobe=%d)\n",
 		b.N, b.Edges, b.D, b.K, b.Queries, b.TopK, b.NList, b.NProbe)
-	fmt.Fprintf(w, "train %.1fs, index build %.1fs\n", b.TrainSeconds, b.IndexBuildSeconds)
+	fmt.Fprintf(w, "train %.1fs, index build %.1fs, full-probe recall %.3f\n",
+		b.TrainSeconds, b.IndexBuildSeconds, b.RecallFullProbe)
 	fmt.Fprintf(w, "%-22s %12s %10s %10s\n", "path", "QPS", "speedup", "recall")
 	fmt.Fprintf(w, "%-22s %12.1f %10s %10s\n", "scan (PR-1 brute)", b.ScanQPS, "1.0x", "1.000")
 	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10s\n", "index exact", b.ExactQPS, b.SpeedupExactVsScan, "1.000")
 	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10.3f\n", "index ivf", b.IVFQPS, b.SpeedupIVFVsScan, b.RecallAtK)
+	if len(b.Sharding) > 0 {
+		fmt.Fprintf(w, "\nShard scaling (exact verified bit-for-bit against S=1):\n")
+		fmt.Fprintf(w, "%-8s %14s %12s %12s %10s\n", "shards", "build (s)", "exact QPS", "ivf QPS", "recall")
+		for _, p := range b.Sharding {
+			fmt.Fprintf(w, "%-8d %14.2f %12.1f %12.1f %10.3f\n",
+				p.Shards, p.IndexBuildSeconds, p.ExactQPS, p.IVFQPS, p.RecallAtK)
+		}
+	}
 }
 
 // WriteTopKJSON writes the comparison to path as indented JSON.
@@ -190,4 +281,53 @@ func WriteTopKJSON(path string, b *TopKBench) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadTopKJSON loads a report written by WriteTopKJSON — typically the
+// committed baseline a CI run gates against.
+func ReadTopKJSON(path string) (*TopKBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b := &TopKBench{}
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("experiments: parsing baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// CheckTopKBaseline is the CI perf-regression gate: it compares cur
+// against a committed baseline and returns an error when IVF throughput
+// or recall@k regressed by more than tol (a fraction, e.g. 0.25).
+//
+// Recall is compared absolutely — it is hardware-independent. Throughput
+// is compared via the scan-normalized speedup (IVF QPS divided by the
+// same run's brute-force QPS), never via raw QPS: the baseline was
+// measured on whatever machine committed it, and dividing by the same
+// run's scan path makes the runner's hardware drop out of the
+// comparison. The trade-off — a regression that slows scan and IVF in
+// lockstep hides in the ratio — is what keeps the gate deterministic on
+// arbitrary CI runners.
+func CheckTopKBaseline(cur, base *TopKBench, tol float64) error {
+	if tol < 0 {
+		return fmt.Errorf("experiments: negative tolerance %v", tol)
+	}
+	var failures []string
+	if cur.RecallAtK < base.RecallAtK-tol {
+		failures = append(failures, fmt.Sprintf("recall@%d %.3f fell more than %.2f below baseline %.3f",
+			cur.TopK, cur.RecallAtK, tol, base.RecallAtK))
+	}
+	if cur.SpeedupIVFVsScan < base.SpeedupIVFVsScan*(1-tol) {
+		failures = append(failures, fmt.Sprintf("IVF speedup-vs-scan %.2fx dropped more than %.0f%% below baseline %.2fx",
+			cur.SpeedupIVFVsScan, tol*100, base.SpeedupIVFVsScan))
+	}
+	if len(failures) == 0 {
+		return nil
+	}
+	msg := "experiments: top-k perf regression vs baseline:"
+	for _, f := range failures {
+		msg += "\n  - " + f
+	}
+	return fmt.Errorf("%s", msg)
 }

@@ -1,0 +1,100 @@
+package index
+
+import (
+	"sync"
+
+	"pane/internal/core"
+)
+
+// Sharded serving: a large candidate matrix is split into contiguous row
+// shards, each indexed independently (Exact or IVF), and a query fans out
+// across the shards in parallel, merging the per-shard top-k under
+// core.Better. Because candidate ids are globally unique and Better is a
+// total order, the merged top-k is the unique global top-k — the answer
+// is bit-for-bit independent of the shard count for exact search (and for
+// IVF probing every list). The two pieces here are the id re-basing
+// wrapper (Shift) and the fan-out/merge driver (SearchSharded);
+// internal/engine owns shard lifecycle and per-shard rebuilds.
+
+// shifted re-bases a sub-index built over rows [base, base+Len()) of a
+// larger candidate set: result ids are translated from local to global,
+// and Options.Skip keeps receiving global ids.
+type shifted struct {
+	idx  Index
+	base int
+}
+
+// Shift wraps idx so that its local candidate ids [0, Len()) appear as
+// global ids [base, base+Len()). base 0 returns idx unchanged.
+func Shift(idx Index, base int) Index {
+	if base == 0 {
+		return idx
+	}
+	return &shifted{idx: idx, base: base}
+}
+
+// Search translates Skip from global to local ids, runs the wrapped
+// search, and re-bases the result ids to global.
+func (s *shifted) Search(q []float64, k int, opt Options) []core.Scored {
+	if skip := opt.Skip; skip != nil {
+		base := s.base
+		opt.Skip = func(id int) bool { return skip(id + base) }
+	}
+	res := s.idx.Search(q, k, opt)
+	for i := range res {
+		res[i].ID += s.base
+	}
+	return res
+}
+
+// Len returns the wrapped candidate count.
+func (s *shifted) Len() int { return s.idx.Len() }
+
+// Dim returns the wrapped vector dimension.
+func (s *shifted) Dim() int { return s.idx.Dim() }
+
+// Kind returns the wrapped backend kind.
+func (s *shifted) Kind() string { return s.idx.Kind() }
+
+// Unwrap exposes the wrapped index for status introspection (e.g.
+// reading an IVF backend's resolved nlist through the shift).
+func (s *shifted) Unwrap() Index { return s.idx }
+
+// SearchSharded answers one top-k query by parallel fan-out over subs —
+// per-shard indexes with disjoint global id ranges (see Shift) — merging
+// the per-shard partial results under core.Better. k and opt are passed
+// to every shard unchanged; nil entries in subs are skipped (a shard with
+// no candidates in this id space). The merged ranking equals a single
+// index over the concatenated candidates: exact stays exact, and
+// full-probe IVF stays bit-for-bit equal to exact, at any shard count.
+func SearchSharded(subs []Index, q []float64, k int, opt Options) []core.Scored {
+	live := subs[:0:0]
+	for _, s := range subs {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if len(live) == 1 {
+		return live[0].Search(q, k, opt)
+	}
+	parts := make([][]core.Scored, len(live))
+	var wg sync.WaitGroup
+	for i, s := range live {
+		wg.Add(1)
+		go func(i int, s Index) {
+			defer wg.Done()
+			parts[i] = s.Search(q, k, opt)
+		}(i, s)
+	}
+	wg.Wait()
+	final := core.NewTopK(k)
+	for _, p := range parts {
+		for _, sc := range p {
+			final.Offer(sc.ID, sc.Score)
+		}
+	}
+	return final.Take()
+}

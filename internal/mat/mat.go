@@ -51,6 +51,17 @@ func (m *Dense) Row(i int) []float64 {
 	return m.Data[i*m.Cols : (i+1)*m.Cols]
 }
 
+// RowSlice returns the rows [lo, hi) of m as a matrix view sharing m's
+// backing data — no copy, so writes through either alias are visible in
+// both. It is how the sharded serving path addresses one contiguous row
+// shard of a candidate matrix without materializing it.
+func (m *Dense) RowSlice(lo, hi int) *Dense {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic(fmt.Sprintf("mat: RowSlice [%d,%d) out of range for %d rows", lo, hi, m.Rows))
+	}
+	return &Dense{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
 // At returns the element at row i, column j.
 func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 

@@ -13,7 +13,11 @@
 // every top-k response reports which backend actually answered ("exact",
 // "ivf", or "scan" — the brute-force path used while a new index version
 // is still building). k must be a positive integer; values above the
-// candidate count are clamped.
+// candidate count are clamped. With a sharded serving index, top-k
+// queries fan out across the shards in parallel and /healthz reports the
+// per-shard index generations ("shard_versions") next to the model
+// version; a batch's top-k queries are dispatched shard-first (one pass
+// per shard over the whole batch) to amortize fan-out overhead.
 //
 // Write and lifecycle endpoints:
 //

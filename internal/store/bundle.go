@@ -26,12 +26,13 @@ import (
 //	optional per-node label sets
 //	Xf, Xb, Y dense sections
 //	adjacency and attribute CSR sections
-//	optional serving-index configuration (format version 2)
+//	optional serving-index configuration (format version 2; format
+//	version 3 appends the shard layout)
 //
 // Serialization is deterministic: saving a loaded current-format bundle
 // reproduces the input byte for byte, which snapshot tests rely on. (A
-// loaded format-1 bundle re-saves as format 2, so only its payload — not
-// its bytes — survives the round trip.)
+// loaded format-1 or format-2 bundle re-saves as format 3, so only its
+// payload — not its bytes — survives the round trip.)
 type Bundle struct {
 	ModelVersion uint64
 	Cfg          core.Config
@@ -53,13 +54,17 @@ type IndexMeta struct {
 	NList  int
 	NProbe int
 	Seed   int64
+	// Shards records the serving-shard count (format version 3); 0 means
+	// unsharded, matching engine.IndexConfig's "values <= 1 mean one".
+	Shards int
 }
 
 const (
 	magicBundle = 0x504E4231 // "PNB1"
-	// bundleFormatV is the version written; version 1 (no index section)
-	// is still read.
-	bundleFormatV = 2
+	// bundleFormatV is the version written; versions 1 (no index
+	// section) and 2 (index section without the shard word) are still
+	// read.
+	bundleFormatV = 3
 )
 
 // WriteBundle serializes b to w.
@@ -110,19 +115,25 @@ func writeIndexMeta(w io.Writer, im *IndexMeta) error {
 	if im.IVF {
 		ivf = 1
 	}
-	nlist, nprobe := im.NList, im.NProbe
+	nlist, nprobe, shards := im.NList, im.NProbe, im.Shards
 	if nlist < 0 {
 		nlist = 0
 	}
 	if nprobe < 0 {
 		nprobe = 0
 	}
+	if shards < 0 {
+		shards = 0
+	}
 	return binary.Write(w, order, []uint64{
-		1, ivf, uint64(nlist), uint64(nprobe), uint64(im.Seed),
+		1, ivf, uint64(nlist), uint64(nprobe), uint64(im.Seed), uint64(shards),
 	})
 }
 
-func readIndexMeta(r io.Reader) (*IndexMeta, error) {
+// readIndexMeta decodes the index section of a format-`version` bundle:
+// version 2 carries four configuration words, version 3 appends the
+// shard count (absent means 0, i.e. unsharded).
+func readIndexMeta(r io.Reader, version uint64) (*IndexMeta, error) {
 	var present uint64
 	if err := binary.Read(r, order, &present); err != nil {
 		return nil, fmt.Errorf("store: reading index flag: %w", err)
@@ -130,7 +141,11 @@ func readIndexMeta(r io.Reader) (*IndexMeta, error) {
 	if present == 0 {
 		return nil, nil
 	}
-	words := make([]uint64, 4)
+	nWords := 4
+	if version >= 3 {
+		nWords = 5
+	}
+	words := make([]uint64, nWords)
 	if err := binary.Read(r, order, words); err != nil {
 		return nil, fmt.Errorf("store: reading index config: %w", err)
 	}
@@ -140,8 +155,11 @@ func readIndexMeta(r io.Reader) (*IndexMeta, error) {
 		NProbe: int(words[2]),
 		Seed:   int64(words[3]),
 	}
-	if im.NList < 0 || im.NProbe < 0 {
-		return nil, fmt.Errorf("store: negative index config nlist=%d nprobe=%d", im.NList, im.NProbe)
+	if version >= 3 {
+		im.Shards = int(words[4])
+	}
+	if im.NList < 0 || im.NProbe < 0 || im.Shards < 0 {
+		return nil, fmt.Errorf("store: negative index config nlist=%d nprobe=%d shards=%d", im.NList, im.NProbe, im.Shards)
 	}
 	return im, nil
 }
@@ -157,7 +175,7 @@ func ReadBundle(r io.Reader) (*Bundle, error) {
 	if hdr[0] != magicBundle {
 		return nil, fmt.Errorf("store: bad bundle magic %#x", hdr[0])
 	}
-	if hdr[1] != 1 && hdr[1] != bundleFormatV {
+	if hdr[1] < 1 || hdr[1] > bundleFormatV {
 		return nil, fmt.Errorf("store: unsupported bundle format version %d", hdr[1])
 	}
 	b := &Bundle{
@@ -190,7 +208,7 @@ func ReadBundle(r io.Reader) (*Bundle, error) {
 		}
 	}
 	if hdr[1] >= 2 {
-		if b.Index, err = readIndexMeta(br); err != nil {
+		if b.Index, err = readIndexMeta(br, hdr[1]); err != nil {
 			return nil, err
 		}
 	}

@@ -92,7 +92,7 @@ func TestBundleRoundTrip(t *testing.T) {
 
 func TestBundleIndexMetaRoundTrip(t *testing.T) {
 	b := testBundle(false)
-	b.Index = &IndexMeta{IVF: true, NList: 128, NProbe: 16, Seed: -7}
+	b.Index = &IndexMeta{IVF: true, NList: 128, NProbe: 16, Seed: -7, Shards: 8}
 	var buf bytes.Buffer
 	if err := WriteBundle(&buf, b); err != nil {
 		t.Fatal(err)
@@ -114,7 +114,7 @@ func TestBundleIndexMetaRoundTrip(t *testing.T) {
 }
 
 func TestBundleReadsFormatV1(t *testing.T) {
-	// A v1 bundle is exactly a v2 bundle without the trailing index
+	// A v1 bundle is exactly a current bundle without the trailing index
 	// section and with format word 1. Readers must keep accepting it.
 	b := testBundle(true)
 	var buf bytes.Buffer
@@ -133,6 +133,34 @@ func TestBundleReadsFormatV1(t *testing.T) {
 	}
 	if got.ModelVersion != b.ModelVersion || !got.Xf.Equal(b.Xf, 0) {
 		t.Fatal("v1 payload mangled")
+	}
+}
+
+func TestBundleReadsFormatV2(t *testing.T) {
+	// A v2 bundle carries the index section WITHOUT the trailing shard
+	// word. Build one from a v3 bundle by dropping the last 8 bytes and
+	// rewriting the format word; the reader must accept it and default
+	// the shard count to 0 (unsharded).
+	b := testBundle(false)
+	b.Index = &IndexMeta{IVF: true, NList: 64, NProbe: 8, Seed: 5, Shards: 4}
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	v2 := append([]byte(nil), raw[:len(raw)-8]...) // drop shard word
+	order.PutUint64(v2[8:16], 2)                   // format version field
+	got, err := ReadBundle(bytes.NewReader(v2))
+	if err != nil {
+		t.Fatalf("v2 bundle rejected: %v", err)
+	}
+	want := *b.Index
+	want.Shards = 0
+	if got.Index == nil || *got.Index != want {
+		t.Fatalf("v2 index meta %+v, want %+v", got.Index, want)
+	}
+	if !got.Xf.Equal(b.Xf, 0) {
+		t.Fatal("v2 payload mangled")
 	}
 }
 
