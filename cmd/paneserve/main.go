@@ -47,10 +47,12 @@ func main() {
 		threads   = flag.Int("threads", 10, "worker threads")
 		seed      = flag.Int64("seed", 1, "random seed")
 		sweeps    = flag.Int("sweeps", engine.DefaultUpdateSweeps, "CCD sweeps per dynamic update")
-		indexMode = flag.String("index", "auto", "serving index: off, exact, ivf (exact+IVF), or auto (bundle setting when present, ivf otherwise)")
+		indexMode = flag.String("index", "auto", "serving index: off, exact, ivf (exact+IVF), or auto (bundle setting when present, ivf+sq8 otherwise)")
 		nlist     = flag.Int("nlist", 0, "IVF coarse clusters per shard (0 = sqrt(shard rows))")
 		nprobe    = flag.Int("nprobe", 0, "default IVF lists probed per query (0 = nlist/8)")
 		shards    = flag.Int("shards", 1, "serving-index shards: contiguous candidate row partitions rebuilt and searched concurrently")
+		quantize  = flag.Bool("quantize", true, "build the SQ8/IVFSQ quantized tiers (mode=sq8, mode=ivfsq on the top-k routes)")
+		rerank    = flag.Int("rerank", 0, "quantized survivor multiplier: re-rank rerank*k candidates exactly (0 = default)")
 	)
 	flag.Parse()
 	if *snapEvery > 0 && *snapPath == "" {
@@ -71,7 +73,10 @@ func main() {
 	// when there is none (or when training fresh); an explicit -shards
 	// overrides the shard count either way.
 	indexOpts := func(loading bool) []engine.Option {
-		ivfCfg := engine.IndexConfig{IVF: true, NList: *nlist, NProbe: *nprobe, Shards: *shards}
+		ivfCfg := engine.IndexConfig{
+			IVF: true, NList: *nlist, NProbe: *nprobe, Shards: *shards,
+			Quantize: *quantize, Rerank: *rerank,
+		}
 		var opts []engine.Option
 		switch *indexMode {
 		case "off":
@@ -80,7 +85,9 @@ func main() {
 			}
 			return nil
 		case "exact":
-			opts = []engine.Option{engine.WithIndex(engine.IndexConfig{Shards: *shards})}
+			opts = []engine.Option{engine.WithIndex(engine.IndexConfig{
+				Shards: *shards, Quantize: *quantize, Rerank: *rerank,
+			})}
 		case "ivf":
 			opts = []engine.Option{engine.WithIndex(ivfCfg)}
 		case "auto":
@@ -136,8 +143,8 @@ func main() {
 	}
 
 	if st := eng.IndexStatus(); st.Enabled {
-		log.Printf("serving index: version %d, %d shard(s), ivf=%v nlist=%d nprobe=%d",
-			st.Version, st.Shards, st.IVF, st.NList, st.NProbe)
+		log.Printf("serving index: version %d, %d shard(s), ivf=%v nlist=%d nprobe=%d quantize=%v rerank=%d",
+			st.Version, st.Shards, st.IVF, st.NList, st.NProbe, st.Quantize, st.Rerank)
 	} else {
 		log.Print("serving index: disabled (top-k queries scan)")
 	}

@@ -31,7 +31,7 @@ func main() {
 	start := time.Now()
 	eng, err := engine.Train(g, cfg,
 		engine.WithUpdateSweeps(2),
-		engine.WithIndex(engine.IndexConfig{IVF: true, Shards: 4}))
+		engine.WithIndex(engine.IndexConfig{IVF: true, Quantize: true, Shards: 4}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,8 +64,9 @@ func main() {
 	}
 
 	// Top-k queries stay live throughout: each model version gets its own
-	// serving index (exact + IVF), split into 4 row shards that rebuild
-	// independently and concurrently after an update lands. A query that
+	// serving index (exact + IVF + the SQ8/IVFSQ quantized tiers), split
+	// into 4 row shards that rebuild independently and concurrently
+	// after an update lands. A query that
 	// arrives mid-rebuild — before ALL shards have republished — is
 	// answered by brute force at the current version; the response says
 	// which backend ran, and the index status shows each shard's
@@ -73,7 +74,7 @@ func main() {
 	eng.WaitForIndex()
 	st := eng.IndexStatus()
 	fmt.Printf("serving index: %d shards, per-shard generations %v\n", st.Shards, st.ShardVersions)
-	for _, mode := range []string{engine.ModeExact, engine.ModeIVF} {
+	for _, mode := range []string{engine.ModeExact, engine.ModeIVF, engine.ModeSQ8, engine.ModeIVFSQ} {
 		ans, err := eng.TopLinks(0, 3, mode, 0)
 		if err != nil {
 			log.Fatal(err)

@@ -1,7 +1,9 @@
 package core
 
 import (
-	"container/heap"
+	"sync"
+
+	"pane/internal/mat"
 )
 
 // Scored pairs an index (node or attribute id) with a prediction score.
@@ -23,28 +25,54 @@ func Better(a, b Scored) bool {
 	return a.ID < b.ID
 }
 
-// scoredHeap is a min-heap whose root is the weakest kept candidate under
-// Better — the next one to evict when a better candidate arrives.
-type scoredHeap []Scored
-
-func (h scoredHeap) Len() int            { return len(h) }
-func (h scoredHeap) Less(i, j int) bool  { return Better(h[j], h[i]) }
-func (h scoredHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *scoredHeap) Push(x interface{}) { *h = append(*h, x.(Scored)) }
-func (h *scoredHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
-}
-
 // TopK accumulates a stream of scored candidates and retains the k best
 // under Better. Candidate ids must be unique within one accumulation.
 // The zero value is unusable; call NewTopK.
+//
+// h is a hand-rolled min-heap (by Better-rank: the root is the weakest
+// kept candidate, the next to evict) rather than a container/heap
+// implementation: heap.Push/Pop pass elements through interface{}, which
+// boxes every Scored on the heap — one allocation per offered candidate
+// on the serving path. The open-coded sift loops below keep Offer and
+// Take allocation-free.
 type TopK struct {
 	k int
-	h scoredHeap
+	h []Scored
+}
+
+// worse reports whether h[i] ranks strictly behind h[j] — the heap order.
+func (t *TopK) worse(i, j int) bool { return Better(t.h[j], t.h[i]) }
+
+// up restores the heap property from leaf i toward the root.
+func (t *TopK) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !t.worse(i, p) {
+			break
+		}
+		t.h[i], t.h[p] = t.h[p], t.h[i]
+		i = p
+	}
+}
+
+// down restores the heap property from node i toward the leaves.
+func (t *TopK) down(i int) {
+	n := len(t.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && t.worse(r, l) {
+			m = r
+		}
+		if !t.worse(m, i) {
+			break
+		}
+		t.h[i], t.h[m] = t.h[m], t.h[i]
+		i = m
+	}
 }
 
 // NewTopK returns an accumulator keeping the best k candidates. k < 1
@@ -57,7 +85,7 @@ func NewTopK(k int) *TopK {
 	if prealloc > 1024 {
 		prealloc = 1024
 	}
-	return &TopK{k: k, h: make(scoredHeap, 0, prealloc)}
+	return &TopK{k: k, h: make([]Scored, 0, prealloc)}
 }
 
 // Offer considers one candidate.
@@ -67,24 +95,64 @@ func (t *TopK) Offer(id int, score float64) {
 	}
 	s := Scored{ID: id, Score: score}
 	if len(t.h) < t.k {
-		heap.Push(&t.h, s)
+		t.h = append(t.h, s)
+		t.up(len(t.h) - 1)
 		return
 	}
 	if Better(s, t.h[0]) {
 		t.h[0] = s
-		heap.Fix(&t.h, 0)
+		t.down(0)
 	}
 }
 
 // Len returns the number of candidates currently retained.
 func (t *TopK) Len() int { return len(t.h) }
 
+// Reset empties the accumulator and re-arms it for a fresh top-k
+// accumulation, keeping the heap's backing array. It is what lets the
+// serving paths recycle accumulators through the pool below instead of
+// allocating one per query. k < 1 keeps none, matching NewTopK.
+func (t *TopK) Reset(k int) {
+	if k < 0 {
+		k = 0
+	}
+	t.k = k
+	t.h = t.h[:0]
+}
+
+// topkPool recycles TopK accumulators across queries. Per-request heap
+// allocations are a measurable share of the top-k serving path's
+// allocs/op (the scan itself allocates nothing), and the backing arrays
+// are small and bounded, so pooling them is pure win.
+var topkPool sync.Pool
+
+// GetTopK returns a pooled accumulator re-armed for the best k, falling
+// back to a fresh NewTopK when the pool is empty.
+func GetTopK(k int) *TopK {
+	if t, _ := topkPool.Get().(*TopK); t != nil {
+		t.Reset(k)
+		return t
+	}
+	return NewTopK(k)
+}
+
+// PutTopK returns an accumulator to the pool. Callers must be done with
+// it — typically they have already drained it with Take, whose returned
+// slice is freshly allocated and stays valid.
+func PutTopK(t *TopK) { topkPool.Put(t) }
+
 // Take drains the accumulator into descending rank order (highest score
 // first, ascending ID on ties). The accumulator is empty afterwards.
 func (t *TopK) Take() []Scored {
 	out := make([]Scored, len(t.h))
 	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&t.h).(Scored)
+		out[i] = t.h[0] // weakest remaining candidate
+		last := len(t.h) - 1
+		t.h[0] = t.h[last]
+		t.h = t.h[:last]
+		if last > 0 {
+			t.down(0)
+		}
 	}
 	return out
 }
@@ -134,12 +202,7 @@ func (s *LinkScorer) TopKTargets(u, k int, exclude map[int]bool) []Scored {
 		if v == u || (exclude != nil && exclude[v]) {
 			continue
 		}
-		xv := s.e.Xb.Row(v)
-		var sc float64
-		for j := 0; j < half; j++ {
-			sc += q[j] * xv[j]
-		}
-		t.Offer(v, sc)
+		t.Offer(v, mat.Dot(q, s.e.Xb.Row(v)))
 	}
 	return t.Take()
 }

@@ -153,6 +153,48 @@ func TestTopKAccumulatorMatchesSort(t *testing.T) {
 	}
 }
 
+// TestTopKResetAndPool: a pooled, Reset accumulator behaves exactly like
+// a fresh one — including shrinking k between uses and surviving a
+// drain-refill cycle — and Take's output remains valid after the
+// accumulator returns to the pool.
+func TestTopKResetAndPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(12)
+		n := 1 + rng.Intn(100)
+		fresh := NewTopK(k)
+		pooled := GetTopK(k + 5) // deliberately mis-sized, then fixed
+		pooled.Reset(k)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(6))
+		}
+		for i, s := range scores {
+			fresh.Offer(i, s)
+			pooled.Offer(i, s)
+		}
+		want := fresh.Take()
+		got := pooled.Take()
+		PutTopK(pooled)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d results", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d rank %d: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+	// Reset(k) with k < 1 keeps nothing, like NewTopK.
+	tk := GetTopK(3)
+	tk.Reset(0)
+	tk.Offer(1, 10)
+	if tk.Len() != 0 {
+		t.Fatal("Reset(0) accumulator kept a candidate")
+	}
+	PutTopK(tk)
+}
+
 func TestTopKTieBreakAscendingID(t *testing.T) {
 	// An embedding with identical attribute rows produces exact score
 	// ties; the ranking must come back in ascending attribute id.

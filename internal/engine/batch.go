@@ -47,8 +47,8 @@ type Query struct {
 	// and is clamped to the candidate count, but an explicit value < 1
 	// fails the query rather than being silently rewritten.
 	K *int `json:"k,omitempty"`
-	// Mode selects the top-k backend, ModeExact (default when empty) or
-	// ModeIVF.
+	// Mode selects the top-k backend: ModeExact (default when empty),
+	// ModeIVF, or the quantized tiers ModeSQ8 / ModeIVFSQ.
 	Mode string `json:"mode,omitempty"`
 	// NProbe overrides the IVF probe count for this query; 0 keeps the
 	// index default.
@@ -64,7 +64,8 @@ type Result struct {
 	Undirected *float64      `json:"undirected,omitempty"`
 	Top        []core.Scored `json:"top,omitempty"`
 	// Backend reports which path answered a top-k op: BackendExact,
-	// BackendIVF, or BackendScan (brute force; no fresh index).
+	// BackendIVF, BackendSQ8, BackendIVFSQ, or BackendScan (brute force;
+	// no fresh index).
 	Backend string `json:"backend,omitempty"`
 	Err     string `json:"error,omitempty"`
 }
@@ -85,15 +86,32 @@ func (e *Engine) Execute(qs []Query) ([]Result, uint64) {
 // batches.
 func (m *Model) Execute(qs []Query) []Result { return m.execute(qs, nil) }
 
+// vecPool recycles per-query float64 scratch (the AttrQueryInto targets):
+// a batch of attribute top-k queries would otherwise allocate one vector
+// per query. Entries are pooled by capacity check, since engines with
+// different embedding widths may share the process.
+var vecPool sync.Pool
+
+func getVec(n int) []float64 {
+	if p, _ := vecPool.Get().(*[]float64); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+
+func putVec(v []float64) { vecPool.Put(&v) }
+
 // preparedTopK is one validated top-k search of a batch, ready to run
-// against any shard: the query vector, the global-id skip, and the
-// per-shard sub-index selection.
+// against any shard: the query vector, the global-id skip, the resolved
+// quantized re-rank multiplier, and the per-shard sub-index selection.
 type preparedTopK struct {
-	resIdx int // index of the result slot to fill after the merge
-	q      []float64
-	k      int
-	opt    index.Options
-	subs   []index.Index
+	resIdx  int // index of the result slot to fill after the merge
+	q       []float64
+	qPooled bool // q came from vecPool and is returned after the merge
+	k       int
+	mult    int
+	opt     index.Options
+	subs    []index.Index
 }
 
 func (m *Model) execute(qs []Query, shards []*shardIdx) []Result {
@@ -110,12 +128,14 @@ func (m *Model) execute(qs []Query, shards []*shardIdx) []Result {
 
 // runShardFirst executes the batch's prepared top-k searches with one
 // worker per shard, then merges each query's per-shard partials into its
-// result slot.
+// result slot. The merge goes through index.MergePartials — the same
+// two-phase survivor cut the single-query fan-out uses — so a quantized
+// batch answer is bit-for-bit what the query would get issued alone.
 func runShardFirst(prep []preparedTopK, nShards int, out []Result) {
-	// partials[p][s] is query p's top-k within shard s.
-	partials := make([][][]core.Scored, len(prep))
+	// partials[p][s] is query p's contribution from shard s.
+	partials := make([][]index.Partial, len(prep))
 	for p := range partials {
-		partials[p] = make([][]core.Scored, nShards)
+		partials[p] = make([]index.Partial, nShards)
 	}
 	var wg sync.WaitGroup
 	for s := 0; s < nShards; s++ {
@@ -124,20 +144,17 @@ func runShardFirst(prep []preparedTopK, nShards int, out []Result) {
 			defer wg.Done()
 			for p, pq := range prep {
 				if sub := pq.subs[s]; sub != nil {
-					partials[p][s] = sub.Search(pq.q, pq.k, pq.opt)
+					partials[p][s] = index.PartialSearch(sub, pq.q, pq.k, pq.mult, pq.opt)
 				}
 			}
 		}(s)
 	}
 	wg.Wait()
 	for p, pq := range prep {
-		final := core.NewTopK(pq.k)
-		for _, part := range partials[p] {
-			for _, sc := range part {
-				final.Offer(sc.ID, sc.Score)
-			}
+		out[pq.resIdx].Top = index.MergePartials(partials[p], pq.k, pq.mult)
+		if pq.qPooled {
+			putVec(pq.q)
 		}
-		out[pq.resIdx].Top = final.Take()
 	}
 }
 
@@ -201,7 +218,8 @@ func (m *Model) run(q Query, shards []*shardIdx, resIdx int, prep *[]preparedTop
 			if !inRange(q.Node, m.Nodes()) {
 				return fail("engine: node %d out of range [0,%d)", q.Node, m.Nodes())
 			}
-			p.q = m.Emb.AttrQueryInto(q.Node, make([]float64, m.Emb.Xf.Cols))
+			p.q = m.Emb.AttrQueryInto(q.Node, getVec(m.Emb.Xf.Cols))
+			p.qPooled = true
 			p.subs, res.Backend = attrSubs(shards, mode)
 		} else {
 			if !inRange(q.Src, m.Nodes()) {
@@ -212,11 +230,24 @@ func (m *Model) run(q Query, shards []*shardIdx, resIdx int, prep *[]preparedTop
 			p.opt.Skip = func(id int) bool { return id == u }
 			p.subs, res.Backend = linkSubs(shards, mode)
 		}
+		p.mult = preparedMult(p.subs, p.opt)
 		*prep = append(*prep, p)
 	default:
 		return fail("unknown op %q", q.Op)
 	}
 	return res
+}
+
+// preparedMult resolves the quantized re-rank multiplier for a prepared
+// search against the first live shard (the engine builds every shard with
+// the same configuration, so any shard answers for all).
+func preparedMult(subs []index.Index, opt index.Options) int {
+	for _, sub := range subs {
+		if sub != nil {
+			return index.RerankMult(sub, opt)
+		}
+	}
+	return 1
 }
 
 // batchK resolves a batch query's K: nil means DefaultK, and an explicit

@@ -56,6 +56,20 @@ type Engine struct {
 	idxCfg    *IndexConfig
 	idxManual bool
 	shards    *shardSet
+
+	// restoredQuant holds a bundle's SQ8 payload for the initial index
+	// builds (it is valid for exactly the restored model version; see
+	// buildSQ8). The first applied update clears it — no later version
+	// can ever match — via an atomic pointer, since shard rebuild workers
+	// read it concurrently.
+	restoredQuant atomic.Pointer[restoredQuant]
+}
+
+// restoredQuant pairs a bundle's quantized payload with the only model
+// version it encodes.
+type restoredQuant struct {
+	version      uint64
+	links, attrs store.QuantizedMatrix
 }
 
 // DefaultUpdateSweeps is the number of CCD refinement sweeps an update
@@ -179,6 +193,9 @@ func (e *Engine) apply(edges []graph.Edge, attrs []graph.AttrEntry) (*Model, err
 		Scorer:  core.NewLinkScorer(emb),
 	}
 	e.cur.Store(next)
+	// A restored quantized payload encodes exactly the restored version;
+	// once the model moves past it, free it.
+	e.restoredQuant.Store(nil)
 	// The model is live immediately; the index catches up asynchronously
 	// and queries fall back to the scan path until it publishes.
 	e.scheduleIndexRebuild()
@@ -204,7 +221,17 @@ func (e *Engine) Snapshot(path string) (*Model, error) {
 	if c := e.idxCfg; c != nil {
 		// writeIndexMeta normalizes negative tuning values to 0 ("use
 		// defaults") so the written bundle always reloads.
-		b.Index = &store.IndexMeta{IVF: c.IVF, NList: c.NList, NProbe: c.NProbe, Seed: c.Seed, Shards: c.Shards}
+		b.Index = &store.IndexMeta{
+			IVF: c.IVF, NList: c.NList, NProbe: c.NProbe, Seed: c.Seed, Shards: c.Shards,
+			Quantize: c.Quantize, Rerank: c.Rerank,
+		}
+		if c.Quantize {
+			// Optional: ship the SQ8 encodings so the restored engine
+			// publishes its quantized tier without re-quantizing. Only a
+			// consistent shard cut at m's exact version is usable; mid-
+			// rebuild the payload is simply omitted.
+			b.Quant = e.assembleQuant(m)
+		}
 	}
 	if err := store.SaveBundleFile(path, b); err != nil {
 		return nil, err
@@ -229,8 +256,15 @@ func Open(path string, opts ...Option) (*Engine, error) {
 	}
 	emb := &core.Embedding{Xf: b.Xf, Xb: b.Xb, Y: b.Y}
 	if im := b.Index; im != nil {
-		restore := WithIndex(IndexConfig{IVF: im.IVF, NList: im.NList, NProbe: im.NProbe, Seed: im.Seed, Shards: im.Shards})
+		restore := WithIndex(IndexConfig{
+			IVF: im.IVF, NList: im.NList, NProbe: im.NProbe, Seed: im.Seed, Shards: im.Shards,
+			Quantize: im.Quantize, Rerank: im.Rerank,
+		})
 		opts = append([]Option{restore}, opts...)
+	}
+	if q := b.Quant; q != nil {
+		rq := &restoredQuant{version: b.ModelVersion, links: q.Links, attrs: q.Attrs}
+		opts = append([]Option{func(e *Engine) { e.restoredQuant.Store(rq) }}, opts...)
 	}
 	return newEngine(g, emb, b.Cfg, b.ModelVersion, opts)
 }

@@ -3,10 +3,12 @@ package engine
 // Sharded per-version top-k index lifecycle. An Engine with indexing
 // enabled partitions the candidate matrices — Z = Xb·G for links (n
 // rows), Y for attributes (d rows) — into S contiguous row shards. Each
-// shard owns an exact backend (and optionally an IVF backend) over its
-// block only, published through its own atomic pointer and rebuilt by its
-// own worker goroutine: after an update, S independent, smaller rebuilds
-// overlap instead of one O(n) blocking build.
+// shard owns an exact backend (and optionally IVF and the SQ8/IVFSQ
+// quantized tiers) over its block only, published through its own atomic
+// pointer and rebuilt by its own worker goroutine: after an update, S
+// independent, smaller rebuilds overlap instead of one O(n) blocking
+// build. All of a shard's enabled representations are built before the
+// shard publishes, so the tiers can never serve mixed versions.
 //
 // A query resolves the model first, then accepts the shard set only if
 // EVERY shard's published index matches that model version exactly — a
@@ -28,18 +30,23 @@ import (
 	"pane/internal/core"
 	"pane/internal/index"
 	"pane/internal/mat"
+	"pane/internal/store"
 )
 
 // Query modes accepted by the top-k paths.
 const (
 	ModeExact = "exact" // exact answer: indexed scan, or brute force mid-rebuild
 	ModeIVF   = "ivf"   // approximate answer from the IVF backend when fresh
+	ModeSQ8   = "sq8"   // quantized flat scan + exact re-rank
+	ModeIVFSQ = "ivfsq" // quantized inverted-file scan + exact re-rank
 )
 
 // Backend labels reported with every top-k answer.
 const (
 	BackendExact = "exact" // precomputed candidate matrix, parallel blocked scan
 	BackendIVF   = "ivf"   // inverted-file approximate search
+	BackendSQ8   = "sq8"   // int8 quantized scan, exact re-rank
+	BackendIVFSQ = "ivfsq" // quantized inverted-file scan, exact re-rank
 	BackendScan  = "scan"  // per-query brute force; no fresh index (disabled or mid-rebuild)
 )
 
@@ -49,6 +56,16 @@ const (
 type IndexConfig struct {
 	// IVF additionally builds the approximate backend.
 	IVF bool
+	// Quantize additionally builds the SQ8 quantized tier: an int8 copy
+	// of each shard's candidate rows scanned at ~1/8 the memory traffic,
+	// re-ranked exactly. With IVF also set, the per-list IVFSQ variant is
+	// built alongside (sharing the IVF's k-means, so it costs one extra
+	// quantization pass, not a second clustering).
+	Quantize bool
+	// Rerank is the quantized survivor multiplier: an SQ8/IVFSQ query
+	// re-ranks the Rerank*k best quantized scores exactly. 0 means
+	// index.DefaultRerank.
+	Rerank int
 	// NList is the IVF coarse cluster count per shard; 0 means
 	// ~sqrt(shard rows).
 	NList int
@@ -118,12 +135,19 @@ func WithManualIndexRebuild() Option {
 
 // shardIdx is one shard's immutable index generation, valid for exactly
 // one model version. All ids it returns are global (see index.Shift).
+// Every enabled representation is built BEFORE the shardIdx is published
+// through its slot, so a query can never observe a shard whose exact tier
+// is at one version and whose quantized tier is at another.
 type shardIdx struct {
-	version  uint64
-	links    index.Index // over Z[lo:hi); query vector is Xf[u]
-	attrs    index.Index // over Y[alo:ahi); nil when the shard has no attr rows
-	linksIVF index.Index // nil unless cfg.IVF
-	attrsIVF index.Index
+	version    uint64
+	links      index.Index // over Z[lo:hi); query vector is Xf[u]
+	attrs      index.Index // over Y[alo:ahi); nil when the shard has no attr rows
+	linksIVF   index.Index // nil unless cfg.IVF
+	attrsIVF   index.Index
+	linksSQ    index.Index // nil unless cfg.Quantize
+	attrsSQ    index.Index
+	linksIVFSQ index.Index // nil unless cfg.IVF && cfg.Quantize
+	attrsIVFSQ index.Index
 }
 
 // shardSet is the sharded serving-index state of one Engine: the fixed
@@ -206,17 +230,61 @@ func (e *Engine) buildShardIdx(m *Model, s int) *shardIdx {
 		links:   index.Shift(index.NewExact(z, threads), lo),
 	}
 	if cfg.IVF {
-		si.linksIVF = index.Shift(index.BuildIVF(z, ivfCfg), lo)
+		iv := index.BuildIVF(z, ivfCfg)
+		si.linksIVF = index.Shift(iv, lo)
+		if cfg.Quantize {
+			si.linksIVFSQ = index.Shift(index.NewIVFSQ(iv, z, cfg.Rerank), lo)
+		}
+	}
+	if cfg.Quantize {
+		si.linksSQ = index.Shift(e.buildSQ8(quantLinks, m.Version, z, lo, cfg.Rerank, threads), lo)
 	}
 	if s < len(ss.attrRanges) {
 		alo, ahi := ss.attrRanges[s][0], ss.attrRanges[s][1]
 		y := m.Emb.Y.RowSlice(alo, ahi)
 		si.attrs = index.Shift(index.NewExact(y, threads), alo)
 		if cfg.IVF {
-			si.attrsIVF = index.Shift(index.BuildIVF(y, ivfCfg), alo)
+			iv := index.BuildIVF(y, ivfCfg)
+			si.attrsIVF = index.Shift(iv, alo)
+			if cfg.Quantize {
+				si.attrsIVFSQ = index.Shift(index.NewIVFSQ(iv, y, cfg.Rerank), alo)
+			}
+		}
+		if cfg.Quantize {
+			si.attrsSQ = index.Shift(e.buildSQ8(quantAttrs, m.Version, y, alo, cfg.Rerank, threads), alo)
 		}
 	}
 	return si
+}
+
+// Quantized-payload spaces a bundle may carry (see buildSQ8).
+const (
+	quantLinks = iota // the link candidate matrix Z = Xb·G
+	quantAttrs        // the attribute candidate matrix Y
+)
+
+// buildSQ8 builds one shard's SQ8 tier over full, the shard's block of
+// candidate rows [lo, lo+full.Rows) of the given space. When a
+// bundle-restored encoding matches this model version and shape, its row
+// slice is reused instead of re-quantizing — per-row quantization makes
+// the slice bit-identical to a fresh encoding, so restored and
+// self-computed tiers are interchangeable; on any mismatch (newer model
+// version, different shape) the payload is ignored and the rows are
+// quantized fresh.
+func (e *Engine) buildSQ8(space int, version uint64, full *mat.Dense, lo, rerank, threads int) *index.SQ8 {
+	if rq := e.restoredQuant.Load(); rq != nil && rq.version == version {
+		qm := &rq.links
+		if space == quantAttrs {
+			qm = &rq.attrs
+		}
+		hi := lo + full.Rows
+		if qm.Dim == full.Cols && hi <= qm.Rows {
+			return index.NewSQ8FromCodes(full,
+				qm.Codes[lo*qm.Dim:hi*qm.Dim], qm.Scale[lo:hi], qm.Base[lo:hi],
+				rerank, threads)
+		}
+	}
+	return index.NewSQ8(full, rerank, threads)
 }
 
 // freshShards returns one consistent cut of the published shard indexes:
@@ -358,6 +426,10 @@ type IndexStatus struct {
 	IVF     bool   `json:"ivf,omitempty"`
 	NList   int    `json:"nlist,omitempty"`  // per-shard IVF lists (first shard)
 	NProbe  int    `json:"nprobe,omitempty"` // default probes per IVF query
+	// Quantize reports whether the SQ8/IVFSQ tiers are built; Rerank is
+	// their default exact-re-rank survivor multiplier.
+	Quantize bool `json:"quantize,omitempty"`
+	Rerank   int  `json:"rerank,omitempty"`
 	// Shards is the shard count; ShardVersions the per-shard index
 	// generations, exposing rebuild progress shard by shard (0 = not yet
 	// published).
@@ -374,8 +446,15 @@ func (e *Engine) IndexStatus() IndexStatus {
 	st := IndexStatus{
 		Enabled:       true,
 		IVF:           e.idxCfg.IVF,
+		Quantize:      e.idxCfg.Quantize,
 		Shards:        len(ss.slots),
 		ShardVersions: make([]uint64, len(ss.slots)),
+	}
+	if st.Quantize {
+		st.Rerank = e.idxCfg.Rerank
+		if st.Rerank <= 0 {
+			st.Rerank = index.DefaultRerank
+		}
 	}
 	minVer, complete := uint64(0), true
 	for s := range ss.slots {
@@ -399,6 +478,45 @@ func (e *Engine) IndexStatus() IndexStatus {
 		st.Version = minVer
 	}
 	return st
+}
+
+// assembleQuant reassembles the full-matrix SQ8 payload from a fresh
+// consistent shard cut at m's version, or nil when any shard is stale or
+// still building — the payload is an optional bundle section, and a
+// loader just re-quantizes (bit-identically) without it. Because the
+// encoding is per-row, concatenating the shards' blocks in shard order IS
+// the whole matrix's encoding.
+func (e *Engine) assembleQuant(m *Model) *store.QuantPayload {
+	shards := e.freshShards(m)
+	if shards == nil {
+		return nil
+	}
+	qp := &store.QuantPayload{
+		Links: store.QuantizedMatrix{Rows: m.Nodes(), Dim: m.Emb.Xf.Cols},
+		Attrs: store.QuantizedMatrix{Rows: m.Attrs(), Dim: m.Emb.Xf.Cols},
+	}
+	appendSQ := func(qm *store.QuantizedMatrix, idx index.Index) bool {
+		sq, ok := unshift(idx).(*index.SQ8)
+		if !ok {
+			return false
+		}
+		qm.Codes = append(qm.Codes, sq.Codes()...)
+		qm.Scale = append(qm.Scale, sq.Scale()...)
+		qm.Base = append(qm.Base, sq.Base()...)
+		return true
+	}
+	for _, si := range shards {
+		if si.linksSQ == nil || !appendSQ(&qp.Links, si.linksSQ) {
+			return nil
+		}
+		if si.attrsSQ != nil && !appendSQ(&qp.Attrs, si.attrsSQ) {
+			return nil
+		}
+	}
+	if len(qp.Links.Scale) != qp.Links.Rows || len(qp.Attrs.Scale) != qp.Attrs.Rows {
+		return nil // defensive: a partial assembly must not be persisted
+	}
+	return qp
 }
 
 // unshift unwraps index.Shift wrappers for status introspection.
@@ -456,8 +574,11 @@ func validateTopK(k int, mode string, nprobe int) (string, error) {
 	if mode == "" {
 		mode = ModeExact
 	}
-	if mode != ModeExact && mode != ModeIVF {
-		return "", fmt.Errorf("engine: unknown mode %q (want %q or %q)", mode, ModeExact, ModeIVF)
+	switch mode {
+	case ModeExact, ModeIVF, ModeSQ8, ModeIVFSQ:
+	default:
+		return "", fmt.Errorf("engine: unknown mode %q (want %q, %q, %q, or %q)",
+			mode, ModeExact, ModeIVF, ModeSQ8, ModeIVFSQ)
 	}
 	if nprobe < 0 {
 		return "", fmt.Errorf("engine: nprobe must be >= 0 (0 means the index default), got %d", nprobe)
@@ -465,38 +586,58 @@ func validateTopK(k int, mode string, nprobe int) (string, error) {
 	return mode, nil
 }
 
-// linkSubs selects each shard's link backend for mode. The choice is
+// pickSubs selects one backend field across a shard set. The choice is
 // uniform across shards (every generation builds the same backends), so
-// one backend label describes the whole fan-out.
-func linkSubs(shards []*shardIdx, mode string) ([]index.Index, string) {
+// one backend label describes the whole fan-out. A mode whose backend was
+// not built degrades along ivfsq → ivf → exact / sq8 → exact, mirroring
+// how an IVF request on an exact-only index already served exact.
+func pickSubs(shards []*shardIdx, mode string, get func(*shardIdx, string) index.Index) ([]index.Index, string) {
+	backend := BackendExact
+	switch {
+	case mode == ModeIVFSQ && get(shards[0], BackendIVFSQ) != nil:
+		backend = BackendIVFSQ
+	case (mode == ModeIVF || mode == ModeIVFSQ) && get(shards[0], BackendIVF) != nil:
+		backend = BackendIVF
+	case mode == ModeSQ8 && get(shards[0], BackendSQ8) != nil:
+		backend = BackendSQ8
+	}
 	subs := make([]index.Index, len(shards))
-	if mode == ModeIVF && shards[0].linksIVF != nil {
-		for i, si := range shards {
-			subs[i] = si.linksIVF
-		}
-		return subs, BackendIVF
-	}
 	for i, si := range shards {
-		subs[i] = si.links
+		subs[i] = get(si, backend)
 	}
-	return subs, BackendExact
+	return subs, backend
+}
+
+// linkSubs selects each shard's link backend for mode.
+func linkSubs(shards []*shardIdx, mode string) ([]index.Index, string) {
+	return pickSubs(shards, mode, func(si *shardIdx, backend string) index.Index {
+		switch backend {
+		case BackendIVF:
+			return si.linksIVF
+		case BackendSQ8:
+			return si.linksSQ
+		case BackendIVFSQ:
+			return si.linksIVFSQ
+		}
+		return si.links
+	})
 }
 
 // attrSubs selects each shard's attribute backend for mode. Shards past
 // the attribute row space contribute nil entries, which the fan-out
 // skips.
 func attrSubs(shards []*shardIdx, mode string) ([]index.Index, string) {
-	subs := make([]index.Index, len(shards))
-	if mode == ModeIVF && shards[0].attrsIVF != nil {
-		for i, si := range shards {
-			subs[i] = si.attrsIVF
+	return pickSubs(shards, mode, func(si *shardIdx, backend string) index.Index {
+		switch backend {
+		case BackendIVF:
+			return si.attrsIVF
+		case BackendSQ8:
+			return si.attrsSQ
+		case BackendIVFSQ:
+			return si.attrsIVFSQ
 		}
-		return subs, BackendIVF
-	}
-	for i, si := range shards {
-		subs[i] = si.attrs
-	}
-	return subs, BackendExact
+		return si.attrs
+	})
 }
 
 // topLinks runs the link top-k against this model, fanning out over
@@ -529,9 +670,11 @@ func (m *Model) topAttrs(shards []*shardIdx, v, k int, mode string, nprobe int) 
 		return nil, "", fmt.Errorf("engine: node %d out of range [0,%d)", v, m.Nodes())
 	}
 	if shards != nil {
-		q := m.Emb.AttrQueryInto(v, make([]float64, m.Emb.Xf.Cols))
+		q := m.Emb.AttrQueryInto(v, getVec(m.Emb.Xf.Cols))
 		subs, backend := attrSubs(shards, mode)
-		return index.SearchSharded(subs, q, k, index.Options{NProbe: nprobe}), backend, nil
+		res := index.SearchSharded(subs, q, k, index.Options{NProbe: nprobe})
+		putVec(q)
+		return res, backend, nil
 	}
 	return m.Emb.TopKAttrs(v, k, nil), BackendScan, nil
 }

@@ -6,11 +6,13 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"pane/internal/core"
 	"pane/internal/datagen"
 	"pane/internal/engine"
+	"pane/internal/index"
 )
 
 // TopKOptions configures the serving-index comparison of RunTopK. Zero
@@ -25,6 +27,7 @@ type TopKOptions struct {
 	NProbe  int   // probes per query; 0 → index default
 	Queries int   // measured queries; 0 → 200
 	TopK    int   // k per query; 0 → 10
+	Rerank  int   // quantized survivor multiplier; 0 → index default
 	// ShardPoints are the shard counts of the scaling sweep; nil → {1, 2,
 	// 4, 8}. Empty (non-nil) skips the sweep.
 	ShardPoints []int
@@ -36,6 +39,12 @@ type TopKOptions struct {
 // printing a report that masks it.
 const minFullProbeRecall = 0.9
 
+// minSQ8Recall is the quantized-tier floor the CI perf gate enforces on
+// every run: SQ8 at its default re-rank window must recover at least this
+// fraction of the exact top-k, or the run fails — near-exactness is the
+// quantized tier's contract, not a tunable.
+const minSQ8Recall = 0.99
+
 // ShardScalingPoint is one row of the shard-count sweep: the same model
 // and query stream served through S shards.
 type ShardScalingPoint struct {
@@ -43,6 +52,7 @@ type ShardScalingPoint struct {
 	IndexBuildSeconds float64 `json:"index_build_seconds"`
 	ExactQPS          float64 `json:"exact_qps"`
 	IVFQPS            float64 `json:"ivf_qps"`
+	SQ8QPS            float64 `json:"sq8_qps"`
 	RecallAtK         float64 `json:"recall_at_k"`
 }
 
@@ -58,6 +68,7 @@ type TopKBench struct {
 	TopK    int `json:"top_k"`
 	NList   int `json:"nlist"`
 	NProbe  int `json:"nprobe"`
+	Rerank  int `json:"rerank"` // quantized survivor multiplier in effect
 
 	TrainSeconds      float64 `json:"train_seconds"`
 	IndexBuildSeconds float64 `json:"index_build_seconds"`
@@ -65,14 +76,30 @@ type TopKBench struct {
 	ScanQPS  float64 `json:"scan_qps"`  // PR-1 brute force (per-query transform + full scan)
 	ExactQPS float64 `json:"exact_qps"` // exact backend over precomputed Z
 	IVFQPS   float64 `json:"ivf_qps"`   // IVF backend at NProbe
+	SQ8QPS   float64 `json:"sq8_qps"`   // quantized flat scan + exact re-rank
+	IVFSQQPS float64 `json:"ivfsq_qps"` // quantized IVF at the same NProbe
 
-	RecallAtK          float64 `json:"recall_at_k"`       // IVF vs exact, fraction of top-k ids recovered
-	RecallFullProbe    float64 `json:"recall_full_probe"` // IVF probing every list; < 0.9 fails the run
+	RecallAtK       float64 `json:"recall_at_k"`       // IVF vs exact, fraction of top-k ids recovered
+	RecallFullProbe float64 `json:"recall_full_probe"` // IVF probing every list; < 0.9 fails the run
+	RecallSQ8       float64 `json:"recall_sq8"`        // SQ8 vs exact; < 0.99 fails the run
+	RecallIVFSQ     float64 `json:"recall_ivfsq"`      // IVFSQ vs exact at NProbe
+
 	SpeedupExactVsScan float64 `json:"speedup_exact_vs_scan"`
 	SpeedupIVFVsScan   float64 `json:"speedup_ivf_vs_scan"`
+	SpeedupSQ8VsScan   float64 `json:"speedup_sq8_vs_scan"`
+	SpeedupIVFSQVsScan float64 `json:"speedup_ivfsq_vs_scan"`
+
+	// Per-path heap allocations per query (runtime.MemStats.Mallocs over
+	// the timed window), tracking the query-path pooling work.
+	ScanAllocs  float64 `json:"scan_allocs_per_query"`
+	ExactAllocs float64 `json:"exact_allocs_per_query"`
+	IVFAllocs   float64 `json:"ivf_allocs_per_query"`
+	SQ8Allocs   float64 `json:"sq8_allocs_per_query"`
+	IVFSQAllocs float64 `json:"ivfsq_allocs_per_query"`
 
 	// Sharding is the shard-count scaling sweep: the same model served at
-	// S ∈ ShardPoints, exact answers verified bit-for-bit against S=1.
+	// S ∈ ShardPoints, exact AND sq8 answers verified bit-for-bit against
+	// S=1.
 	Sharding []ShardScalingPoint `json:"sharding,omitempty"`
 }
 
@@ -131,6 +158,7 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 		t0 := time.Now()
 		eng, err := engine.New(g, emb, cfg, engine.WithIndex(engine.IndexConfig{
 			IVF: true, NList: opt.NList, NProbe: opt.NProbe, Shards: shards,
+			Quantize: true, Rerank: opt.Rerank,
 		}))
 		return eng, time.Since(t0).Seconds(), err
 	}
@@ -146,13 +174,22 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 	}
 	m := eng.Model()
 
-	timeQueries := func(run func(u int) []core.Scored) ([][]core.Scored, float64) {
+	// timeQueries also reports heap allocations per query: Mallocs is a
+	// process-global counter, so worker-goroutine allocations are
+	// included, and the single-stream loop keeps other mutators out of
+	// the window.
+	timeQueries := func(run func(u int) []core.Scored) ([][]core.Scored, float64, float64) {
 		out := make([][]core.Scored, len(nodes))
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
 		t0 := time.Now()
 		for i, u := range nodes {
 			out[i] = run(u)
 		}
-		return out, float64(len(nodes)) / time.Since(t0).Seconds()
+		elapsed := time.Since(t0).Seconds()
+		runtime.ReadMemStats(&ms1)
+		allocs := float64(ms1.Mallocs-ms0.Mallocs) / float64(len(nodes))
+		return out, float64(len(nodes)) / elapsed, allocs
 	}
 	topLinks := func(e *engine.Engine, mode string, nprobe int, wantBackend string) func(u int) []core.Scored {
 		return func(u int) []core.Scored {
@@ -183,33 +220,55 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 		return float64(hit) / float64(total)
 	}
 
-	_, scanQPS := timeQueries(func(u int) []core.Scored {
+	_, scanQPS, scanAllocs := timeQueries(func(u int) []core.Scored {
 		return m.Scorer.TopKTargets(u, opt.TopK, nil)
 	})
-	exactRes, exactQPS := timeQueries(topLinks(eng, engine.ModeExact, 0, engine.BackendExact))
-	ivfRes, ivfQPS := timeQueries(topLinks(eng, engine.ModeIVF, 0, engine.BackendIVF))
+	exactRes, exactQPS, exactAllocs := timeQueries(topLinks(eng, engine.ModeExact, 0, engine.BackendExact))
+	ivfRes, ivfQPS, ivfAllocs := timeQueries(topLinks(eng, engine.ModeIVF, 0, engine.BackendIVF))
+	sq8Res, sq8QPS, sq8Allocs := timeQueries(topLinks(eng, engine.ModeSQ8, 0, engine.BackendSQ8))
+	ivfsqRes, ivfsqQPS, ivfsqAllocs := timeQueries(topLinks(eng, engine.ModeIVFSQ, 0, engine.BackendIVFSQ))
 
 	st := eng.IndexStatus()
 	// Full-probe IVF must reproduce the exact answer; anything well below
 	// 1.0 means the inverted file itself lost candidates, and the report
 	// must not mask that as an aggressive-nprobe artifact.
-	fullRes, _ := timeQueries(topLinks(eng, engine.ModeIVF, st.NList, engine.BackendIVF))
+	fullRes, _, _ := timeQueries(topLinks(eng, engine.ModeIVF, st.NList, engine.BackendIVF))
 	fullRecall := recall(exactRes, fullRes)
 	if fullRecall < minFullProbeRecall {
 		return nil, fmt.Errorf("experiments: IVF recall@%d at full nprobe is %.3f (< %.2f): serving index is broken",
 			opt.TopK, fullRecall, minFullProbeRecall)
 	}
+	// The quantized tier's recall floor is part of its contract (and the
+	// CI perf gate): a run below it must fail, not publish a fast number.
+	// The floor is defined at the default-or-wider survivor window — an
+	// explicit sub-default -rerank is a deliberate recall/speed trade the
+	// operator asked to measure, so it gets a report, not an abort.
+	sq8Recall := recall(exactRes, sq8Res)
+	if (opt.Rerank <= 0 || opt.Rerank >= index.DefaultRerank) && sq8Recall < minSQ8Recall {
+		return nil, fmt.Errorf("experiments: SQ8 recall@%d is %.4f (< %.2f): quantized tier is broken",
+			opt.TopK, sq8Recall, minSQ8Recall)
+	}
 
 	b := &TopKBench{
 		N: g.N, Edges: g.M(), D: g.D, K: opt.K,
 		Queries: opt.Queries, TopK: opt.TopK,
-		NList: st.NList, NProbe: st.NProbe,
+		NList: st.NList, NProbe: st.NProbe, Rerank: st.Rerank,
 		TrainSeconds: trainSec, IndexBuildSeconds: buildSec,
 		ScanQPS: scanQPS, ExactQPS: exactQPS, IVFQPS: ivfQPS,
+		SQ8QPS: sq8QPS, IVFSQQPS: ivfsqQPS,
 		RecallAtK:          recall(exactRes, ivfRes),
 		RecallFullProbe:    fullRecall,
+		RecallSQ8:          sq8Recall,
+		RecallIVFSQ:        recall(exactRes, ivfsqRes),
 		SpeedupExactVsScan: exactQPS / scanQPS,
 		SpeedupIVFVsScan:   ivfQPS / scanQPS,
+		SpeedupSQ8VsScan:   sq8QPS / scanQPS,
+		SpeedupIVFSQVsScan: ivfsqQPS / scanQPS,
+		ScanAllocs:         scanAllocs,
+		ExactAllocs:        exactAllocs,
+		IVFAllocs:          ivfAllocs,
+		SQ8Allocs:          sq8Allocs,
+		IVFSQAllocs:        ivfsqAllocs,
 	}
 
 	for _, s := range opt.ShardPoints {
@@ -221,7 +280,7 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 			// second identical engine would add nothing but build time.
 			b.Sharding = append(b.Sharding, ShardScalingPoint{
 				Shards: 1, IndexBuildSeconds: buildSec,
-				ExactQPS: exactQPS, IVFQPS: ivfQPS, RecallAtK: b.RecallAtK,
+				ExactQPS: exactQPS, IVFQPS: ivfQPS, SQ8QPS: sq8QPS, RecallAtK: b.RecallAtK,
 			})
 			continue
 		}
@@ -229,25 +288,40 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 		if err != nil {
 			return nil, err
 		}
-		sExactRes, sExactQPS := timeQueries(topLinks(se, engine.ModeExact, 0, engine.BackendExact))
-		for i := range exactRes {
-			if len(sExactRes[i]) != len(exactRes[i]) {
-				return nil, fmt.Errorf("experiments: shards=%d exact returned %d results for query %d, single-shard %d",
-					s, len(sExactRes[i]), i, len(exactRes[i]))
-			}
-			for j := range exactRes[i] {
-				if sExactRes[i][j] != exactRes[i][j] {
-					return nil, fmt.Errorf("experiments: shards=%d exact diverges from single-shard at query %d rank %d: %v != %v",
-						s, i, j, sExactRes[i][j], exactRes[i][j])
+		// Sharded exact and sharded sq8 must both reproduce their
+		// single-shard answers bit for bit: exact because the merge is a
+		// total order over disjoint ids, sq8 because the survivor cut is
+		// global and per-row quantization is shard-invariant.
+		verify := func(label string, want, got [][]core.Scored) error {
+			for i := range want {
+				if len(got[i]) != len(want[i]) {
+					return fmt.Errorf("experiments: shards=%d %s returned %d results for query %d, single-shard %d",
+						s, label, len(got[i]), i, len(want[i]))
+				}
+				for j := range want[i] {
+					if got[i][j] != want[i][j] {
+						return fmt.Errorf("experiments: shards=%d %s diverges from single-shard at query %d rank %d: %v != %v",
+							s, label, i, j, got[i][j], want[i][j])
+					}
 				}
 			}
+			return nil
 		}
-		sIvfRes, sIvfQPS := timeQueries(topLinks(se, engine.ModeIVF, 0, engine.BackendIVF))
+		sExactRes, sExactQPS, _ := timeQueries(topLinks(se, engine.ModeExact, 0, engine.BackendExact))
+		if err := verify("exact", exactRes, sExactRes); err != nil {
+			return nil, err
+		}
+		sSq8Res, sSq8QPS, _ := timeQueries(topLinks(se, engine.ModeSQ8, 0, engine.BackendSQ8))
+		if err := verify("sq8", sq8Res, sSq8Res); err != nil {
+			return nil, err
+		}
+		sIvfRes, sIvfQPS, _ := timeQueries(topLinks(se, engine.ModeIVF, 0, engine.BackendIVF))
 		b.Sharding = append(b.Sharding, ShardScalingPoint{
 			Shards:            s,
 			IndexBuildSeconds: sBuild,
 			ExactQPS:          sExactQPS,
 			IVFQPS:            sIvfQPS,
+			SQ8QPS:            sSq8QPS,
 			RecallAtK:         recall(exactRes, sIvfRes),
 		})
 	}
@@ -256,20 +330,22 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 
 // PrintTopK renders the comparison as a table.
 func PrintTopK(w io.Writer, b *TopKBench) {
-	fmt.Fprintf(w, "Top-k serving: n=%d m=%d d=%d k=%d, %d queries, top-%d (nlist=%d nprobe=%d)\n",
-		b.N, b.Edges, b.D, b.K, b.Queries, b.TopK, b.NList, b.NProbe)
+	fmt.Fprintf(w, "Top-k serving: n=%d m=%d d=%d k=%d, %d queries, top-%d (nlist=%d nprobe=%d rerank=%d)\n",
+		b.N, b.Edges, b.D, b.K, b.Queries, b.TopK, b.NList, b.NProbe, b.Rerank)
 	fmt.Fprintf(w, "train %.1fs, index build %.1fs, full-probe recall %.3f\n",
 		b.TrainSeconds, b.IndexBuildSeconds, b.RecallFullProbe)
-	fmt.Fprintf(w, "%-22s %12s %10s %10s\n", "path", "QPS", "speedup", "recall")
-	fmt.Fprintf(w, "%-22s %12.1f %10s %10s\n", "scan (PR-1 brute)", b.ScanQPS, "1.0x", "1.000")
-	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10s\n", "index exact", b.ExactQPS, b.SpeedupExactVsScan, "1.000")
-	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10.3f\n", "index ivf", b.IVFQPS, b.SpeedupIVFVsScan, b.RecallAtK)
+	fmt.Fprintf(w, "%-22s %12s %10s %10s %12s\n", "path", "QPS", "speedup", "recall", "allocs/op")
+	fmt.Fprintf(w, "%-22s %12.1f %10s %10s %12.1f\n", "scan (PR-1 brute)", b.ScanQPS, "1.0x", "1.000", b.ScanAllocs)
+	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10s %12.1f\n", "index exact", b.ExactQPS, b.SpeedupExactVsScan, "1.000", b.ExactAllocs)
+	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10.3f %12.1f\n", "index ivf", b.IVFQPS, b.SpeedupIVFVsScan, b.RecallAtK, b.IVFAllocs)
+	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10.3f %12.1f\n", "index sq8", b.SQ8QPS, b.SpeedupSQ8VsScan, b.RecallSQ8, b.SQ8Allocs)
+	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10.3f %12.1f\n", "index ivfsq", b.IVFSQQPS, b.SpeedupIVFSQVsScan, b.RecallIVFSQ, b.IVFSQAllocs)
 	if len(b.Sharding) > 0 {
-		fmt.Fprintf(w, "\nShard scaling (exact verified bit-for-bit against S=1):\n")
-		fmt.Fprintf(w, "%-8s %14s %12s %12s %10s\n", "shards", "build (s)", "exact QPS", "ivf QPS", "recall")
+		fmt.Fprintf(w, "\nShard scaling (exact and sq8 verified bit-for-bit against S=1):\n")
+		fmt.Fprintf(w, "%-8s %14s %12s %12s %12s %10s\n", "shards", "build (s)", "exact QPS", "ivf QPS", "sq8 QPS", "recall")
 		for _, p := range b.Sharding {
-			fmt.Fprintf(w, "%-8d %14.2f %12.1f %12.1f %10.3f\n",
-				p.Shards, p.IndexBuildSeconds, p.ExactQPS, p.IVFQPS, p.RecallAtK)
+			fmt.Fprintf(w, "%-8d %14.2f %12.1f %12.1f %12.1f %10.3f\n",
+				p.Shards, p.IndexBuildSeconds, p.ExactQPS, p.IVFQPS, p.SQ8QPS, p.RecallAtK)
 		}
 	}
 }
@@ -298,17 +374,23 @@ func ReadTopKJSON(path string) (*TopKBench, error) {
 }
 
 // CheckTopKBaseline is the CI perf-regression gate: it compares cur
-// against a committed baseline and returns an error when IVF throughput
-// or recall@k regressed by more than tol (a fraction, e.g. 0.25).
+// against a committed baseline and returns an error when IVF, SQ8, or
+// IVFSQ throughput or recall@k regressed by more than tol (a fraction,
+// e.g. 0.25). SQ8 recall additionally has the absolute minSQ8Recall
+// floor, enforced when the run measured the quantized tier at all
+// (RunTopK itself fails below the floor; the check here catches a
+// hand-edited baseline or report).
 //
 // Recall is compared absolutely — it is hardware-independent. Throughput
-// is compared via the scan-normalized speedup (IVF QPS divided by the
+// is compared via the scan-normalized speedup (backend QPS divided by the
 // same run's brute-force QPS), never via raw QPS: the baseline was
 // measured on whatever machine committed it, and dividing by the same
 // run's scan path makes the runner's hardware drop out of the
-// comparison. The trade-off — a regression that slows scan and IVF in
-// lockstep hides in the ratio — is what keeps the gate deterministic on
-// arbitrary CI runners.
+// comparison. The trade-off — a regression that slows scan and the
+// backends in lockstep hides in the ratio — is what keeps the gate
+// deterministic on arbitrary CI runners. Quantized speedups are only
+// gated when the baseline recorded them, so a pre-quantization baseline
+// keeps working.
 func CheckTopKBaseline(cur, base *TopKBench, tol float64) error {
 	if tol < 0 {
 		return fmt.Errorf("experiments: negative tolerance %v", tol)
@@ -318,9 +400,23 @@ func CheckTopKBaseline(cur, base *TopKBench, tol float64) error {
 		failures = append(failures, fmt.Sprintf("recall@%d %.3f fell more than %.2f below baseline %.3f",
 			cur.TopK, cur.RecallAtK, tol, base.RecallAtK))
 	}
-	if cur.SpeedupIVFVsScan < base.SpeedupIVFVsScan*(1-tol) {
-		failures = append(failures, fmt.Sprintf("IVF speedup-vs-scan %.2fx dropped more than %.0f%% below baseline %.2fx",
-			cur.SpeedupIVFVsScan, tol*100, base.SpeedupIVFVsScan))
+	if cur.SQ8QPS > 0 && cur.RecallSQ8 < minSQ8Recall {
+		failures = append(failures, fmt.Sprintf("sq8 recall@%d %.4f is below the %.2f floor",
+			cur.TopK, cur.RecallSQ8, minSQ8Recall))
+	}
+	speedups := []struct {
+		name      string
+		cur, base float64
+	}{
+		{"IVF", cur.SpeedupIVFVsScan, base.SpeedupIVFVsScan},
+		{"SQ8", cur.SpeedupSQ8VsScan, base.SpeedupSQ8VsScan},
+		{"IVFSQ", cur.SpeedupIVFSQVsScan, base.SpeedupIVFSQVsScan},
+	}
+	for _, s := range speedups {
+		if s.base > 0 && s.cur < s.base*(1-tol) {
+			failures = append(failures, fmt.Sprintf("%s speedup-vs-scan %.2fx dropped more than %.0f%% below baseline %.2fx",
+				s.name, s.cur, tol*100, s.base))
+		}
 	}
 	if len(failures) == 0 {
 		return nil

@@ -65,3 +65,30 @@ func BenchmarkIVFBuild(b *testing.B) {
 		_ = BuildIVF(data, IVFConfig{Seed: int64(i + 1), Threads: 8})
 	}
 }
+
+func BenchmarkSQ8Search(b *testing.B) {
+	sq := NewSQ8(benchMatrix(100000), 0, 8)
+	qs := benchQueries(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sq.Search(qs.Row(i%qs.Rows), 10, Options{})
+	}
+}
+
+func BenchmarkIVFSQSearch(b *testing.B) {
+	data := benchMatrix(100000)
+	sq := NewIVFSQ(BuildIVF(data, IVFConfig{Seed: 1, Threads: 8}), data, 0)
+	qs := benchQueries(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sq.Search(qs.Row(i%qs.Rows), 10, Options{})
+	}
+}
+
+func BenchmarkSQ8Build(b *testing.B) {
+	data := benchMatrix(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewSQ8(data, 0, 8)
+	}
+}

@@ -76,9 +76,11 @@ func scanRows(t *core.TopK, data *mat.Dense, q []float64, lo, hi int, skip func(
 // for every worker count. nb <= 1 runs the scan inline.
 func mergeSearch(k, n, nb int, scan func(t *core.TopK, lo, hi int)) []core.Scored {
 	if nb <= 1 {
-		t := core.NewTopK(k)
+		t := core.GetTopK(k)
 		scan(t, 0, n)
-		return t.Take()
+		res := t.Take()
+		core.PutTopK(t)
+		return res
 	}
 	ranges := mat.SplitRanges(n, nb)
 	parts := make([][]core.Scored, len(ranges))
@@ -87,17 +89,20 @@ func mergeSearch(k, n, nb int, scan func(t *core.TopK, lo, hi int)) []core.Score
 		wg.Add(1)
 		go func(i, lo, hi int) {
 			defer wg.Done()
-			t := core.NewTopK(k)
+			t := core.GetTopK(k)
 			scan(t, lo, hi)
 			parts[i] = t.Take()
+			core.PutTopK(t)
 		}(i, r[0], r[1])
 	}
 	wg.Wait()
-	final := core.NewTopK(k)
+	final := core.GetTopK(k)
 	for _, p := range parts {
 		for _, s := range p {
 			final.Offer(s.ID, s.Score)
 		}
 	}
-	return final.Take()
+	res := final.Take()
+	core.PutTopK(final)
+	return res
 }

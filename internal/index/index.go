@@ -9,6 +9,14 @@
 //   - IVF adds a k-means coarse quantizer (an inverted file over the same
 //     vectors) for approximate sub-linear search; the recall/latency
 //     trade-off is controlled per query by the number of probed lists.
+//   - SQ8 keeps an additional per-row 8-bit scalar-quantized copy of the
+//     candidate matrix: scans read one eighth of the bytes (the scaling
+//     wall on large candidate sets is memory bandwidth, not compute),
+//     and an exact float64 re-rank of the rerank*k best survivors makes
+//     the final ranking near-exact — and fully exact when the re-rank
+//     window covers every candidate.
+//   - IVFSQ combines the two: IVF's probed-list pruning over SQ8's
+//     quantized rows, with the same exact re-rank.
 //
 // Both backends are immutable after construction and safe for concurrent
 // searches. internal/engine builds one index per model version and swaps
@@ -27,14 +35,22 @@ import (
 const (
 	KindExact = "exact"
 	KindIVF   = "ivf"
+	KindSQ8   = "sq8"
+	KindIVFSQ = "ivfsq"
 )
 
 // Options tunes one Search call.
 type Options struct {
 	// NProbe is the number of inverted lists an IVF search scans. Values
 	// <= 0 mean the index's build-time default; values above nlist are
-	// clamped. The exact backend ignores it.
+	// clamped. The exact and SQ8 backends ignore it.
 	NProbe int
+	// Rerank overrides a quantized backend's survivor multiplier: the
+	// approximate scan keeps the Rerank*k best candidates by quantized
+	// score and the exact re-rank picks the final k among them. Values
+	// <= 0 mean the index's build-time default; the unquantized backends
+	// ignore it.
+	Rerank int
 	// Skip, when non-nil, excludes candidate ids from the result (e.g.
 	// the query node itself in link prediction).
 	Skip func(id int) bool

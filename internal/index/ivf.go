@@ -216,26 +216,39 @@ func (iv *IVF) Search(q []float64, k int, opt Options) []core.Scored {
 	if k < 1 || iv.n == 0 {
 		return nil
 	}
-	nprobe := opt.NProbe
+	lists := iv.probeLists(q, opt.NProbe)
+	return iv.fanScan(k, lists, func(t *core.TopK, l, lo, hi int) {
+		iv.scanList(t, l, lo, hi, q, opt.Skip)
+	})
+}
+
+// probeLists ranks every centroid by inner product with q — the standard
+// probe order for inner-product metrics — and returns the nprobe best
+// (<= 0 means the build-time default; above nlist clamps).
+func (iv *IVF) probeLists(q []float64, nprobe int) []core.Scored {
 	if nprobe <= 0 {
 		nprobe = iv.nprobe
 	}
 	if nprobe > iv.cents.Rows {
 		nprobe = iv.cents.Rows
 	}
-	// Coarse ranking: inner product against every centroid, the standard
-	// probe order for inner-product metrics.
-	lt := core.NewTopK(nprobe)
+	lt := core.GetTopK(nprobe)
 	for c := 0; c < iv.cents.Rows; c++ {
 		lt.Offer(c, mat.Dot(q, iv.cents.Row(c)))
 	}
 	lists := lt.Take()
+	core.PutTopK(lt)
+	return lists
+}
 
-	// Fan out over row-weighted groups of list segments. Splitting by
-	// probed ROW count (not list count) keeps workers balanced when list
-	// sizes are skewed — one huge cluster cannot serialize the search
-	// behind a single goroutine — and a segment boundary may fall inside
-	// a list.
+// fanScan runs scan over every row of the probed lists and keeps the k
+// best offers. The fan-out is over row-weighted groups of list segments:
+// splitting by probed ROW count (not list count) keeps workers balanced
+// when list sizes are skewed — one huge cluster cannot serialize the
+// search behind a single goroutine — and a segment boundary may fall
+// inside a list. Both the float and the quantized list scans share this
+// skeleton.
+func (iv *IVF) fanScan(k int, lists []core.Scored, scan func(t *core.TopK, l, lo, hi int)) []core.Scored {
 	probedRows := 0
 	for _, l := range lists {
 		probedRows += len(iv.ids[l.ID])
@@ -245,17 +258,19 @@ func (iv *IVF) Search(q []float64, k int, opt Options) []core.Scored {
 		nb = lim
 	}
 	if nb <= 1 {
-		t := core.NewTopK(k)
+		t := core.GetTopK(k)
 		for _, l := range lists {
-			iv.scanList(t, l.ID, 0, len(iv.ids[l.ID]), q, opt.Skip)
+			scan(t, l.ID, 0, len(iv.ids[l.ID]))
 		}
-		return t.Take()
+		res := t.Take()
+		core.PutTopK(t)
+		return res
 	}
 	groups := probeGroups(lists, func(l int) int { return len(iv.ids[l]) }, probedRows, nb)
 	return mergeSearch(k, len(groups), len(groups), func(t *core.TopK, lo, hi int) {
 		for _, g := range groups[lo:hi] {
 			for _, seg := range g {
-				iv.scanList(t, seg.list, seg.lo, seg.hi, q, opt.Skip)
+				scan(t, seg.list, seg.lo, seg.hi)
 			}
 		}
 	})

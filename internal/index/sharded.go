@@ -7,14 +7,25 @@ import (
 )
 
 // Sharded serving: a large candidate matrix is split into contiguous row
-// shards, each indexed independently (Exact or IVF), and a query fans out
-// across the shards in parallel, merging the per-shard top-k under
-// core.Better. Because candidate ids are globally unique and Better is a
-// total order, the merged top-k is the unique global top-k — the answer
-// is bit-for-bit independent of the shard count for exact search (and for
-// IVF probing every list). The two pieces here are the id re-basing
-// wrapper (Shift) and the fan-out/merge driver (SearchSharded);
-// internal/engine owns shard lifecycle and per-shard rebuilds.
+// shards, each indexed independently (Exact, IVF, or a quantized
+// backend), and a query fans out across the shards in parallel, merging
+// the per-shard results under core.Better. Because candidate ids are
+// globally unique and Better is a total order, the merged top-k of exact
+// backends is the unique global top-k — bit-for-bit independent of the
+// shard count (and likewise for IVF probing every list).
+//
+// Quantized backends need one extra move to keep that guarantee: the
+// survivor CUT must happen globally, not per shard. A shard's quantized
+// scan returns its rerank*k best candidates by approximate score
+// (PartialSearch), the merge selects the global rerank*k best of those
+// (approximate scores are shard-invariant because quantization is per
+// row), and only then does the exact re-rank pick the final k
+// (MergePartials). Cutting per shard instead would re-rank a
+// shard-count-dependent survivor set and let the answer drift with S.
+// The pieces here are the id re-basing wrapper (Shift), the per-shard
+// search (PartialSearch), the deterministic merge (MergePartials), and
+// the fan-out driver (SearchSharded); internal/engine owns shard
+// lifecycle and per-shard rebuilds.
 
 // shifted re-bases a sub-index built over rows [base, base+Len()) of a
 // larger candidate set: result ids are translated from local to global,
@@ -25,22 +36,34 @@ type shifted struct {
 }
 
 // Shift wraps idx so that its local candidate ids [0, Len()) appear as
-// global ids [base, base+Len()). base 0 returns idx unchanged.
+// global ids [base, base+Len()). base 0 returns idx unchanged. A
+// quantized idx yields a wrapper that preserves the two-phase quantized
+// contract across the id translation.
 func Shift(idx Index, base int) Index {
 	if base == 0 {
 		return idx
 	}
-	return &shifted{idx: idx, base: base}
+	s := &shifted{idx: idx, base: base}
+	if q, ok := idx.(quantized); ok {
+		return &shiftedQuant{shifted: s, q: q}
+	}
+	return s
+}
+
+// localSkip translates a global-id Skip into the wrapped index's local id
+// space.
+func (s *shifted) localSkip(opt Options) Options {
+	if skip := opt.Skip; skip != nil {
+		base := s.base
+		opt.Skip = func(id int) bool { return skip(id + base) }
+	}
+	return opt
 }
 
 // Search translates Skip from global to local ids, runs the wrapped
 // search, and re-bases the result ids to global.
 func (s *shifted) Search(q []float64, k int, opt Options) []core.Scored {
-	if skip := opt.Skip; skip != nil {
-		base := s.base
-		opt.Skip = func(id int) bool { return skip(id + base) }
-	}
-	res := s.idx.Search(q, k, opt)
+	res := s.idx.Search(q, k, s.localSkip(opt))
 	for i := range res {
 		res[i].ID += s.base
 	}
@@ -60,13 +83,119 @@ func (s *shifted) Kind() string { return s.idx.Kind() }
 // reading an IVF backend's resolved nlist through the shift).
 func (s *shifted) Unwrap() Index { return s.idx }
 
+// shiftedQuant is Shift's wrapper for quantized backends: the same id
+// re-basing, plus forwarding of the two-phase search. It is a separate
+// type so that a shifted Exact does NOT satisfy the quantized interface
+// by accident.
+type shiftedQuant struct {
+	*shifted
+	q quantized
+}
+
+func (s *shiftedQuant) searchQuant(q []float64, m int, opt Options) []approxScored {
+	res := s.q.searchQuant(q, m, s.localSkip(opt))
+	for i := range res {
+		res[i].id += s.base
+	}
+	return res
+}
+
+func (s *shiftedQuant) rerankMult() int { return s.q.rerankMult() }
+
+// Partial is one shard's contribution to a fanned-out top-k search:
+// final-scored results for a plain backend, or the approximate survivor
+// set (exact scores attached) for a quantized one. Values are produced by
+// PartialSearch and consumed by MergePartials; the zero value is an empty
+// contribution.
+type Partial struct {
+	plain []core.Scored
+	quant []approxScored
+}
+
+// RerankMult resolves the survivor multiplier a quantized fan-out over
+// sub uses: the per-query Options override when positive, else sub's
+// build-time default, else 1 (plain backends re-rank nothing). Callers
+// fanning out over several shards resolve it once — against any shard,
+// since the engine builds every shard with the same configuration — and
+// pass the same value to MergePartials.
+func RerankMult(sub Index, opt Options) int {
+	if opt.Rerank > 0 {
+		return opt.Rerank
+	}
+	if qz, ok := sub.(quantized); ok {
+		return qz.rerankMult()
+	}
+	return 1
+}
+
+// PartialSearch runs one shard's share of a top-k query. Plain backends
+// answer with their final top-k; quantized backends return their
+// mult*k-candidate survivor set so the global cut can happen in
+// MergePartials.
+func PartialSearch(sub Index, q []float64, k, mult int, opt Options) Partial {
+	if qz, ok := sub.(quantized); ok {
+		return Partial{quant: qz.searchQuant(q, rerankBudget(k, mult, sub.Len()), opt)}
+	}
+	return Partial{plain: sub.Search(q, k, opt)}
+}
+
+// MergePartials merges per-shard contributions into the final top-k.
+// Plain parts merge directly under core.Better. Quantized parts first
+// pass the GLOBAL survivor cut — the mult*k best by approximate score
+// across all shards, the same cut an unsharded quantized search applies —
+// and then compete on their exact scores, so sharded quantized answers
+// are bit-for-bit identical to unsharded ones. mult must match the value
+// PartialSearch ran with (see RerankMult).
+func MergePartials(parts []Partial, k, mult int) []core.Scored {
+	nQuant := 0
+	for _, p := range parts {
+		nQuant += len(p.quant)
+	}
+	final := core.GetTopK(k)
+	if nQuant > 0 {
+		// Global survivor cut by approximate score (ids are unique across
+		// shards, so Better's tie-break makes this a total order): a
+		// bounded top-m selection keeps exactly the set a full
+		// sort-and-truncate would, without paying an O(N log N) comparison
+		// sort per query on the serving path.
+		m := rerankBudget(k, mult, nQuant)
+		cut := core.GetTopK(m)
+		for _, p := range parts {
+			for _, c := range p.quant {
+				cut.Offer(c.id, c.approx)
+			}
+		}
+		keep := make(map[int]struct{}, cut.Len())
+		for _, s := range cut.Take() {
+			keep[s.ID] = struct{}{}
+		}
+		core.PutTopK(cut)
+		for _, p := range parts {
+			for _, c := range p.quant {
+				if _, ok := keep[c.id]; ok {
+					final.Offer(c.id, c.exact)
+				}
+			}
+		}
+	}
+	for _, p := range parts {
+		for _, s := range p.plain {
+			final.Offer(s.ID, s.Score)
+		}
+	}
+	res := final.Take()
+	core.PutTopK(final)
+	return res
+}
+
 // SearchSharded answers one top-k query by parallel fan-out over subs —
 // per-shard indexes with disjoint global id ranges (see Shift) — merging
-// the per-shard partial results under core.Better. k and opt are passed
-// to every shard unchanged; nil entries in subs are skipped (a shard with
-// no candidates in this id space). The merged ranking equals a single
-// index over the concatenated candidates: exact stays exact, and
-// full-probe IVF stays bit-for-bit equal to exact, at any shard count.
+// the per-shard partial results through MergePartials. k and opt are
+// passed to every shard unchanged; nil entries in subs are skipped (a
+// shard with no candidates in this id space). The merged ranking equals a
+// single index over the concatenated candidates: exact stays exact,
+// full-probe IVF stays bit-for-bit equal to exact, and a quantized
+// backend returns exactly its unsharded answer, at any shard count.
 func SearchSharded(subs []Index, q []float64, k int, opt Options) []core.Scored {
 	live := subs[:0:0]
 	for _, s := range subs {
@@ -80,21 +209,16 @@ func SearchSharded(subs []Index, q []float64, k int, opt Options) []core.Scored 
 	if len(live) == 1 {
 		return live[0].Search(q, k, opt)
 	}
-	parts := make([][]core.Scored, len(live))
+	mult := RerankMult(live[0], opt)
+	parts := make([]Partial, len(live))
 	var wg sync.WaitGroup
 	for i, s := range live {
 		wg.Add(1)
 		go func(i int, s Index) {
 			defer wg.Done()
-			parts[i] = s.Search(q, k, opt)
+			parts[i] = PartialSearch(s, q, k, mult, opt)
 		}(i, s)
 	}
 	wg.Wait()
-	final := core.NewTopK(k)
-	for _, p := range parts {
-		for _, sc := range p {
-			final.Offer(sc.ID, sc.Score)
-		}
-	}
-	return final.Take()
+	return MergePartials(parts, k, mult)
 }

@@ -1,0 +1,19 @@
+//go:build amd64
+
+package index
+
+// useDotI8SIMD gates the AVX2 quantized-dot kernel. Detection runs once
+// at init: CPUID-reported AVX2 plus OS support for saving YMM state
+// (OSXSAVE + XGETBV), the standard pair of checks — AVX2 alone is not
+// enough on kernels that do not context-switch the upper register
+// halves.
+var useDotI8SIMD = cpuHasAVX2()
+
+// cpuHasAVX2 is implemented in sq8dot_amd64.s.
+func cpuHasAVX2() bool
+
+// dotI8SIMD computes the int32 inner product of the n int8 values at a
+// and b using AVX2 (16-wide sign-extended multiply-add), with a scalar
+// tail inside the assembly. n must be >= 1; the result is bit-identical
+// to dotI8Generic. Implemented in sq8dot_amd64.s.
+func dotI8SIMD(a, b *int8, n int) int32

@@ -1,0 +1,108 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasAVX2() bool
+//
+// AVX2 usability = CPUID.1:ECX.OSXSAVE[27] and .AVX[28], XGETBV(0)
+// reporting XMM+YMM state enabled (bits 1 and 2), and CPUID.7.0:EBX.
+// AVX2[5].
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<27), CX // OSXSAVE
+	JZ   no
+	TESTL $(1<<28), CX // AVX
+	JZ   no
+	XORL CX, CX
+	XGETBV             // EDX:EAX = XCR0
+	ANDL $6, AX
+	CMPL AX, $6        // XMM and YMM state saved by the OS
+	JNE  no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<5), BX  // AVX2
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func dotI8SIMD(a, b *int8, n int) int32
+//
+// Int8 inner product: 16 elements per step are sign-extended to int16
+// lanes (VPMOVSXBW) and pair-multiplied-and-summed into int32 lanes
+// (VPMADDWD), accumulating in Y0; the main loop takes two such steps.
+// Remaining elements run through a scalar loop. Integer addition is
+// exact, so the result is bit-identical to the portable kernel for any
+// lane/accumulation order. Products are bounded by 2^14, so an int32
+// lane holds at least 2^17 accumulated terms — far beyond any embedding
+// width here.
+TEXT ·dotI8SIMD(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	XORL R8, R8           // running sum (int32)
+	CMPQ CX, $16
+	JLT  tail
+	VPXOR Y0, Y0, Y0
+
+blk32:
+	CMPQ CX, $32
+	JLT  blk16
+	VPMOVSXBW (SI), Y1
+	VPMOVSXBW (DI), Y2
+	VPMADDWD  Y2, Y1, Y3
+	VPADDD    Y3, Y0, Y0
+	VPMOVSXBW 16(SI), Y1
+	VPMOVSXBW 16(DI), Y2
+	VPMADDWD  Y2, Y1, Y3
+	VPADDD    Y3, Y0, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $32, CX
+	JMP  blk32
+
+blk16:
+	CMPQ CX, $16
+	JLT  hsum
+	VPMOVSXBW (SI), Y1
+	VPMOVSXBW (DI), Y2
+	VPMADDWD  Y2, Y1, Y3
+	VPADDD    Y3, Y0, Y0
+	ADDQ $16, SI
+	ADDQ $16, DI
+	SUBQ $16, CX
+
+hsum:
+	// Reduce the 8 int32 lanes of Y0 into R8.
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD  X1, X0, X0
+	VPSHUFD $0x4E, X0, X1 // swap 64-bit halves
+	VPADDD  X1, X0, X0
+	VPSHUFD $0xB1, X0, X1 // swap 32-bit pairs
+	VPADDD  X1, X0, X0
+	VZEROUPPER
+	MOVQ X0, AX
+	ADDL AX, R8
+
+tail:
+	TESTQ CX, CX
+	JZ    done
+
+tloop:
+	MOVBLSX (SI), R9
+	MOVBLSX (DI), R10
+	IMULL   R10, R9
+	ADDL    R9, R8
+	INCQ    SI
+	INCQ    DI
+	DECQ    CX
+	JNZ     tloop
+
+done:
+	MOVL R8, ret+24(FP)
+	RET

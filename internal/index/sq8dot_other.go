@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package index
+
+// Non-amd64 builds always take the portable kernel.
+const useDotI8SIMD = false
+
+// dotI8SIMD is never called when useDotI8SIMD is false; this stub keeps
+// the portable build compiling.
+func dotI8SIMD(a, b *int8, n int) int32 {
+	panic("index: dotI8SIMD called on a build without SIMD support")
+}

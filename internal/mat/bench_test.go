@@ -1,6 +1,7 @@
 package mat
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -50,6 +51,46 @@ func BenchmarkMulAT(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MulAT(a, a)
+	}
+}
+
+// dotScalar is the pre-unroll reference kernel: one accumulator, one
+// multiply-add per iteration, a serial dependency chain on s.
+func dotScalar(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// dotSink defeats dead-code elimination of the benchmarked kernels.
+var dotSink float64
+
+// BenchmarkDot / BenchmarkDotScalar prove the 4-way unrolled kernel win
+// at the dimensions the serving path actually scans (k/2 of the candidate
+// matrices; 16 is the default top-k bench, 64/512 the larger budgets).
+func BenchmarkDot(b *testing.B) {
+	for _, dim := range []int{16, 64, 512} {
+		x := benchMatrix(1, dim, 10).Row(0)
+		y := benchMatrix(1, dim, 11).Row(0)
+		b.Run(fmt.Sprintf("dim=%d", dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dotSink += Dot(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkDotScalar(b *testing.B) {
+	for _, dim := range []int{16, 64, 512} {
+		x := benchMatrix(1, dim, 10).Row(0)
+		y := benchMatrix(1, dim, 11).Row(0)
+		b.Run(fmt.Sprintf("dim=%d", dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dotSink += dotScalar(x, y)
+			}
+		})
 	}
 }
 

@@ -280,6 +280,25 @@ func TestDotNormAxpy(t *testing.T) {
 	}
 }
 
+// TestDotUnrolledTails exercises every remainder length of the 4-way
+// unrolled kernel against the plain one-accumulator sum. Exact integer
+// values keep the comparison independent of accumulation order.
+func TestDotUnrolledTails(t *testing.T) {
+	for n := 0; n <= 13; n++ {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		var want float64
+		for i := range a {
+			a[i] = float64(i + 1)
+			b[i] = float64(2*i - 3)
+			want += a[i] * b[i]
+		}
+		if got := Dot(a, b); got != want {
+			t.Fatalf("Dot len %d = %v, want %v", n, got, want)
+		}
+	}
+}
+
 func TestSplitRanges(t *testing.T) {
 	cases := []struct {
 		n, nb  int

@@ -8,11 +8,13 @@
 //	GET /top-attrs?node=v&k=10       strongest attributes for a node
 //	GET /top-links?src=u&k=10        most plausible out-neighbors
 //
-// The top-k routes additionally accept mode=exact|ivf (backend choice;
-// exact is the default) and nprobe=N (IVF probe count override), and
+// The top-k routes additionally accept mode=exact|ivf|sq8|ivfsq (backend
+// choice; exact is the default, sq8/ivfsq are the int8-quantized scans
+// with exact re-rank) and nprobe=N (IVF/IVFSQ probe count override), and
 // every top-k response reports which backend actually answered ("exact",
-// "ivf", or "scan" — the brute-force path used while a new index version
-// is still building). k must be a positive integer; values above the
+// "ivf", "sq8", "ivfsq", or "scan" — the brute-force path used while a
+// new index version is still building; a mode whose backend was not
+// built degrades toward "exact"). k must be a positive integer; values above the
 // candidate count are clamped. With a sharded serving index, top-k
 // queries fan out across the shards in parallel and /healthz reports the
 // per-shard index generations ("shard_versions") next to the model
@@ -309,9 +311,9 @@ func intParam(w http.ResponseWriter, r *http.Request, name string, limit int) (i
 // topkParams parses the shared top-k query parameters. k defaults to 10
 // when absent but an explicit k < 1 (or non-integer) is a 400 — never a
 // silent rewrite; values above the candidate count are clamped downstream.
-// mode must be "exact" or "ivf" when present; nprobe must be a positive
-// integer when present (it is only consulted on IVF searches). Returns
-// ok=false after writing the error response.
+// mode must be "exact", "ivf", "sq8", or "ivfsq" when present; nprobe
+// must be a positive integer when present (it is only consulted on
+// IVF/IVFSQ searches). Returns ok=false after writing the error response.
 func topkParams(w http.ResponseWriter, r *http.Request) (k int, mode string, nprobe int, ok bool) {
 	q := r.URL.Query()
 	k = engine.DefaultK
@@ -326,10 +328,11 @@ func topkParams(w http.ResponseWriter, r *http.Request) (k int, mode string, npr
 	}
 	mode = q.Get("mode")
 	switch mode {
-	case "", engine.ModeExact, engine.ModeIVF:
+	case "", engine.ModeExact, engine.ModeIVF, engine.ModeSQ8, engine.ModeIVFSQ:
 	default:
 		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("parameter \"mode\" must be %q or %q, got %q", engine.ModeExact, engine.ModeIVF, mode))
+			fmt.Sprintf("parameter \"mode\" must be %q, %q, %q, or %q, got %q",
+				engine.ModeExact, engine.ModeIVF, engine.ModeSQ8, engine.ModeIVFSQ, mode))
 		return 0, "", 0, false
 	}
 	if raw := q.Get("nprobe"); raw != "" {

@@ -402,6 +402,66 @@ func TestTopKBackendReporting(t *testing.T) {
 	}
 }
 
+// TestQuantizedModesOverHTTP: the sq8/ivfsq modes are accepted on both
+// top-k routes, answer from their backends, degrade to exact on an
+// unquantized index, and healthz reports the quantized configuration.
+func TestQuantizedModesOverHTTP(t *testing.T) {
+	eng := testEngine(t, engine.WithIndex(engine.IndexConfig{
+		IVF: true, NList: 2, NProbe: 2, Quantize: true, Rerank: 3,
+	}))
+	s := New(eng)
+	cases := []struct {
+		path, backend string
+	}{
+		{"/top-links?src=0&k=3&mode=sq8", "sq8"},
+		{"/top-links?src=0&k=3&mode=ivfsq", "ivfsq"},
+		{"/top-links?src=0&k=3&mode=ivfsq&nprobe=1", "ivfsq"},
+		{"/top-attrs?node=0&k=2&mode=sq8", "sq8"},
+		{"/top-attrs?node=0&k=2&mode=ivfsq", "ivfsq"},
+	}
+	for _, c := range cases {
+		code, body := get(t, s, c.path)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d (%v)", c.path, code, body)
+		}
+		if got := body["backend"]; got != c.backend {
+			t.Fatalf("%s: backend %v, want %q", c.path, got, c.backend)
+		}
+	}
+	// With a full re-rank window the quantized answer must equal exact.
+	_, exact := get(t, s, "/top-links?src=0&k=3&mode=exact")
+	_, sq8 := get(t, s, "/top-links?src=0&k=3&mode=sq8")
+	if exactJSON, sq8JSON := jsonString(t, exact["results"]), jsonString(t, sq8["results"]); exactJSON != sq8JSON {
+		t.Fatalf("sq8 results %s differ from exact %s", sq8JSON, exactJSON)
+	}
+	// healthz carries the quantized index state.
+	_, health := get(t, s, "/healthz")
+	idx := health["index"].(map[string]interface{})
+	if idx["quantize"] != true || idx["rerank"].(float64) != 3 {
+		t.Fatalf("healthz index %v", idx)
+	}
+	// On an unquantized index the modes degrade with honest labels.
+	plainIdx, _ := indexedServer(t)
+	_, body := get(t, plainIdx, "/top-links?src=0&k=3&mode=sq8")
+	if got := body["backend"]; got != "exact" {
+		t.Fatalf("unquantized sq8 backend %v, want exact", got)
+	}
+	_, body = get(t, plainIdx, "/top-links?src=0&k=3&mode=ivfsq")
+	if got := body["backend"]; got != "ivf" {
+		t.Fatalf("unquantized ivfsq backend %v, want ivf", got)
+	}
+}
+
+// jsonString renders a decoded JSON fragment canonically for comparison.
+func jsonString(t *testing.T, v interface{}) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
 // TestVersionDuringIndexRebuild pins the update-applied-index-pending
 // state: the response must carry the NEW model version with the scan
 // backend (never a stale index), and flip to the indexed backend once

@@ -27,12 +27,15 @@ import (
 //	Xf, Xb, Y dense sections
 //	adjacency and attribute CSR sections
 //	optional serving-index configuration (format version 2; format
-//	version 3 appends the shard layout)
+//	version 3 appends the shard layout; format version 4 the quantize
+//	flag and re-rank multiplier)
+//	optional SQ8 quantized payload: per-row codes + scale/base vectors
+//	of the candidate matrices (format version 4)
 //
 // Serialization is deterministic: saving a loaded current-format bundle
 // reproduces the input byte for byte, which snapshot tests rely on. (A
-// loaded format-1 or format-2 bundle re-saves as format 3, so only its
-// payload — not its bytes — survives the round trip.)
+// loaded format-1 through format-3 bundle re-saves as format 4, so only
+// its payload — not its bytes — survives the round trip.)
 type Bundle struct {
 	ModelVersion uint64
 	Cfg          core.Config
@@ -44,6 +47,13 @@ type Bundle struct {
 	// The index structures themselves are never persisted — they are
 	// derived state, cheaply rebuilt from the embeddings on load.
 	Index *IndexMeta
+	// Quant optionally carries the SQ8 encodings of the candidate
+	// matrices (format version 4). Like Index it is derived state — a
+	// loader that drops it just re-quantizes, bit-identically — but
+	// persisting it lets a restored server publish its quantized tier
+	// without the extra pass, and gives the format a place to verify the
+	// encoding survived the round trip.
+	Quant *QuantPayload
 }
 
 // IndexMeta mirrors engine.IndexConfig for persistence (raw configured
@@ -57,14 +67,36 @@ type IndexMeta struct {
 	// Shards records the serving-shard count (format version 3); 0 means
 	// unsharded, matching engine.IndexConfig's "values <= 1 mean one".
 	Shards int
+	// Quantize and Rerank record the SQ8 tier configuration (format
+	// version 4): whether the quantized backends are built, and their
+	// exact-re-rank survivor multiplier (0 means the index default).
+	Quantize bool
+	Rerank   int
+}
+
+// QuantizedMatrix is one candidate matrix's per-row SQ8 encoding as
+// index.QuantizeRows produces it: Rows*Dim int8 codes row-major, and a
+// (scale, base) float32 pair per row. Because the encoding is per-row,
+// any contiguous row range of it equals the encoding of that shard's rows
+// — which is how a sharded engine consumes one flat payload.
+type QuantizedMatrix struct {
+	Rows, Dim   int
+	Codes       []int8
+	Scale, Base []float32
+}
+
+// QuantPayload carries the SQ8 encodings of both candidate spaces: the
+// link transform Z = Xb·G and the attribute matrix Y.
+type QuantPayload struct {
+	Links, Attrs QuantizedMatrix
 }
 
 const (
 	magicBundle = 0x504E4231 // "PNB1"
 	// bundleFormatV is the version written; versions 1 (no index
-	// section) and 2 (index section without the shard word) are still
-	// read.
-	bundleFormatV = 3
+	// section), 2 (index section without the shard word), and 3 (no
+	// quantize/rerank words, no quantized payload) are still read.
+	bundleFormatV = 4
 )
 
 // WriteBundle serializes b to w.
@@ -99,6 +131,9 @@ func WriteBundle(w io.Writer, b *Bundle) error {
 	if err := writeIndexMeta(bw, b.Index); err != nil {
 		return err
 	}
+	if err := writeQuant(bw, b.Quant); err != nil {
+		return err
+	}
 	return bw.Flush()
 }
 
@@ -111,11 +146,13 @@ func writeIndexMeta(w io.Writer, im *IndexMeta) error {
 	if im == nil {
 		return binary.Write(w, order, uint64(0))
 	}
-	ivf := uint64(0)
-	if im.IVF {
-		ivf = 1
+	flag := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
 	}
-	nlist, nprobe, shards := im.NList, im.NProbe, im.Shards
+	nlist, nprobe, shards, rerank := im.NList, im.NProbe, im.Shards, im.Rerank
 	if nlist < 0 {
 		nlist = 0
 	}
@@ -125,14 +162,19 @@ func writeIndexMeta(w io.Writer, im *IndexMeta) error {
 	if shards < 0 {
 		shards = 0
 	}
+	if rerank < 0 {
+		rerank = 0
+	}
 	return binary.Write(w, order, []uint64{
-		1, ivf, uint64(nlist), uint64(nprobe), uint64(im.Seed), uint64(shards),
+		1, flag(im.IVF), uint64(nlist), uint64(nprobe), uint64(im.Seed), uint64(shards),
+		flag(im.Quantize), uint64(rerank),
 	})
 }
 
 // readIndexMeta decodes the index section of a format-`version` bundle:
 // version 2 carries four configuration words, version 3 appends the
-// shard count (absent means 0, i.e. unsharded).
+// shard count (absent means 0, i.e. unsharded), version 4 the quantize
+// flag and re-rank multiplier (absent means unquantized).
 func readIndexMeta(r io.Reader, version uint64) (*IndexMeta, error) {
 	var present uint64
 	if err := binary.Read(r, order, &present); err != nil {
@@ -144,6 +186,9 @@ func readIndexMeta(r io.Reader, version uint64) (*IndexMeta, error) {
 	nWords := 4
 	if version >= 3 {
 		nWords = 5
+	}
+	if version >= 4 {
+		nWords = 7
 	}
 	words := make([]uint64, nWords)
 	if err := binary.Read(r, order, words); err != nil {
@@ -158,10 +203,77 @@ func readIndexMeta(r io.Reader, version uint64) (*IndexMeta, error) {
 	if version >= 3 {
 		im.Shards = int(words[4])
 	}
-	if im.NList < 0 || im.NProbe < 0 || im.Shards < 0 {
-		return nil, fmt.Errorf("store: negative index config nlist=%d nprobe=%d shards=%d", im.NList, im.NProbe, im.Shards)
+	if version >= 4 {
+		im.Quantize = words[5] != 0
+		im.Rerank = int(words[6])
+	}
+	if im.NList < 0 || im.NProbe < 0 || im.Shards < 0 || im.Rerank < 0 {
+		return nil, fmt.Errorf("store: negative index config nlist=%d nprobe=%d shards=%d rerank=%d",
+			im.NList, im.NProbe, im.Shards, im.Rerank)
 	}
 	return im, nil
+}
+
+// writeQuant encodes the optional quantized-payload section: a presence
+// flag, then each matrix's shape, per-row parameters, and codes.
+func writeQuant(w io.Writer, qp *QuantPayload) error {
+	if qp == nil {
+		return binary.Write(w, order, uint64(0))
+	}
+	if err := binary.Write(w, order, uint64(1)); err != nil {
+		return err
+	}
+	for _, qm := range []*QuantizedMatrix{&qp.Links, &qp.Attrs} {
+		if len(qm.Codes) != qm.Rows*qm.Dim || len(qm.Scale) != qm.Rows || len(qm.Base) != qm.Rows {
+			return fmt.Errorf("store: quantized payload shape mismatch: %d codes, %d scales, %d bases for %dx%d",
+				len(qm.Codes), len(qm.Scale), len(qm.Base), qm.Rows, qm.Dim)
+		}
+		if err := binary.Write(w, order, []uint64{uint64(qm.Rows), uint64(qm.Dim)}); err != nil {
+			return err
+		}
+		for _, v := range [][]float32{qm.Scale, qm.Base} {
+			if err := binary.Write(w, order, v); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(w, order, qm.Codes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readQuant decodes the quantized-payload section written by writeQuant.
+func readQuant(r io.Reader) (*QuantPayload, error) {
+	var present uint64
+	if err := binary.Read(r, order, &present); err != nil {
+		return nil, fmt.Errorf("store: reading quantized payload flag: %w", err)
+	}
+	if present == 0 {
+		return nil, nil
+	}
+	qp := &QuantPayload{}
+	for _, qm := range []*QuantizedMatrix{&qp.Links, &qp.Attrs} {
+		shape := make([]uint64, 2)
+		if err := binary.Read(r, order, shape); err != nil {
+			return nil, fmt.Errorf("store: reading quantized payload shape: %w", err)
+		}
+		const limit = 1 << 33 // same sanity bound as the dense sections
+		if shape[0] > limit || shape[1] > limit ||
+			(shape[1] != 0 && shape[0] > limit/shape[1]) { // product bound, overflow-safe
+			return nil, fmt.Errorf("store: implausible quantized payload %dx%d", shape[0], shape[1])
+		}
+		qm.Rows, qm.Dim = int(shape[0]), int(shape[1])
+		qm.Scale = make([]float32, qm.Rows)
+		qm.Base = make([]float32, qm.Rows)
+		qm.Codes = make([]int8, qm.Rows*qm.Dim)
+		for _, dst := range []interface{}{qm.Scale, qm.Base, qm.Codes} {
+			if err := binary.Read(r, order, dst); err != nil {
+				return nil, fmt.Errorf("store: reading quantized payload: %w", err)
+			}
+		}
+	}
+	return qp, nil
 }
 
 // ReadBundle deserializes a bundle written by WriteBundle and validates
@@ -212,6 +324,11 @@ func ReadBundle(r io.Reader) (*Bundle, error) {
 			return nil, err
 		}
 	}
+	if hdr[1] >= 4 {
+		if b.Quant, err = readQuant(br); err != nil {
+			return nil, err
+		}
+	}
 	return b, b.check()
 }
 
@@ -231,6 +348,18 @@ func (b *Bundle) check() error {
 		return fmt.Errorf("store: bundle attribute matrix %dx%d != %dx%d", b.Attr.R, b.Attr.C, n, b.Y.Rows)
 	case b.Labels != nil && len(b.Labels) != n:
 		return fmt.Errorf("store: bundle labels length %d != n=%d", len(b.Labels), n)
+	}
+	if q := b.Quant; q != nil {
+		// The link encoding covers Z = Xb·G (n rows, k/2 wide), the
+		// attribute encoding Y itself.
+		switch {
+		case q.Links.Rows != n || q.Links.Dim != half:
+			return fmt.Errorf("store: quantized link payload %dx%d does not match Z %dx%d",
+				q.Links.Rows, q.Links.Dim, n, half)
+		case q.Attrs.Rows != b.Y.Rows || q.Attrs.Dim != half:
+			return fmt.Errorf("store: quantized attr payload %dx%d does not match Y %dx%d",
+				q.Attrs.Rows, q.Attrs.Dim, b.Y.Rows, half)
+		}
 	}
 	return nil
 }

@@ -115,21 +115,22 @@ func TestBundleIndexMetaRoundTrip(t *testing.T) {
 
 func TestBundleReadsFormatV1(t *testing.T) {
 	// A v1 bundle is exactly a current bundle without the trailing index
-	// section and with format word 1. Readers must keep accepting it.
+	// and quantized-payload sections and with format word 1. Readers must
+	// keep accepting it.
 	b := testBundle(true)
 	var buf bytes.Buffer
 	if err := WriteBundle(&buf, b); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
-	v1 := append([]byte(nil), raw[:len(raw)-8]...) // drop index presence word
-	order.PutUint64(v1[8:16], 1)                   // format version field
+	v1 := append([]byte(nil), raw[:len(raw)-16]...) // drop index + quant presence words
+	order.PutUint64(v1[8:16], 1)                    // format version field
 	got, err := ReadBundle(bytes.NewReader(v1))
 	if err != nil {
 		t.Fatalf("v1 bundle rejected: %v", err)
 	}
-	if got.Index != nil {
-		t.Fatalf("v1 bundle grew an index meta: %+v", got.Index)
+	if got.Index != nil || got.Quant != nil {
+		t.Fatalf("v1 bundle grew sections: %+v %+v", got.Index, got.Quant)
 	}
 	if got.ModelVersion != b.ModelVersion || !got.Xf.Equal(b.Xf, 0) {
 		t.Fatal("v1 payload mangled")
@@ -137,10 +138,11 @@ func TestBundleReadsFormatV1(t *testing.T) {
 }
 
 func TestBundleReadsFormatV2(t *testing.T) {
-	// A v2 bundle carries the index section WITHOUT the trailing shard
-	// word. Build one from a v3 bundle by dropping the last 8 bytes and
-	// rewriting the format word; the reader must accept it and default
-	// the shard count to 0 (unsharded).
+	// A v2 bundle carries the index section WITHOUT the trailing
+	// shard/quantize/rerank words (and no quantized payload). Build one
+	// from a current bundle by dropping those four words and rewriting
+	// the format word; the reader must accept it and default the shard
+	// count to 0 (unsharded).
 	b := testBundle(false)
 	b.Index = &IndexMeta{IVF: true, NList: 64, NProbe: 8, Seed: 5, Shards: 4}
 	var buf bytes.Buffer
@@ -148,8 +150,8 @@ func TestBundleReadsFormatV2(t *testing.T) {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
-	v2 := append([]byte(nil), raw[:len(raw)-8]...) // drop shard word
-	order.PutUint64(v2[8:16], 2)                   // format version field
+	v2 := append([]byte(nil), raw[:len(raw)-32]...) // drop shard+quantize+rerank+quant words
+	order.PutUint64(v2[8:16], 2)                    // format version field
 	got, err := ReadBundle(bytes.NewReader(v2))
 	if err != nil {
 		t.Fatalf("v2 bundle rejected: %v", err)
@@ -161,6 +163,104 @@ func TestBundleReadsFormatV2(t *testing.T) {
 	}
 	if !got.Xf.Equal(b.Xf, 0) {
 		t.Fatal("v2 payload mangled")
+	}
+}
+
+func TestBundleReadsFormatV3(t *testing.T) {
+	// A v3 bundle ends after the shard word: no quantize/rerank words, no
+	// quantized payload. The reader must default both to "unquantized".
+	b := testBundle(false)
+	b.Index = &IndexMeta{IVF: true, NList: 64, NProbe: 8, Seed: 5, Shards: 4, Quantize: true, Rerank: 6}
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	v3 := append([]byte(nil), raw[:len(raw)-24]...) // drop quantize+rerank+quant words
+	order.PutUint64(v3[8:16], 3)                    // format version field
+	got, err := ReadBundle(bytes.NewReader(v3))
+	if err != nil {
+		t.Fatalf("v3 bundle rejected: %v", err)
+	}
+	want := *b.Index
+	want.Quantize, want.Rerank = false, 0
+	if got.Index == nil || *got.Index != want {
+		t.Fatalf("v3 index meta %+v, want %+v", got.Index, want)
+	}
+	if got.Quant != nil {
+		t.Fatalf("v3 bundle grew a quantized payload")
+	}
+	if !got.Xf.Equal(b.Xf, 0) {
+		t.Fatal("v3 payload mangled")
+	}
+}
+
+func TestBundleQuantPayloadRoundTrip(t *testing.T) {
+	b := testBundle(false)
+	n, d, half := b.Xf.Rows, b.Y.Rows, b.Xf.Cols
+	b.Index = &IndexMeta{IVF: true, NList: 4, NProbe: 2, Seed: 1, Shards: 2, Quantize: true, Rerank: 3}
+	mk := func(rows int) QuantizedMatrix {
+		qm := QuantizedMatrix{Rows: rows, Dim: half,
+			Codes: make([]int8, rows*half),
+			Scale: make([]float32, rows), Base: make([]float32, rows)}
+		for i := range qm.Codes {
+			qm.Codes[i] = int8(i*7 - 100)
+		}
+		for i := range qm.Scale {
+			qm.Scale[i] = float32(i) * 0.25
+			qm.Base[i] = float32(i) - 1.5
+		}
+		return qm
+	}
+	b.Quant = &QuantPayload{Links: mk(n), Attrs: mk(d)}
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Quant == nil {
+		t.Fatal("payload lost")
+	}
+	for name, pair := range map[string][2]QuantizedMatrix{
+		"links": {got.Quant.Links, b.Quant.Links}, "attrs": {got.Quant.Attrs, b.Quant.Attrs},
+	} {
+		g, w := pair[0], pair[1]
+		if g.Rows != w.Rows || g.Dim != w.Dim {
+			t.Fatalf("%s shape %dx%d", name, g.Rows, g.Dim)
+		}
+		for i := range w.Codes {
+			if g.Codes[i] != w.Codes[i] {
+				t.Fatalf("%s code %d differs", name, i)
+			}
+		}
+		for i := range w.Scale {
+			if g.Scale[i] != w.Scale[i] || g.Base[i] != w.Base[i] {
+				t.Fatalf("%s params %d differ", name, i)
+			}
+		}
+	}
+	// Deterministic resave.
+	var buf2 bytes.Buffer
+	if err := WriteBundle(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("quantized payload serialization not deterministic")
+	}
+	// A payload whose shape disagrees with the model must be rejected.
+	b.Quant.Links.Rows = n + 1
+	b.Quant.Links.Codes = make([]int8, (n+1)*half)
+	b.Quant.Links.Scale = make([]float32, n+1)
+	b.Quant.Links.Base = make([]float32, n+1)
+	var bad bytes.Buffer
+	if err := WriteBundle(&bad, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBundle(bytes.NewReader(bad.Bytes())); err == nil {
+		t.Fatal("mismatched quantized payload accepted")
 	}
 }
 
