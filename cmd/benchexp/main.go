@@ -18,6 +18,16 @@
 // -baseline, a committed report is compared against the fresh run and
 // the process exits non-zero when IVF/SQ8/IVFSQ throughput or recall@k
 // regressed by more than -tolerance — the CI perf gate.
+//
+// `-exp update` measures the dynamic-update path: the same random edge
+// batches applied through the full pipeline (full warm-start sweeps +
+// per-shard full index rebuilds) and the delta pipeline (restricted
+// sweeps + incremental per-shard refresh), sweeping the delta size and
+// reporting update-to-fresh-index latency and the incremental speedup.
+// The result goes to -json (default BENCH_update.json); the run fails if
+// the incrementally refreshed index does not answer bit-for-bit like a
+// fresh build, and -baseline/-tolerance gate the speedups the same way
+// the top-k gate does.
 package main
 
 import (
@@ -42,9 +52,11 @@ func main() {
 		quick     = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 		seed      = flag.Int64("seed", 1, "random seed")
 		topkN     = flag.Int("topk-n", 100000, "graph size for -exp topk")
+		updateN   = flag.Int("update-n", 100000, "graph size for -exp update")
+		shards    = flag.Int("shards", 4, "serving shards for -exp update")
 		rerank    = flag.Int("rerank", 0, "quantized survivor multiplier for -exp topk (0 = index default)")
-		topkJSON  = flag.String("json", "BENCH_topk.json", "output path for the -exp topk JSON report")
-		baseline  = flag.String("baseline", "", "committed BENCH_topk.json to gate -exp topk against (empty = no gate)")
+		topkJSON  = flag.String("json", "", "output path for the -exp topk/update JSON report (default BENCH_topk.json / BENCH_update.json)")
+		baseline  = flag.String("baseline", "", "committed report to gate -exp topk/update against (empty = no gate)")
 		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional regression vs -baseline before failing")
 	)
 	flag.Parse()
@@ -194,14 +206,69 @@ func main() {
 			})
 			check(err)
 			experiments.PrintTopK(os.Stdout, b)
-			check(experiments.WriteTopKJSON(*topkJSON, b))
-			fmt.Printf("wrote %s\n", *topkJSON)
+			jsonPath := *topkJSON
+			if jsonPath == "" {
+				jsonPath = "BENCH_topk.json"
+			}
+			check(experiments.WriteTopKJSON(jsonPath, b))
+			fmt.Printf("wrote %s\n", jsonPath)
 			if *baseline != "" {
 				base, err := experiments.ReadTopKJSON(*baseline)
 				check(err)
 				check(experiments.CheckTopKBaseline(b, base, *tolerance))
 				fmt.Printf("perf gate: within %.0f%% of %s (ivf %.1fx vs baseline %.1fx, recall %.3f vs %.3f)\n",
 					*tolerance*100, *baseline, b.SpeedupIVFVsScan, base.SpeedupIVFVsScan, b.RecallAtK, base.RecallAtK)
+			}
+		case "update":
+			// The delta sweep: -quick shrinks the graph and deltas so CI
+			// can gate the incremental speedup on every push. K follows
+			// the topk reasoning (K=128 puts the exact rebuild in the
+			// memory-bound regime the pipeline exists for); -quick drops
+			// to 32 to keep the smoke run short.
+			n, updK := *updateN, 128
+			nSet, kSet := false, false
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "k":
+					updK = *k
+					kSet = true
+				case "update-n":
+					nSet = true
+				}
+			})
+			deltas := []int{100, 1000, 10000}
+			repeats := 2
+			if *quick {
+				if !nSet {
+					n = 10000
+				}
+				if !kSet {
+					updK = 32
+				}
+				deltas = []int{20, 100, 500}
+				// Quick updates are cheap but their incremental index
+				// refreshes are ~1ms, so the gated speedup ratio needs a
+				// min-of-N denominator to shrug off one scheduler blip on
+				// a shared CI runner.
+				repeats = 3
+			}
+			b, err := experiments.RunUpdate(experiments.UpdateOptions{
+				N: n, K: updK, Threads: opt.Threads, Seed: opt.Seed,
+				Shards: *shards, Deltas: deltas, Repeats: repeats,
+			})
+			check(err)
+			experiments.PrintUpdate(os.Stdout, b)
+			jsonPath := *topkJSON
+			if jsonPath == "" {
+				jsonPath = "BENCH_update.json"
+			}
+			check(experiments.WriteUpdateJSON(jsonPath, b))
+			fmt.Printf("wrote %s\n", jsonPath)
+			if *baseline != "" {
+				base, err := experiments.ReadUpdateJSON(*baseline)
+				check(err)
+				check(experiments.CheckUpdateBaseline(b, base, *tolerance))
+				fmt.Printf("update gate: within %.0f%% of %s\n", *tolerance*100, *baseline)
 			}
 		default:
 			log.Fatalf("unknown experiment %q", id)

@@ -53,6 +53,9 @@ func main() {
 		shards    = flag.Int("shards", 1, "serving-index shards: contiguous candidate row partitions rebuilt and searched concurrently")
 		quantize  = flag.Bool("quantize", true, "build the SQ8/IVFSQ quantized tiers (mode=sq8, mode=ivfsq on the top-k routes)")
 		rerank    = flag.Int("rerank", 0, "quantized survivor multiplier: re-rank rerank*k candidates exactly (0 = default)")
+		refresh   = flag.Float64("refresh-threshold", engine.DefaultRefreshThreshold,
+			"dirty-row fraction at or below which updates refresh the serving index incrementally instead of rebuilding (0 = always rebuild)")
+		debug = flag.Bool("debug", false, "log per-update delta sizes and update-path choices")
 	)
 	flag.Parse()
 	if *snapEvery > 0 && *snapPath == "" {
@@ -104,13 +107,31 @@ func main() {
 		return opts
 	}
 
+	// Options shared by both construction paths: sweep count, the
+	// incremental-refresh threshold, and (with -debug) an observer that
+	// logs each update's delta size and which path served it.
+	commonOpts := []engine.Option{
+		engine.WithUpdateSweeps(*sweeps),
+		engine.WithRefreshThreshold(*refresh),
+	}
+	if *debug {
+		commonOpts = append(commonOpts, engine.WithUpdateObserver(func(s engine.UpdateStats) {
+			path := "full"
+			if s.Incremental {
+				path = "incremental"
+			}
+			log.Printf("debug: update v%d: delta %d node rows + %d attr rows (%s path)",
+				s.Version, s.DirtyNodes, s.DirtyAttrs, path)
+		}))
+	}
+
 	var (
 		eng *engine.Engine
 		err error
 	)
 	switch {
 	case *loadPath != "":
-		opts := append([]engine.Option{engine.WithUpdateSweeps(*sweeps)}, indexOpts(true)...)
+		opts := append(append([]engine.Option{}, commonOpts...), indexOpts(true)...)
 		eng, err = engine.Open(*loadPath, opts...)
 		if err != nil {
 			log.Fatalf("restoring bundle: %v", err)
@@ -125,7 +146,7 @@ func main() {
 		}
 		cfg := core.Config{K: *k, Alpha: *alpha, Eps: *eps, Threads: *threads, Seed: *seed}
 		start := time.Now()
-		opts := append([]engine.Option{engine.WithUpdateSweeps(*sweeps)}, indexOpts(false)...)
+		opts := append(append([]engine.Option{}, commonOpts...), indexOpts(false)...)
 		eng, err = engine.Train(g, cfg, opts...)
 		if err != nil {
 			log.Fatalf("training: %v", err)
@@ -143,8 +164,8 @@ func main() {
 	}
 
 	if st := eng.IndexStatus(); st.Enabled {
-		log.Printf("serving index: version %d, %d shard(s), ivf=%v nlist=%d nprobe=%d quantize=%v rerank=%d",
-			st.Version, st.Shards, st.IVF, st.NList, st.NProbe, st.Quantize, st.Rerank)
+		log.Printf("serving index: version %d, %d shard(s), ivf=%v nlist=%d nprobe=%d quantize=%v rerank=%d refresh-threshold=%.2f",
+			st.Version, st.Shards, st.IVF, st.NList, st.NProbe, st.Quantize, st.Rerank, st.RefreshThreshold)
 	} else {
 		log.Print("serving index: disabled (top-k queries scan)")
 	}

@@ -74,6 +74,11 @@ func main() {
 	eng.WaitForIndex()
 	st := eng.IndexStatus()
 	fmt.Printf("serving index: %d shards, per-shard generations %v\n", st.Shards, st.ShardVersions)
+	// Small edge batches ride the delta pipeline: only the touched rows
+	// were re-swept, and each shard refreshed (or republished) its index
+	// incrementally instead of rebuilding — the counters prove it.
+	fmt.Printf("update path: %d incremental refresh cycles, %d full builds, last delta %d rows\n",
+		st.IncrementalRefreshes, st.FullRebuilds, st.LastDeltaRows)
 	for _, mode := range []string{engine.ModeExact, engine.ModeIVF, engine.ModeSQ8, engine.ModeIVFSQ} {
 		ans, err := eng.TopLinks(0, 3, mode, 0)
 		if err != nil {

@@ -16,31 +16,47 @@ import (
 // Different rows touch disjoint state, so the sweep parallelizes over
 // rows without any change to the result.
 func ccdNodeSweep(st *state, yNormInv []float64, yColT *mat.Dense, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		ccdNodeRow(st, yNormInv, yColT, v)
+	}
+}
+
+// ccdNodeSweepRows is ccdNodeSweep over an explicit row list instead of a
+// contiguous range — the delta-update path refines only the node rows an
+// update actually touched. Per-row arithmetic is identical, so a listed
+// row moves exactly as it would in a full sweep from the same state.
+func ccdNodeSweepRows(st *state, yNormInv []float64, yColT *mat.Dense, rows []int) {
+	for _, v := range rows {
+		ccdNodeRow(st, yNormInv, yColT, v)
+	}
+}
+
+// ccdNodeRow moves one node row's coordinates to their per-coordinate
+// optima and patches its residual row (Eqs. 13, 16, 18).
+func ccdNodeRow(st *state, yNormInv []float64, yColT *mat.Dense, v int) {
 	half := st.Xf.Cols
 	d := st.Sf.Cols
-	for v := lo; v < hi; v++ {
-		sfRow := st.Sf.Row(v)
-		sbRow := st.Sb.Row(v)
-		xfRow := st.Xf.Row(v)
-		xbRow := st.Xb.Row(v)
-		for l := 0; l < half; l++ {
-			if yNormInv[l] == 0 {
-				continue
-			}
-			ycol := yColT.Row(l) // Y[:,l] as a contiguous slice
-			var dotF, dotB float64
-			for j := 0; j < d; j++ {
-				dotF += sfRow[j] * ycol[j]
-				dotB += sbRow[j] * ycol[j]
-			}
-			muF := dotF * yNormInv[l]
-			muB := dotB * yNormInv[l]
-			xfRow[l] -= muF
-			xbRow[l] -= muB
-			for j := 0; j < d; j++ {
-				sfRow[j] -= muF * ycol[j]
-				sbRow[j] -= muB * ycol[j]
-			}
+	sfRow := st.Sf.Row(v)
+	sbRow := st.Sb.Row(v)
+	xfRow := st.Xf.Row(v)
+	xbRow := st.Xb.Row(v)
+	for l := 0; l < half; l++ {
+		if yNormInv[l] == 0 {
+			continue
+		}
+		ycol := yColT.Row(l) // Y[:,l] as a contiguous slice
+		var dotF, dotB float64
+		for j := 0; j < d; j++ {
+			dotF += sfRow[j] * ycol[j]
+			dotB += sbRow[j] * ycol[j]
+		}
+		muF := dotF * yNormInv[l]
+		muB := dotB * yNormInv[l]
+		xfRow[l] -= muF
+		xbRow[l] -= muB
+		for j := 0; j < d; j++ {
+			sfRow[j] -= muF * ycol[j]
+			sbRow[j] -= muB * ycol[j]
 		}
 	}
 }
@@ -62,28 +78,42 @@ func ccdNodeSweep(st *state, yNormInv []float64, yColT *mat.Dense, lo, hi int) {
 // rows of the transposed residuals, so the sweep parallelizes without
 // changing the result.
 func ccdAttrSweep(st *state, xNormInv []float64, xfColT, xbColT, sfT, sbT *mat.Dense, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		ccdAttrRow(st, xNormInv, xfColT, xbColT, sfT, sbT, r)
+	}
+}
+
+// ccdAttrSweepRows is ccdAttrSweep over an explicit attribute-row list —
+// the delta-update path refines only the attributes an update touched.
+func ccdAttrSweepRows(st *state, xNormInv []float64, xfColT, xbColT, sfT, sbT *mat.Dense, rows []int) {
+	for _, r := range rows {
+		ccdAttrRow(st, xNormInv, xfColT, xbColT, sfT, sbT, r)
+	}
+}
+
+// ccdAttrRow moves one attribute row's coordinates to their joint optima
+// and patches its transposed residual rows (Eqs. 15, 17, 20).
+func ccdAttrRow(st *state, xNormInv []float64, xfColT, xbColT, sfT, sbT *mat.Dense, r int) {
 	half := st.Y.Cols
 	n := sfT.Cols
-	for r := lo; r < hi; r++ {
-		yRow := st.Y.Row(r)
-		sfRow := sfT.Row(r)
-		sbRow := sbT.Row(r)
-		for l := 0; l < half; l++ {
-			if xNormInv[l] == 0 {
-				continue
-			}
-			xfCol := xfColT.Row(l)
-			xbCol := xbColT.Row(l)
-			var num float64
-			for i := 0; i < n; i++ {
-				num += xfCol[i]*sfRow[i] + xbCol[i]*sbRow[i]
-			}
-			mu := num * xNormInv[l]
-			yRow[l] -= mu
-			for i := 0; i < n; i++ {
-				sfRow[i] -= mu * xfCol[i]
-				sbRow[i] -= mu * xbCol[i]
-			}
+	yRow := st.Y.Row(r)
+	sfRow := sfT.Row(r)
+	sbRow := sbT.Row(r)
+	for l := 0; l < half; l++ {
+		if xNormInv[l] == 0 {
+			continue
+		}
+		xfCol := xfColT.Row(l)
+		xbCol := xbColT.Row(l)
+		var num float64
+		for i := 0; i < n; i++ {
+			num += xfCol[i]*sfRow[i] + xbCol[i]*sbRow[i]
+		}
+		mu := num * xNormInv[l]
+		yRow[l] -= mu
+		for i := 0; i < n; i++ {
+			sfRow[i] -= mu * xfCol[i]
+			sbRow[i] -= mu * xbCol[i]
 		}
 	}
 }

@@ -43,6 +43,208 @@ func RefineFrom(prev *Embedding, f, b *mat.Dense, cfg Config, sweeps, nb int) *E
 	return &e
 }
 
+// UpdateDelta is the row delta of one dynamic update: the node rows whose
+// Xf/Xb embedding rows change and the attribute rows whose Y rows change.
+// It is both the input of the delta-restricted refinement (which rows to
+// refine) and its report (exactly these rows may differ from the previous
+// embedding; every other row is bit-identical). Both lists must be
+// strictly ascending and in range.
+type UpdateDelta struct {
+	Nodes []int
+	Attrs []int
+}
+
+// Empty reports whether the delta touches no rows.
+func (d UpdateDelta) Empty() bool { return len(d.Nodes) == 0 && len(d.Attrs) == 0 }
+
+// Rows returns the total number of rows the delta touches.
+func (d UpdateDelta) Rows() int { return len(d.Nodes) + len(d.Attrs) }
+
+// checkRowList validates one delta row list: strictly ascending ids in
+// [0, limit).
+func checkRowList(rows []int, limit int, what string) error {
+	for i, r := range rows {
+		if r < 0 || r >= limit {
+			return fmt.Errorf("core: delta %s row %d out of range [0,%d)", what, r, limit)
+		}
+		if i > 0 && rows[i-1] >= r {
+			return fmt.Errorf("core: delta %s rows not strictly ascending at index %d (%d after %d)",
+				what, i, r, rows[i-1])
+		}
+	}
+	return nil
+}
+
+// RefineRowsFrom is the delta-restricted form of RefineFrom: only the
+// listed node and attribute rows are swept; every unlisted row of the
+// returned embedding is bit-identical to prev. This is what makes the
+// update path O(Δ) downstream — the serving index can trust that exactly
+// delta's rows (plus, when any Y row moved, everything derived from the
+// Gram matrix G = YᵀY) changed.
+//
+// A node-only delta (no attribute rows) additionally restricts the
+// residual rebuild to the touched rows: the node sweep for row v reads
+// and writes only Sf[v]/Sb[v], so the O(n·d·k) full residual
+// materialization of RefineFrom collapses to O(|Δ|·d·k). With attribute
+// rows in the delta the full residuals are needed (an attribute sweep
+// walks its residual column across all n nodes), so the general path
+// rebuilds them like RefineFrom and restricts only the sweeps.
+func RefineRowsFrom(prev *Embedding, f, b *mat.Dense, cfg Config, sweeps, nb int, delta UpdateDelta) *Embedding {
+	// The restricted sweeps parallelize over the row lists assuming the
+	// rows are distinct and in range; a duplicate would hand the same row
+	// to two goroutines. Malformed deltas are a programmer error, so they
+	// fail loudly here rather than corrupt an embedding.
+	if err := checkRowList(delta.Nodes, prev.Xf.Rows, "node"); err != nil {
+		panic(err)
+	}
+	if err := checkRowList(delta.Attrs, prev.Y.Rows, "attribute"); err != nil {
+		panic(err)
+	}
+	if nb < 1 {
+		nb = 1
+	}
+	if sweeps <= 0 {
+		sweeps = cfg.ccdIters()
+	}
+	if delta.Empty() {
+		// Nothing to refine: the previous embedding is the answer. The
+		// matrices are immutable by convention, so sharing them is safe.
+		e := *prev
+		return &e
+	}
+	if len(delta.Attrs) == 0 {
+		return refineNodeRowsGathered(prev, f, b, sweeps, nb, delta.Nodes)
+	}
+	st := &state{Embedding: Embedding{
+		Xf: prev.Xf.Clone(),
+		Xb: prev.Xb.Clone(),
+		Y:  prev.Y.Clone(),
+	}}
+	st.Sf = mat.ParMulBT(st.Xf, st.Y, nb)
+	st.Sf.Sub(f)
+	st.Sb = mat.ParMulBT(st.Xb, st.Y, nb)
+	st.Sb.Sub(b)
+	refineRows(st, sweeps, nb, delta.Nodes, delta.Attrs)
+	e := st.Embedding
+	return &e
+}
+
+// refineRows runs sweeps restricted CCD iterations over the full solver
+// state: the node phase visits only the listed node rows, the attribute
+// phase only the listed attribute rows. The phase structure (and all
+// per-row arithmetic) matches refine exactly.
+func refineRows(st *state, sweeps, nb int, nodes, attrs []int) {
+	half := st.Xf.Cols
+	for it := 0; it < sweeps; it++ {
+		yColT := st.Y.T()
+		yNormInv := make([]float64, half)
+		for l := 0; l < half; l++ {
+			s := mat.Dot(yColT.Row(l), yColT.Row(l))
+			if s > 0 {
+				yNormInv[l] = 1 / s
+			}
+		}
+		mat.ParallelRanges(len(nodes), nb, func(lo, hi int) {
+			ccdNodeSweepRows(st, yNormInv, yColT, nodes[lo:hi])
+		})
+		xfColT := st.Xf.T()
+		xbColT := st.Xb.T()
+		xNormInv := make([]float64, half)
+		for l := 0; l < half; l++ {
+			s := mat.Dot(xfColT.Row(l), xfColT.Row(l)) + mat.Dot(xbColT.Row(l), xbColT.Row(l))
+			if s > 0 {
+				xNormInv[l] = 1 / s
+			}
+		}
+		sfT := st.Sf.T()
+		sbT := st.Sb.T()
+		mat.ParallelRanges(len(attrs), nb, func(lo, hi int) {
+			ccdAttrSweepRows(st, xNormInv, xfColT, xbColT, sfT, sbT, attrs[lo:hi])
+		})
+		st.Sf = sfT.T()
+		st.Sb = sbT.T()
+	}
+}
+
+// refineNodeRowsGathered is the node-only fast path of RefineRowsFrom:
+// the touched rows are gathered into compact matrices, their residual
+// rows built directly (O(|Δ|·d·k), not O(n·d·k)), swept with Y fixed,
+// and scattered back into clones of the previous factors. Y is returned
+// by reference, unchanged — which is what lets the serving layer keep
+// every Gram-derived structure (G, Z rows of untouched nodes) bit-for-bit.
+func refineNodeRowsGathered(prev *Embedding, f, b *mat.Dense, sweeps, nb int, nodes []int) *Embedding {
+	nd := len(nodes)
+	half := prev.Xf.Cols
+	subXf := mat.New(nd, half)
+	subXb := mat.New(nd, half)
+	for j, v := range nodes {
+		copy(subXf.Row(j), prev.Xf.Row(v))
+		copy(subXb.Row(j), prev.Xb.Row(v))
+	}
+	st := &state{Embedding: Embedding{Xf: subXf, Xb: subXb, Y: prev.Y}}
+	st.Sf = mat.ParMulBT(subXf, prev.Y, nb)
+	st.Sb = mat.ParMulBT(subXb, prev.Y, nb)
+	for j, v := range nodes {
+		// Row-wise Sub: same x + (-1)·y arithmetic as Dense.Sub, so the
+		// gathered residual rows match a full rebuild's rows bit for bit.
+		mat.AxpyVec(-1, f.Row(v), st.Sf.Row(j))
+		mat.AxpyVec(-1, b.Row(v), st.Sb.Row(j))
+	}
+	// Y is fixed for the whole restricted refinement, so its column cache
+	// and norms are loop-invariant.
+	yColT := prev.Y.T()
+	yNormInv := make([]float64, half)
+	for l := 0; l < half; l++ {
+		s := mat.Dot(yColT.Row(l), yColT.Row(l))
+		if s > 0 {
+			yNormInv[l] = 1 / s
+		}
+	}
+	for it := 0; it < sweeps; it++ {
+		mat.ParallelRanges(nd, nb, func(lo, hi int) {
+			ccdNodeSweep(st, yNormInv, yColT, lo, hi)
+		})
+	}
+	e := &Embedding{Xf: prev.Xf.Clone(), Xb: prev.Xb.Clone(), Y: prev.Y}
+	for j, v := range nodes {
+		copy(e.Xf.Row(v), subXf.Row(j))
+		copy(e.Xb.Row(v), subXb.Row(j))
+	}
+	return e
+}
+
+// UpdateEmbeddingRows is the delta-restricted form of UpdateEmbedding: it
+// recomputes the affinity targets for the updated graph but warm-start
+// refines only delta's rows, leaving every other embedding row
+// bit-identical to prev. The same delta doubles as the report consumers
+// need: an index over the previous version can reach this version by
+// refreshing exactly delta's rows (and, when delta touches any attribute
+// row, whatever it derives from Y globally).
+func UpdateEmbeddingRows(g *graph.Graph, prev *Embedding, cfg Config, sweeps int, delta UpdateDelta) (*Embedding, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkGraph(g); err != nil {
+		return nil, err
+	}
+	if prev.Xf.Rows != g.N || prev.Y.Rows != g.D || prev.K() != cfg.K {
+		return nil, fmt.Errorf("core: UpdateEmbeddingRows shape mismatch: graph %dx%d k=%d vs previous embedding %dx%d k=%d",
+			g.N, g.D, cfg.K, prev.Xf.Rows, prev.Y.Rows, prev.K())
+	}
+	if err := checkRowList(delta.Nodes, g.N, "node"); err != nil {
+		return nil, err
+	}
+	if err := checkRowList(delta.Attrs, g.D, "attribute"); err != nil {
+		return nil, err
+	}
+	nb := cfg.Threads
+	if nb < 1 {
+		nb = 1
+	}
+	f, b := AffinityFromGraph(g, cfg.Alpha, cfg.Iterations(), nb)
+	return RefineRowsFrom(prev, f, b, cfg, sweeps, nb, delta), nil
+}
+
 // UpdateEmbedding re-embeds an updated graph by warm-starting from prev.
 // It recomputes the affinity matrices for the new graph and runs `sweeps`
 // CCD sweeps from the previous solution — typically 1-2 sweeps suffice

@@ -73,6 +73,23 @@ func (s *LinkScorer) TransformedCandidatesRange(lo, hi, nb int) *mat.Dense {
 	return mat.ParMul(s.e.Xb.RowSlice(lo, hi), s.g, nb)
 }
 
+// TransformedCandidatesRows materializes only the listed rows of Z =
+// Xb·G: row j of the result is Z[rows[j]]. Each row is computed by the
+// same row-owned kernel as TransformedCandidates (mat.MulRowInto), so a
+// recomputed row is bit-for-bit the row a full rebuild would produce —
+// which is what lets an incremental index refresh patch Δ rows into a
+// previous version's candidate matrix instead of recomputing all n. nb is
+// the worker count over the listed rows.
+func (s *LinkScorer) TransformedCandidatesRows(rows []int, nb int) *mat.Dense {
+	out := mat.New(len(rows), s.g.Cols)
+	mat.ParallelRanges(len(rows), nb, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			mat.MulRowInto(out.Row(j), s.e.Xb, rows[j], s.g)
+		}
+	})
+	return out
+}
+
 // AttrQueryInto writes the attribute-inference query vector of node v,
 // Xf[v] + Xb[v], into dst (which must have length k/2) and returns it:
 // dst·Y[r]ᵀ equals AttrScore(v, r) up to floating-point association, so Y

@@ -1,0 +1,419 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pane/internal/core"
+	"pane/internal/datagen"
+	"pane/internal/graph"
+)
+
+// deltaTestEngine trains a modest community graph and wraps it with the
+// full index stack (ivf + quantized tiers) at the given shard count and
+// refresh threshold.
+func deltaTestEngine(t *testing.T, shards int, threshold float64, extra ...Option) (*Engine, *graph.Graph) {
+	t.Helper()
+	g, err := datagen.Generate(datagen.Config{
+		Name: "deltatest", N: 400, AvgOutDeg: 6, D: 24, AttrsPer: 4,
+		Communities: 8, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{K: 8, Alpha: 0.5, Eps: 0.25, Seed: 11}
+	opts := append([]Option{
+		WithIndex(IndexConfig{IVF: true, NList: 4, NProbe: 4, Shards: shards, Quantize: true}),
+		WithRefreshThreshold(threshold),
+	}, extra...)
+	eng, err := Train(g, cfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, g
+}
+
+func mustTop(t *testing.T, eng *Engine, links bool, id, k int, mode string, nprobe int) TopKAnswer {
+	t.Helper()
+	var (
+		ans TopKAnswer
+		err error
+	)
+	if links {
+		ans, err = eng.TopLinks(id, k, mode, nprobe)
+	} else {
+		ans, err = eng.TopAttrs(id, k, mode, nprobe)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ans
+}
+
+func sameAnswers(t *testing.T, label string, want, got TopKAnswer) {
+	t.Helper()
+	if len(want.Results) != len(got.Results) {
+		t.Fatalf("%s: %d results, want %d", label, len(got.Results), len(want.Results))
+	}
+	for i := range want.Results {
+		if want.Results[i] != got.Results[i] {
+			t.Fatalf("%s: rank %d: %v != %v", label, i, got.Results[i], want.Results[i])
+		}
+	}
+}
+
+// TestIncrementalRefreshMatchesFullBuild is the engine-level refresh
+// property: after a stream of small updates served entirely by
+// incremental refresh, the published index must answer bit-for-bit like a
+// fresh engine built from scratch around the same model — exact and sq8
+// directly, ivf/ivfsq through the full-probe window (full-probe results
+// equal exact regardless of the coarse quantizer, which incremental
+// refresh deliberately freezes while a fresh build retrains it).
+func TestIncrementalRefreshMatchesFullBuild(t *testing.T) {
+	eng, g := deltaTestEngine(t, 3, 1.0)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5; i++ {
+		edges := []graph.Edge{
+			{Src: rng.Intn(g.N), Dst: rng.Intn(g.N)},
+			{Src: rng.Intn(g.N), Dst: rng.Intn(g.N)},
+		}
+		if _, err := eng.ApplyEdges(edges); err != nil {
+			t.Fatal(err)
+		}
+		// Quiesce between updates so each delta gets its own refresh
+		// cycle instead of coalescing into one (coalescing is exercised by
+		// the race test).
+		eng.WaitForIndex()
+	}
+	if _, err := eng.ApplyAttrs([]graph.AttrEntry{{Node: 3, Attr: 5, Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	eng.WaitForIndex()
+	st := eng.IndexStatus()
+	if st.Version != eng.Version() {
+		t.Fatalf("index at %d, model at %d", st.Version, eng.Version())
+	}
+	if st.IncrementalRefreshes == 0 {
+		t.Fatalf("no incremental refreshes recorded: %+v", st)
+	}
+
+	// A fresh engine around the SAME post-update model: identical
+	// candidate matrices, so exact/sq8 must match bit for bit.
+	m := eng.Model()
+	fresh, err := New(m.Graph, m.Emb, m.Cfg,
+		WithIndex(IndexConfig{IVF: true, NList: 4, NProbe: 4, Shards: 3, Quantize: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlist := fresh.IndexStatus().NList
+	for u := 0; u < g.N; u += 13 {
+		for _, mode := range []string{ModeExact, ModeSQ8} {
+			want := mustTop(t, fresh, true, u, 10, mode, 0)
+			got := mustTop(t, eng, true, u, 10, mode, 0)
+			if got.Backend != mode {
+				t.Fatalf("u=%d mode=%s: served by %q", u, mode, got.Backend)
+			}
+			sameAnswers(t, "links "+mode, want, got)
+			sameAnswers(t, "attrs "+mode,
+				mustTop(t, fresh, false, u, 6, mode, 0), mustTop(t, eng, false, u, 6, mode, 0))
+		}
+		// Full-probe IVF degenerates to exact on both engines, which pins
+		// the refreshed inverted lists' completeness.
+		sameAnswers(t, "links ivf full-probe",
+			mustTop(t, eng, true, u, 10, ModeExact, 0), mustTop(t, eng, true, u, 10, ModeIVF, nlist))
+	}
+}
+
+// TestHealthzCountersTrackIncrementalRefresh is the acceptance check of
+// the delta pipeline: an update touching ~0.5% of the rows must publish a
+// fresh index via incremental refresh — visible in the healthz counters —
+// while a threshold-busting update falls back to full rebuilds.
+func TestHealthzCountersTrackIncrementalRefresh(t *testing.T) {
+	const shards = 2
+	eng, g := deltaTestEngine(t, shards, DefaultRefreshThreshold)
+	st := eng.IndexStatus()
+	if st.FullRebuilds != shards || st.IncrementalRefreshes != 0 {
+		t.Fatalf("initial counters %+v, want %d full builds", st, shards)
+	}
+	if st.RefreshThreshold != DefaultRefreshThreshold {
+		t.Fatalf("threshold %v reported, want %v", st.RefreshThreshold, DefaultRefreshThreshold)
+	}
+
+	// 2 dirty rows of 400 = 0.5% — far under the threshold.
+	if _, err := eng.ApplyEdges([]graph.Edge{{Src: 1, Dst: 399}}); err != nil {
+		t.Fatal(err)
+	}
+	eng.WaitForIndex()
+	st = eng.IndexStatus()
+	if st.IncrementalRefreshes != shards || st.FullRebuilds != shards {
+		t.Fatalf("after small update: %+v, want %d incremental and still %d full", st, shards, shards)
+	}
+	if st.LastDeltaRows != 2 {
+		t.Fatalf("last delta %d rows, want 2", st.LastDeltaRows)
+	}
+	if st.Version != eng.Version() {
+		t.Fatalf("index at %d, model at %d", st.Version, eng.Version())
+	}
+	if ans := mustTop(t, eng, true, 1, 5, ModeSQ8, 0); ans.Backend != BackendSQ8 || ans.Version != eng.Version() {
+		t.Fatalf("post-refresh answer %+v", ans)
+	}
+
+	// An update touching well past 20% of the node rows must rebuild.
+	big := make([]graph.Edge, 0, g.N/2)
+	for u := 0; u+1 < g.N; u += 2 {
+		big = append(big, graph.Edge{Src: u, Dst: u + 1})
+	}
+	if _, err := eng.ApplyEdges(big); err != nil {
+		t.Fatal(err)
+	}
+	eng.WaitForIndex()
+	st2 := eng.IndexStatus()
+	if st2.FullRebuilds != st.FullRebuilds+shards {
+		t.Fatalf("big update did not full-rebuild: %+v -> %+v", st, st2)
+	}
+	if st2.IncrementalRefreshes != st.IncrementalRefreshes {
+		t.Fatalf("big update counted as incremental: %+v", st2)
+	}
+	if st2.LastDeltaRows != uint64(g.N+g.D) {
+		t.Fatalf("full update delta %d rows, want %d", st2.LastDeltaRows, g.N+g.D)
+	}
+}
+
+// TestAttrUpdatePoisonsLinkSpace: a small attribute update moves Y, so
+// the Gram matrix shifts and the link space must NOT be refreshed
+// incrementally — the shard cycle counts as a full rebuild and the served
+// answers match a fresh build exactly.
+func TestAttrUpdatePoisonsLinkSpace(t *testing.T) {
+	eng, _ := deltaTestEngine(t, 2, DefaultRefreshThreshold)
+	before := eng.IndexStatus()
+	if _, err := eng.ApplyAttrs([]graph.AttrEntry{{Node: 10, Attr: 3, Weight: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	eng.WaitForIndex()
+	after := eng.IndexStatus()
+	if after.FullRebuilds == before.FullRebuilds {
+		t.Fatalf("attr update did not trigger full link rebuilds: %+v -> %+v", before, after)
+	}
+	m := eng.Model()
+	fresh, err := New(m.Graph, m.Emb, m.Cfg,
+		WithIndex(IndexConfig{IVF: true, NList: 4, NProbe: 4, Shards: 2, Quantize: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < m.Nodes(); u += 29 {
+		sameAnswers(t, "links exact after attr update",
+			mustTop(t, fresh, true, u, 8, ModeExact, 0), mustTop(t, eng, true, u, 8, ModeExact, 0))
+		sameAnswers(t, "attrs exact after attr update",
+			mustTop(t, fresh, false, u, 5, ModeExact, 0), mustTop(t, eng, false, u, 5, ModeExact, 0))
+	}
+}
+
+// TestZeroThresholdDisablesDeltaPath: WithRefreshThreshold(0) must keep
+// every update on the full-sweep + full-rebuild path.
+func TestZeroThresholdDisablesDeltaPath(t *testing.T) {
+	var stats []UpdateStats
+	eng, _ := deltaTestEngine(t, 2, 0, WithUpdateObserver(func(s UpdateStats) {
+		stats = append(stats, s)
+	}))
+	if _, err := eng.ApplyEdges([]graph.Edge{{Src: 0, Dst: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	eng.WaitForIndex()
+	if st := eng.IndexStatus(); st.IncrementalRefreshes != 0 {
+		t.Fatalf("threshold 0 still refreshed incrementally: %+v", st)
+	}
+	if len(stats) != 1 || stats[0].Incremental || stats[0].DirtyNodes != 2 {
+		t.Fatalf("observer saw %+v", stats)
+	}
+}
+
+// TestUpdateObserverReportsDeltas: the observer sees each update's delta
+// size and path.
+func TestUpdateObserverReportsDeltas(t *testing.T) {
+	var stats []UpdateStats
+	eng, _ := deltaTestEngine(t, 2, 1.0, WithUpdateObserver(func(s UpdateStats) {
+		stats = append(stats, s)
+	}))
+	if _, err := eng.ApplyEdges([]graph.Edge{{Src: 5, Dst: 9}, {Src: 9, Dst: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ApplyAttrs([]graph.AttrEntry{{Node: 2, Attr: 7, Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("%d observations", len(stats))
+	}
+	if !stats[0].Incremental || stats[0].DirtyNodes != 2 || stats[0].DirtyAttrs != 0 || stats[0].Version != 2 {
+		t.Fatalf("edge update stats %+v", stats[0])
+	}
+	if !stats[1].Incremental || stats[1].DirtyNodes != 1 || stats[1].DirtyAttrs != 1 || stats[1].Version != 3 {
+		t.Fatalf("attr update stats %+v", stats[1])
+	}
+}
+
+// TestIndexConfigValidation: misconfiguration fails engine construction
+// with a descriptive error instead of being silently clamped.
+func TestIndexConfigValidation(t *testing.T) {
+	g := graph.RunningExample() // 6 nodes
+	emb, err := core.PANE(g, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		name string
+		opts []Option
+	}{
+		{"WithShards(0)", []Option{WithIndex(IndexConfig{}), WithShards(0)}},
+		{"WithShards(-1)", []Option{WithIndex(IndexConfig{}), WithShards(-1)}},
+		{"shards > rows", []Option{WithIndex(IndexConfig{Shards: 7})}},
+		{"negative shards", []Option{WithIndex(IndexConfig{Shards: -2})}},
+		{"negative rerank", []Option{WithIndex(IndexConfig{Quantize: true, Rerank: -1})}},
+		{"negative nlist", []Option{WithIndex(IndexConfig{IVF: true, NList: -3})}},
+		{"negative nprobe", []Option{WithIndex(IndexConfig{IVF: true, NProbe: -1})}},
+		{"negative threads", []Option{WithIndex(IndexConfig{Threads: -4})}},
+		{"threshold < 0", []Option{WithRefreshThreshold(-0.1)}},
+		{"threshold > 1", []Option{WithRefreshThreshold(1.5)}},
+	}
+	for _, tc := range bad {
+		if _, err := New(g, emb, testConfig(), tc.opts...); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The documented defaults stay valid: zero config means one shard.
+	if _, err := New(g, emb, testConfig(), WithIndex(IndexConfig{})); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if _, err := New(g, emb, testConfig(), WithIndex(IndexConfig{Shards: 6})); err != nil {
+		t.Fatalf("shards == rows rejected: %v", err)
+	}
+	// WithShards(0) fails even without an index configuration in effect.
+	if _, err := New(g, emb, testConfig(), WithShards(0)); err == nil {
+		t.Error("WithShards(0) without index config accepted")
+	}
+}
+
+// TestDeltaOverlapLifecycleRace floods the engine with concurrent small
+// updates whose deltas are alternately disjoint and overlapping while
+// queriers and a white-box invariant checker run under -race. The
+// assertion is the consistent-cut invariant of the delta pipeline: no
+// query may ever observe a mixed-version or partially-refreshed shard
+// set, and after quiescing the incrementally-refreshed index serves the
+// final version.
+func TestDeltaOverlapLifecycleRace(t *testing.T) {
+	eng, g := deltaTestEngine(t, 4, 1.0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u := rng.Intn(g.N)
+				mode := []string{ModeExact, ModeIVF, ModeSQ8, ModeIVFSQ}[rng.Intn(4)]
+				ans, err := eng.TopLinks(u, 5, mode, 0)
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				switch ans.Backend {
+				case BackendExact, BackendIVF, BackendSQ8, BackendIVFSQ, BackendScan:
+				default:
+					t.Errorf("unknown backend %q", ans.Backend)
+					return
+				}
+			}
+		}(int64(i))
+	}
+
+	// White-box invariant checker: any accepted cut is uniform at the
+	// resolved model's exact version.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m := eng.Model()
+			if shards := eng.freshShards(m); shards != nil {
+				for s, si := range shards {
+					if si.version != m.Version {
+						t.Errorf("mixed-version cut: shard %d at %d, model at %d", s, si.version, m.Version)
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	// Two writers: disjoint-delta updates on separate node ranges and
+	// overlapping-delta updates hammering one small hot set. ApplyEdges
+	// serializes internally; the races of interest are between the
+	// resulting marks, the per-shard workers, and the queriers.
+	const updatesPerWriter = 8
+	var writers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < updatesPerWriter; i++ {
+				var edges []graph.Edge
+				if w == 0 {
+					// Disjoint: low node range, distinct pairs.
+					a := rng.Intn(g.N / 2)
+					edges = []graph.Edge{{Src: a, Dst: (a + 1) % (g.N / 2)}}
+				} else {
+					// Overlapping: a fixed hot pair plus a random endpoint.
+					edges = []graph.Edge{
+						{Src: g.N - 1, Dst: g.N - 2},
+						{Src: g.N - 1, Dst: g.N/2 + rng.Intn(g.N/2)},
+					}
+				}
+				if _, err := eng.ApplyEdges(edges); err != nil {
+					t.Errorf("update: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+
+	if eng.Version() != 1+2*updatesPerWriter {
+		t.Fatalf("final version %d, want %d", eng.Version(), 1+2*updatesPerWriter)
+	}
+	eng.WaitForIndex()
+	st := eng.IndexStatus()
+	if st.Version != eng.Version() {
+		t.Fatalf("index status %+v after quiesce, model at %d", st, eng.Version())
+	}
+	if st.IncrementalRefreshes == 0 {
+		t.Fatalf("race run never refreshed incrementally: %+v", st)
+	}
+	// The quiesced incremental index still answers exactly like a fresh
+	// build around the final model.
+	m := eng.Model()
+	fresh, err := New(m.Graph, m.Emb, m.Cfg,
+		WithIndex(IndexConfig{IVF: true, NList: 4, NProbe: 4, Shards: 4, Quantize: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N; u += 37 {
+		sameAnswers(t, "post-race exact",
+			mustTop(t, fresh, true, u, 8, ModeExact, 0), mustTop(t, eng, true, u, 8, ModeExact, 0))
+		sameAnswers(t, "post-race sq8",
+			mustTop(t, fresh, true, u, 8, ModeSQ8, 0), mustTop(t, eng, true, u, 8, ModeSQ8, 0))
+	}
+}

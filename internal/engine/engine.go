@@ -15,6 +15,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -49,6 +50,26 @@ type Engine struct {
 
 	sweeps int // CCD sweeps per warm-start update
 
+	// refreshThreshold is the dirty-row fraction at or below which an
+	// update takes the delta path: restricted warm-start sweeps in the
+	// model update, and incremental per-shard index refresh. Above it (or
+	// at 0) the full paths run. See WithRefreshThreshold.
+	refreshThreshold float64
+
+	// obs, when set, receives one UpdateStats per applied update.
+	obs func(UpdateStats)
+
+	// optErr records the first invalid construction option; newEngine
+	// fails with it instead of serving a silently-corrected configuration.
+	optErr error
+
+	// Rebuild accounting for monitoring (see IndexStatus): shard build
+	// cycles served incrementally vs by full rebuild, and the row count of
+	// the most recent update's delta.
+	statIncr      atomic.Uint64
+	statFull      atomic.Uint64
+	statLastDelta atomic.Uint64
+
 	// Sharded serving-index state (see index.go). Each shard's index is
 	// published separately from cur: queries accept the shard set only
 	// when every shard's version matches the model they resolved, so a
@@ -78,8 +99,21 @@ type restoredQuant struct {
 // examples/dynamicupdates).
 const DefaultUpdateSweeps = 2
 
+// DefaultRefreshThreshold is the dirty-row fraction at or below which
+// updates take the delta path. 20% is well past the crossover where
+// patching rows stops paying against streaming a full rebuild.
+const DefaultRefreshThreshold = 0.2
+
 // Option configures an Engine.
 type Option func(*Engine)
+
+// fail records err as the construction error (first one wins); New/Open
+// return it instead of building an engine from an invalid option.
+func (e *Engine) fail(err error) {
+	if e.optErr == nil {
+		e.optErr = err
+	}
+}
 
 // WithUpdateSweeps overrides the CCD sweep count used per dynamic update.
 func WithUpdateSweeps(n int) Option {
@@ -88,6 +122,39 @@ func WithUpdateSweeps(n int) Option {
 			e.sweeps = n
 		}
 	}
+}
+
+// WithRefreshThreshold sets the dirty-row fraction (of the node and
+// attribute row counts respectively) at or below which an update runs the
+// delta path — restricted warm-start sweeps plus incremental per-shard
+// index refresh — instead of the full rebuild. 0 disables the delta path
+// entirely; 1 always takes it. Values outside [0, 1] are a construction
+// error.
+func WithRefreshThreshold(t float64) Option {
+	return func(e *Engine) {
+		if t < 0 || t > 1 {
+			e.fail(fmt.Errorf("engine: refresh threshold must be in [0,1], got %v", t))
+			return
+		}
+		e.refreshThreshold = t
+	}
+}
+
+// UpdateStats describes one applied update for observers: the published
+// version, the row delta the update touched, and whether the delta path
+// (restricted sweeps + incremental index refresh eligibility) ran.
+type UpdateStats struct {
+	Version     uint64
+	DirtyNodes  int
+	DirtyAttrs  int
+	Incremental bool
+}
+
+// WithUpdateObserver registers fn to be called synchronously after every
+// applied update (under the write lock — keep it cheap). Servers use it
+// to log per-update delta sizes.
+func WithUpdateObserver(fn func(UpdateStats)) Option {
+	return func(e *Engine) { e.obs = fn }
 }
 
 // New wraps an already-trained embedding in an Engine at version 1.
@@ -103,9 +170,17 @@ func newEngine(g *graph.Graph, emb *core.Embedding, cfg core.Config, version uin
 		return nil, fmt.Errorf("engine: embedding %dx%d k=%d does not fit graph %dx%d with config K=%d",
 			emb.Xf.Rows, emb.Y.Rows, emb.K(), g.N, g.D, cfg.K)
 	}
-	e := &Engine{sweeps: DefaultUpdateSweeps}
+	e := &Engine{sweeps: DefaultUpdateSweeps, refreshThreshold: DefaultRefreshThreshold}
 	for _, opt := range opts {
 		opt(e)
+	}
+	if e.optErr != nil {
+		return nil, e.optErr
+	}
+	if e.idxCfg != nil {
+		if err := e.idxCfg.validate(g.N); err != nil {
+			return nil, err
+		}
 	}
 	e.cur.Store(&Model{
 		Version: version,
@@ -181,7 +256,22 @@ func (e *Engine) apply(edges []graph.Edge, attrs []graph.AttrEntry) (*Model, err
 	if err != nil {
 		return nil, err
 	}
-	emb, err := core.UpdateEmbedding(g, prev.Emb, prev.Cfg, e.sweeps)
+	// The update's row delta: exactly the node and attribute rows whose
+	// embedding rows a restricted warm start would move. Small deltas take
+	// the delta path — restricted sweeps leave every untouched row
+	// bit-identical, which is what lets the index refresh O(Δ) rows
+	// instead of rebuilding O(n/S) per shard.
+	touched := touchedDelta(edges, attrs)
+	thr := e.refreshThreshold
+	incremental := thr > 0 &&
+		float64(len(touched.Nodes)) <= thr*float64(g.N) &&
+		float64(len(touched.Attrs)) <= thr*float64(g.D)
+	var emb *core.Embedding
+	if incremental {
+		emb, err = core.UpdateEmbeddingRows(g, prev.Emb, prev.Cfg, e.sweeps, touched)
+	} else {
+		emb, err = core.UpdateEmbedding(g, prev.Emb, prev.Cfg, e.sweeps)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -197,9 +287,60 @@ func (e *Engine) apply(edges []graph.Edge, attrs []graph.AttrEntry) (*Model, err
 	// once the model moves past it, free it.
 	e.restoredQuant.Store(nil)
 	// The model is live immediately; the index catches up asynchronously
-	// and queries fall back to the scan path until it publishes.
-	e.scheduleIndexRebuild()
+	// and queries fall back to the scan path until it publishes. The delta
+	// tells the per-shard workers which rows to refresh: a full-sweep
+	// update dirties everything, a restricted one only its touched rows —
+	// except that any moved Y row shifts the Gram matrix G = YᵀY and with
+	// it every link candidate row, so the link space goes full then.
+	d := idxDelta{target: next.Version}
+	if incremental {
+		d.links = touched.Nodes
+		d.attrs = touched.Attrs
+		d.linksFull = len(touched.Attrs) > 0
+		d.rows = touched.Rows()
+	} else {
+		d.linksFull, d.attrsFull = true, true
+		d.rows = g.N + g.D
+	}
+	e.scheduleIndexRebuild(d)
+	if e.obs != nil {
+		e.obs(UpdateStats{
+			Version: next.Version, Incremental: incremental,
+			DirtyNodes: len(touched.Nodes), DirtyAttrs: len(touched.Attrs),
+		})
+	}
 	return next, nil
+}
+
+// touchedDelta collects the rows a graph update directly touches: both
+// endpoints of every inserted edge (an update refines a node's forward
+// and backward rows together) plus the node and attribute of every
+// attribute entry, each sorted and deduplicated. Out-of-range ids were
+// already rejected by Graph.WithUpdates.
+func touchedDelta(edges []graph.Edge, attrs []graph.AttrEntry) core.UpdateDelta {
+	nodeSet := make(map[int]struct{}, 2*len(edges)+len(attrs))
+	for _, ed := range edges {
+		nodeSet[ed.Src] = struct{}{}
+		nodeSet[ed.Dst] = struct{}{}
+	}
+	attrSet := make(map[int]struct{}, len(attrs))
+	for _, a := range attrs {
+		nodeSet[a.Node] = struct{}{}
+		attrSet[a.Attr] = struct{}{}
+	}
+	return core.UpdateDelta{Nodes: sortedKeys(nodeSet), Attrs: sortedKeys(attrSet)}
+}
+
+func sortedKeys(set map[int]struct{}) []int {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Snapshot atomically persists the current model as a single bundle file

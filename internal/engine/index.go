@@ -24,6 +24,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -85,6 +86,36 @@ type IndexConfig struct {
 	Shards int
 }
 
+// validate rejects nonsensical index configurations at engine
+// construction with a descriptive error — misconfiguration used to be
+// silently clamped at scattered build sites, which hid operator typos
+// until query time. rows is the candidate (node) row count the shard
+// layout will partition. Zero values keep their documented "use the
+// default" meaning throughout.
+func (c *IndexConfig) validate(rows int) error {
+	if c.Shards < 0 {
+		return fmt.Errorf("engine: shard count must be >= 1, got %d", c.Shards)
+	}
+	if rows > 0 && c.Shards > rows {
+		return fmt.Errorf("engine: shard count %d exceeds the %d candidate rows (each shard needs at least one row)",
+			c.Shards, rows)
+	}
+	if c.Rerank < 0 {
+		return fmt.Errorf("engine: rerank must be >= 1, got %d (0 selects the default, %d)",
+			c.Rerank, index.DefaultRerank)
+	}
+	if c.NList < 0 {
+		return fmt.Errorf("engine: nlist must be >= 1, got %d (0 selects ~sqrt(shard rows))", c.NList)
+	}
+	if c.NProbe < 0 {
+		return fmt.Errorf("engine: nprobe must be >= 1, got %d (0 selects nlist/8)", c.NProbe)
+	}
+	if c.Threads < 0 {
+		return fmt.Errorf("engine: index threads must be >= 1, got %d (0 follows the model config)", c.Threads)
+	}
+	return nil
+}
+
 // WithIndex enables per-version top-k indexing with the given config.
 func WithIndex(cfg IndexConfig) Option {
 	return func(e *Engine) {
@@ -115,10 +146,16 @@ func WithFallbackIndex(cfg IndexConfig) Option {
 
 // WithShards overrides the shard count of whatever index configuration
 // is in effect at this point in the option list — typically one restored
-// from a bundle — without touching its other settings. No-op when
-// indexing is disabled.
+// from a bundle — without touching its other settings. An explicit count
+// below 1 is a construction error (a config literal's zero Shards still
+// means "one shard"); counts above the row count fail validation at
+// construction. No-op when indexing is disabled.
 func WithShards(n int) Option {
 	return func(e *Engine) {
+		if n < 1 {
+			e.fail(fmt.Errorf("engine: WithShards requires a shard count >= 1, got %d", n))
+			return
+		}
 		if e.idxCfg != nil {
 			e.idxCfg.Shards = n
 		}
@@ -137,10 +174,14 @@ func WithManualIndexRebuild() Option {
 // one model version. All ids it returns are global (see index.Shift).
 // Every enabled representation is built BEFORE the shardIdx is published
 // through its slot, so a query can never observe a shard whose exact tier
-// is at one version and whose quantized tier is at another.
+// is at one version and whose quantized tier is at another. A generation
+// produced by incremental refresh shares unchanged storage (the candidate
+// block, quantized codes, inverted lists) with its predecessor; a shard
+// with no dirty rows shares everything and republishing it is O(1).
 type shardIdx struct {
 	version    uint64
-	links      index.Index // over Z[lo:hi); query vector is Xf[u]
+	z          *mat.Dense  // this shard's block of Z = Xb·G (rows lo..hi)
+	links      index.Index // over z; query vector is Xf[u]
 	attrs      index.Index // over Y[alo:ahi); nil when the shard has no attr rows
 	linksIVF   index.Index // nil unless cfg.IVF
 	attrsIVF   index.Index
@@ -148,6 +189,30 @@ type shardIdx struct {
 	attrsSQ    index.Index
 	linksIVFSQ index.Index // nil unless cfg.IVF && cfg.Quantize
 	attrsIVFSQ index.Index
+}
+
+// shardPending is one shard's accumulated rebuild obligation: the model
+// version the delta reaches (0 = nothing pending) and the dirty rows —
+// coalesced across every update since the shard last published — that
+// carry the published index to it. linksFull/attrsFull poison a space
+// into a full rebuild (full-sweep model updates; any Y movement for the
+// link space, since G = YᵀY shifts every candidate row).
+type shardPending struct {
+	target    uint64
+	linksFull bool
+	attrsFull bool
+	links     map[int]struct{} // global Z row ids inside this shard's range
+	attrs     map[int]struct{} // global Y row ids inside this shard's range
+}
+
+// idxDelta is one published update's dirty-row report, handed from apply
+// to the shard scheduler, which splits it across the per-shard pendings.
+type idxDelta struct {
+	target       uint64
+	linksFull    bool
+	attrsFull    bool
+	links, attrs []int
+	rows         int // total dirty rows, for monitoring
 }
 
 // shardSet is the sharded serving-index state of one Engine: the fixed
@@ -160,17 +225,18 @@ type shardSet struct {
 	slots      []atomic.Pointer[shardIdx]
 
 	// Per-shard async rebuild scheduling, all under mu: at most one
-	// worker goroutine runs per shard (running[s]); updates mark dirty[s]
-	// instead of spawning, and a worker loops until it exits with its
-	// dirty flag clear — so every published version is either seen by the
-	// running worker's next loop or triggers a fresh worker, and a
-	// sustained update stream never piles up goroutines. WaitForIndex
-	// waits on idleC for every shard's flags to drop. buildMu serializes
-	// the builds of one shard (worker vs. manual RebuildIndex) without
-	// ever blocking other shards.
+	// worker goroutine runs per shard (running[s]); updates merge their
+	// dirty rows into pending[s] instead of spawning, and a worker loops
+	// until it exits with its pending empty — so every published version
+	// is either seen by the running worker's next loop or triggers a
+	// fresh worker, and a sustained update stream never piles up
+	// goroutines (it collapses into one coalesced delta build per shard).
+	// WaitForIndex waits on idleC for every shard to drain. buildMu
+	// serializes the builds of one shard (worker vs. manual RebuildIndex)
+	// without ever blocking other shards.
 	mu      sync.Mutex
 	idleC   *sync.Cond
-	dirty   []bool
+	pending []shardPending
 	running []bool
 	buildMu []sync.Mutex
 }
@@ -191,7 +257,7 @@ func newShardSet(n, d, s int) *shardSet {
 		linkRanges: linkRanges,
 		attrRanges: mat.SplitRanges(d, len(linkRanges)),
 		slots:      make([]atomic.Pointer[shardIdx], len(linkRanges)),
-		dirty:      make([]bool, len(linkRanges)),
+		pending:    make([]shardPending, len(linkRanges)),
 		running:    make([]bool, len(linkRanges)),
 		buildMu:    make([]sync.Mutex, len(linkRanges)),
 	}
@@ -199,19 +265,102 @@ func newShardSet(n, d, s int) *shardSet {
 	return ss
 }
 
-// buildShardIdx materializes shard s's indexes for m. Only the shard's
-// own block of Z is computed (rows linkRanges[s]), which is what makes S
-// rebuilds S-times smaller than one monolithic build.
-func (e *Engine) buildShardIdx(m *Model, s int) *shardIdx {
+// linkShard maps a global Z row to its shard. SplitRanges uses equal
+// ceil(n/S)-sized chunks (the last possibly shorter), so this is a
+// division, not a search.
+func (ss *shardSet) linkShard(r int) int {
+	return r / (ss.linkRanges[0][1] - ss.linkRanges[0][0])
+}
+
+// attrShard maps a global Y row to the shard holding it.
+func (ss *shardSet) attrShard(r int) int {
+	return r / (ss.attrRanges[0][1] - ss.attrRanges[0][0])
+}
+
+// markLocked merges one update's delta into every shard's pending
+// obligation. Every shard's target advances — a shard with no dirty rows
+// still republishes (an O(1) storage-sharing republish) so the consistent
+// cut reaches the new version. Callers hold mu.
+func (ss *shardSet) markLocked(d idxDelta) {
+	for s := range ss.pending {
+		p := &ss.pending[s]
+		p.target = d.target
+		p.linksFull = p.linksFull || d.linksFull
+		p.attrsFull = p.attrsFull || d.attrsFull
+	}
+	if !d.linksFull {
+		for _, r := range d.links {
+			p := &ss.pending[ss.linkShard(r)]
+			if p.links == nil {
+				p.links = make(map[int]struct{})
+			}
+			p.links[r] = struct{}{}
+		}
+	}
+	if !d.attrsFull && len(ss.attrRanges) > 0 {
+		for _, r := range d.attrs {
+			p := &ss.pending[ss.attrShard(r)]
+			if p.attrs == nil {
+				p.attrs = make(map[int]struct{})
+			}
+			p.attrs[r] = struct{}{}
+		}
+	}
+}
+
+// remergeLocked returns a taken-but-unbuilt pending to shard s, unioning
+// it with whatever accumulated meanwhile. Callers hold mu.
+func (ss *shardSet) remergeLocked(s int, p shardPending) {
+	cur := &ss.pending[s]
+	if p.target > cur.target {
+		cur.target = p.target
+	}
+	cur.linksFull = cur.linksFull || p.linksFull
+	cur.attrsFull = cur.attrsFull || p.attrsFull
+	cur.links = unionRows(cur.links, p.links)
+	cur.attrs = unionRows(cur.attrs, p.attrs)
+}
+
+func unionRows(dst, src map[int]struct{}) map[int]struct{} {
+	if dst == nil {
+		return src
+	}
+	for r := range src {
+		dst[r] = struct{}{}
+	}
+	return dst
+}
+
+// sortedRowsIn extracts the rows of set inside [lo, hi), ascending —
+// the shape the index Refresh constructors take.
+func sortedRowsIn(set map[int]struct{}, lo, hi int) []int {
+	var out []int
+	for r := range set {
+		if r >= lo && r < hi {
+			out = append(out, r)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// buildParams resolves the per-shard build knobs against the model config
+// once per build cycle.
+type buildParams struct {
+	cfg     IndexConfig
+	threads int
+	ivfCfg  index.IVFConfig
+}
+
+func (e *Engine) shardBuildParams(m *Model) buildParams {
 	cfg := *e.idxCfg
-	ss := e.shards
 	threads := cfg.Threads
 	if threads <= 0 {
 		threads = m.Cfg.Threads
 	}
 	// Divide build parallelism across shards: their rebuilds overlap, so
 	// each gets a slice of the budget rather than all of it.
-	threads /= len(ss.slots)
+	threads /= len(e.shards.slots)
 	if threads < 1 {
 		threads = 1
 	}
@@ -219,42 +368,151 @@ func (e *Engine) buildShardIdx(m *Model, s int) *shardIdx {
 	if seed == 0 {
 		seed = m.Cfg.Seed
 	}
-	ivfCfg := index.IVFConfig{
-		NList: cfg.NList, NProbe: cfg.NProbe,
-		Seed: seed, Threads: threads,
+	return buildParams{
+		cfg:     cfg,
+		threads: threads,
+		ivfCfg: index.IVFConfig{
+			NList: cfg.NList, NProbe: cfg.NProbe,
+			Seed: seed, Threads: threads,
+		},
 	}
+}
+
+// buildShardIdx materializes shard s's indexes for m from scratch. Only
+// the shard's own block of Z is computed (rows linkRanges[s]), which is
+// what makes S rebuilds S-times smaller than one monolithic build.
+func (e *Engine) buildShardIdx(m *Model, s int) *shardIdx {
+	bp := e.shardBuildParams(m)
+	si := &shardIdx{version: m.Version}
+	e.buildShardLinks(si, m, s, bp)
+	e.buildShardAttrs(si, m, s, bp)
+	return si
+}
+
+// buildShardLinks fills si's link-space tiers with a full build over the
+// shard's freshly computed Z block.
+func (e *Engine) buildShardLinks(si *shardIdx, m *Model, s int, bp buildParams) {
+	ss := e.shards
 	lo, hi := ss.linkRanges[s][0], ss.linkRanges[s][1]
-	z := m.Scorer.TransformedCandidatesRange(lo, hi, threads)
-	si := &shardIdx{
-		version: m.Version,
-		links:   index.Shift(index.NewExact(z, threads), lo),
-	}
-	if cfg.IVF {
-		iv := index.BuildIVF(z, ivfCfg)
+	z := m.Scorer.TransformedCandidatesRange(lo, hi, bp.threads)
+	si.z = z
+	si.links = index.Shift(index.NewExact(z, bp.threads), lo)
+	if bp.cfg.IVF {
+		iv := index.BuildIVF(z, bp.ivfCfg)
 		si.linksIVF = index.Shift(iv, lo)
-		if cfg.Quantize {
-			si.linksIVFSQ = index.Shift(index.NewIVFSQ(iv, z, cfg.Rerank), lo)
+		if bp.cfg.Quantize {
+			si.linksIVFSQ = index.Shift(index.NewIVFSQ(iv, z, bp.cfg.Rerank), lo)
 		}
 	}
-	if cfg.Quantize {
-		si.linksSQ = index.Shift(e.buildSQ8(quantLinks, m.Version, z, lo, cfg.Rerank, threads), lo)
+	if bp.cfg.Quantize {
+		si.linksSQ = index.Shift(e.buildSQ8(quantLinks, m.Version, z, lo, bp.cfg.Rerank, bp.threads), lo)
 	}
-	if s < len(ss.attrRanges) {
-		alo, ahi := ss.attrRanges[s][0], ss.attrRanges[s][1]
-		y := m.Emb.Y.RowSlice(alo, ahi)
-		si.attrs = index.Shift(index.NewExact(y, threads), alo)
-		if cfg.IVF {
-			iv := index.BuildIVF(y, ivfCfg)
-			si.attrsIVF = index.Shift(iv, alo)
-			if cfg.Quantize {
-				si.attrsIVFSQ = index.Shift(index.NewIVFSQ(iv, y, cfg.Rerank), alo)
+}
+
+// buildShardAttrs fills si's attribute-space tiers with a full build over
+// the shard's Y block (a view of the model's matrix, not a copy).
+func (e *Engine) buildShardAttrs(si *shardIdx, m *Model, s int, bp buildParams) {
+	ss := e.shards
+	if s >= len(ss.attrRanges) {
+		return
+	}
+	alo, ahi := ss.attrRanges[s][0], ss.attrRanges[s][1]
+	y := m.Emb.Y.RowSlice(alo, ahi)
+	si.attrs = index.Shift(index.NewExact(y, bp.threads), alo)
+	if bp.cfg.IVF {
+		iv := index.BuildIVF(y, bp.ivfCfg)
+		si.attrsIVF = index.Shift(iv, alo)
+		if bp.cfg.Quantize {
+			si.attrsIVFSQ = index.Shift(index.NewIVFSQ(iv, y, bp.cfg.Rerank), alo)
+		}
+	}
+	if bp.cfg.Quantize {
+		si.attrsSQ = index.Shift(e.buildSQ8(quantAttrs, m.Version, y, alo, bp.cfg.Rerank, bp.threads), alo)
+	}
+}
+
+// refreshShard produces shard s's next generation from base using p's
+// dirty rows, choosing per space between sharing (no dirty rows),
+// incremental refresh (dirty fraction at or below the threshold), and a
+// full rebuild (poisoned space or a delta past the threshold). Incremental
+// link refresh recomputes only the dirty Z rows (core's row-restricted
+// transform is bit-identical to the full product), patches them into a
+// clone of the previous block, and runs each tier's copy-on-write Refresh;
+// the IVF tier keeps its trained coarse quantizer, exactly as a frozen-
+// quantizer full rebuild would assign every row. fullWork reports whether
+// any space fell back to a from-scratch build.
+func (e *Engine) refreshShard(m *Model, s int, base *shardIdx, p shardPending) (si *shardIdx, fullWork bool) {
+	bp := e.shardBuildParams(m)
+	ss := e.shards
+	thr := e.refreshThreshold
+	si = &shardIdx{version: m.Version}
+
+	lo, hi := ss.linkRanges[s][0], ss.linkRanges[s][1]
+	linkRows := sortedRowsIn(p.links, lo, hi)
+	switch {
+	case p.linksFull || float64(len(linkRows)) > thr*float64(hi-lo):
+		e.buildShardLinks(si, m, s, bp)
+		fullWork = true
+	case len(linkRows) == 0:
+		si.z = base.z
+		si.links, si.linksIVF = base.links, base.linksIVF
+		si.linksSQ, si.linksIVFSQ = base.linksSQ, base.linksIVFSQ
+	default:
+		z := base.z.Clone()
+		patch := m.Scorer.TransformedCandidatesRows(linkRows, bp.threads)
+		local := make([]int, len(linkRows))
+		for j, r := range linkRows {
+			copy(z.Row(r-lo), patch.Row(j))
+			local[j] = r - lo
+		}
+		si.z = z
+		si.links = index.Shift(unshift(base.links).(*index.Exact).Refresh(z), lo)
+		if base.linksIVF != nil {
+			iv := unshift(base.linksIVF).(*index.IVF).Refresh(z, local)
+			si.linksIVF = index.Shift(iv, lo)
+			if base.linksIVFSQ != nil {
+				si.linksIVFSQ = index.Shift(unshift(base.linksIVFSQ).(*index.IVFSQ).Refresh(iv, z), lo)
 			}
 		}
-		if cfg.Quantize {
-			si.attrsSQ = index.Shift(e.buildSQ8(quantAttrs, m.Version, y, alo, cfg.Rerank, threads), alo)
+		if base.linksSQ != nil {
+			si.linksSQ = index.Shift(unshift(base.linksSQ).(*index.SQ8).Refresh(z, local), lo)
 		}
 	}
-	return si
+
+	if s >= len(ss.attrRanges) {
+		return si, fullWork
+	}
+	alo, ahi := ss.attrRanges[s][0], ss.attrRanges[s][1]
+	attrRows := sortedRowsIn(p.attrs, alo, ahi)
+	switch {
+	case p.attrsFull || float64(len(attrRows)) > thr*float64(ahi-alo):
+		e.buildShardAttrs(si, m, s, bp)
+		fullWork = true
+	case len(attrRows) == 0:
+		// The previous generation's backends wrap a view of the previous
+		// Y; with no dirty rows in this shard's range those rows are
+		// bit-identical in the new model, so sharing them is exact.
+		si.attrs, si.attrsIVF = base.attrs, base.attrsIVF
+		si.attrsSQ, si.attrsIVFSQ = base.attrsSQ, base.attrsIVFSQ
+	default:
+		y := m.Emb.Y.RowSlice(alo, ahi)
+		local := make([]int, len(attrRows))
+		for j, r := range attrRows {
+			local[j] = r - alo
+		}
+		si.attrs = index.Shift(unshift(base.attrs).(*index.Exact).Refresh(y), alo)
+		if base.attrsIVF != nil {
+			iv := unshift(base.attrsIVF).(*index.IVF).Refresh(y, local)
+			si.attrsIVF = index.Shift(iv, alo)
+			if base.attrsIVFSQ != nil {
+				si.attrsIVFSQ = index.Shift(unshift(base.attrsIVFSQ).(*index.IVFSQ).Refresh(iv, y), alo)
+			}
+		}
+		if base.attrsSQ != nil {
+			si.attrsSQ = index.Shift(unshift(base.attrsSQ).(*index.SQ8).Refresh(y, local), alo)
+		}
+	}
+	return si, fullWork
 }
 
 // Quantized-payload spaces a bundle may carry (see buildSQ8).
@@ -308,24 +566,28 @@ func (e *Engine) freshShards(m *Model) []*shardIdx {
 	return out
 }
 
-// scheduleIndexRebuild records that the published model moved ahead of
-// the index and ensures each shard has (or gets) a worker responsible for
-// catching up. No-op when indexing is disabled or manual. Callers publish
-// the new model BEFORE calling this, so marking dirty afterwards
-// guarantees the version is covered: a running worker re-checks its flag
-// before exiting (under mu, so a concurrent mark either is seen by that
-// check or observes running == false and spawns a new worker), and every
-// build resolves the model fresh. A sustained update stream therefore
-// collapses into at most one build behind the in-flight one per shard,
-// with never more than one goroutine alive per shard.
-func (e *Engine) scheduleIndexRebuild() {
-	if e.shards == nil || e.idxManual {
+// scheduleIndexRebuild merges one published update's dirty-row delta into
+// every shard's pending obligation and ensures each shard has (or gets) a
+// worker responsible for catching up. No-op when indexing is disabled or
+// manual. Callers publish the new model BEFORE calling this, so marking
+// afterwards guarantees the version is covered: a running worker re-checks
+// its pending before exiting (under mu, so a concurrent mark either is
+// seen by that check or observes running == false and spawns a new
+// worker). A sustained update stream therefore collapses into at most one
+// coalesced delta build behind the in-flight one per shard, with never
+// more than one goroutine alive per shard.
+func (e *Engine) scheduleIndexRebuild(d idxDelta) {
+	if e.shards == nil {
+		return
+	}
+	e.statLastDelta.Store(uint64(d.rows))
+	if e.idxManual {
 		return
 	}
 	ss := e.shards
 	ss.mu.Lock()
+	ss.markLocked(d)
 	for s := range ss.slots {
-		ss.dirty[s] = true
 		if !ss.running[s] {
 			ss.running[s] = true
 			go e.shardWorker(s)
@@ -334,29 +596,91 @@ func (e *Engine) scheduleIndexRebuild() {
 	ss.mu.Unlock()
 }
 
-// shardWorker drains shard s's dirty flag, rebuilding toward whatever
+// shardWorker drains shard s's pending delta, building toward whatever
 // model is current each iteration, and announces idleness on exit.
 func (e *Engine) shardWorker(s int) {
 	ss := e.shards
 	for {
 		ss.mu.Lock()
-		if !ss.dirty[s] {
+		p := ss.pending[s]
+		if p.target == 0 {
 			ss.running[s] = false
 			ss.idleC.Broadcast()
 			ss.mu.Unlock()
 			return
 		}
-		ss.dirty[s] = false
+		ss.pending[s] = shardPending{}
 		ss.mu.Unlock()
-		e.buildShard(s)
+		if e.buildShard(s, p) {
+			continue
+		}
+		// The model moved past p.target with its dirty mark still in
+		// flight (apply publishes before marking). Building now would
+		// publish the new version from a delta that does not cover it, so
+		// put the taken delta back; if the missing mark landed meanwhile
+		// the merged pending already reaches the current model and the
+		// loop retries, otherwise exit and let the incoming mark — which
+		// sees running == false — respawn the worker with the full delta.
+		ss.mu.Lock()
+		ss.remergeLocked(s, p)
+		retry := ss.pending[s].target > p.target
+		if !retry {
+			ss.running[s] = false
+			ss.idleC.Broadcast()
+		}
+		ss.mu.Unlock()
+		if !retry {
+			return
+		}
 	}
 }
 
-// buildShard brings shard s up to the engine's current model version.
-// Redundant calls — a shard index at or past that version is already
-// published — return immediately, so a burst of updates collapses into
-// one build of the latest version per shard.
-func (e *Engine) buildShard(s int) {
+// buildShard brings shard s up to the engine's current model version by
+// applying the taken pending delta p: an incremental refresh when the
+// previous generation exists and p's dirty fraction is within the
+// threshold, a full rebuild otherwise. It reports false — without
+// building — when p does not describe reaching the current model (its
+// mark is still in flight; see shardWorker). Redundant calls (shard
+// already at or past the current version, e.g. a concurrent manual
+// RebuildIndex won) return true immediately, so update bursts collapse
+// into one build of the latest version per shard.
+func (e *Engine) buildShard(s int, p shardPending) bool {
+	ss := e.shards
+	ss.buildMu[s].Lock()
+	defer ss.buildMu[s].Unlock()
+	m := e.Model()
+	base := ss.slots[s].Load()
+	if base != nil && base.version >= m.Version {
+		return true
+	}
+	if m.Version != p.target {
+		return false
+	}
+	// The pending delta accumulates every update since the shard last
+	// published, so it covers all rows changed between base's version and
+	// the current model — possibly more (rows a manual full rebuild
+	// already absorbed), never less; refreshing a clean row recomputes the
+	// identical values.
+	var si *shardIdx
+	fullWork := true
+	if base == nil {
+		si = e.buildShardIdx(m, s)
+	} else {
+		si, fullWork = e.refreshShard(m, s, base, p)
+	}
+	if fullWork {
+		e.statFull.Add(1)
+	} else {
+		e.statIncr.Add(1)
+	}
+	ss.slots[s].Store(si)
+	return true
+}
+
+// rebuildShardFull unconditionally brings shard s to the current model
+// version with a from-scratch build (retraining the IVF coarse quantizer)
+// unless it is already there.
+func (e *Engine) rebuildShardFull(s int) {
 	ss := e.shards
 	ss.buildMu[s].Lock()
 	defer ss.buildMu[s].Unlock()
@@ -365,11 +689,14 @@ func (e *Engine) buildShard(s int) {
 		return
 	}
 	ss.slots[s].Store(e.buildShardIdx(m, s))
+	e.statFull.Add(1)
 }
 
 // RebuildIndex synchronously builds and publishes every shard's index for
 // the engine's current model version, rebuilding the shards concurrently.
-// Shards already at or past that version are skipped.
+// Shards already at or past that version are skipped. This is always a
+// from-scratch build — the manual escape hatch from incremental refresh,
+// and the path that re-trains each shard's IVF coarse quantizer.
 func (e *Engine) RebuildIndex() {
 	if e.shards == nil {
 		return
@@ -379,7 +706,7 @@ func (e *Engine) RebuildIndex() {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			e.buildShard(s)
+			e.rebuildShardFull(s)
 		}(s)
 	}
 	wg.Wait()
@@ -408,7 +735,7 @@ func (e *Engine) WaitForIndex() {
 // rebuild. Callers hold mu.
 func (ss *shardSet) anyBusy() bool {
 	for s := range ss.running {
-		if ss.running[s] || ss.dirty[s] {
+		if ss.running[s] || ss.pending[s].target != 0 {
 			return true
 		}
 	}
@@ -435,6 +762,17 @@ type IndexStatus struct {
 	// published).
 	Shards        int      `json:"shards,omitempty"`
 	ShardVersions []uint64 `json:"shard_versions,omitempty"`
+	// Update-path accounting: shard build cycles served by incremental
+	// (delta) refresh vs from-scratch rebuild (initial builds and manual
+	// RebuildIndex count as full), the dirty-row count of the most recent
+	// update's delta, and the dirty-fraction threshold in effect. No
+	// omitempty: 0 is a meaningful reading for every one of these (an
+	// explicit threshold of 0 disables incremental refresh, and a zero
+	// counter is a dashboard datum, not an absence).
+	IncrementalRefreshes uint64  `json:"incremental_refreshes"`
+	FullRebuilds         uint64  `json:"full_rebuilds"`
+	LastDeltaRows        uint64  `json:"last_delta_rows"`
+	RefreshThreshold     float64 `json:"refresh_threshold"`
 }
 
 // IndexStatus returns the current index state.
@@ -444,11 +782,15 @@ func (e *Engine) IndexStatus() IndexStatus {
 	}
 	ss := e.shards
 	st := IndexStatus{
-		Enabled:       true,
-		IVF:           e.idxCfg.IVF,
-		Quantize:      e.idxCfg.Quantize,
-		Shards:        len(ss.slots),
-		ShardVersions: make([]uint64, len(ss.slots)),
+		Enabled:              true,
+		IVF:                  e.idxCfg.IVF,
+		Quantize:             e.idxCfg.Quantize,
+		Shards:               len(ss.slots),
+		ShardVersions:        make([]uint64, len(ss.slots)),
+		IncrementalRefreshes: e.statIncr.Load(),
+		FullRebuilds:         e.statFull.Load(),
+		LastDeltaRows:        e.statLastDelta.Load(),
+		RefreshThreshold:     e.refreshThreshold,
 	}
 	if st.Quantize {
 		st.Rerank = e.idxCfg.Rerank

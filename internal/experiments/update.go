@@ -1,0 +1,372 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"pane/internal/core"
+	"pane/internal/datagen"
+	"pane/internal/engine"
+	"pane/internal/graph"
+)
+
+// UpdateOptions configures the update-to-fresh-index comparison of
+// RunUpdate. Zero values pick the defaults noted per field.
+type UpdateOptions struct {
+	N       int   // nodes; 0 → 100000
+	D       int   // attributes; 0 → 100
+	K       int   // space budget; 0 → 128
+	Threads int   // 0 → 1
+	Seed    int64 // 0 → 1
+	Shards  int   // serving shards; 0 → 4
+	// Deltas are the edge-batch sizes of the sweep; nil → {100, 1000,
+	// 10000}.
+	Deltas []int
+	// Repeats is the number of timed repetitions per point (minimum
+	// taken); 0 → 2.
+	Repeats int
+	// Queries is the number of correctness-check queries; 0 → 50.
+	Queries int
+}
+
+// UpdatePoint is one row of the delta sweep: the same edge batch applied
+// through the full path (full warm-start sweeps + per-shard full index
+// rebuilds) and the delta path (restricted sweeps + incremental per-shard
+// refresh), timed end to end. ModelSeconds is the ApplyEdges call (graph
+// merge, affinity recompute, warm-start refinement, publish);
+// IndexSeconds the time from publish until every shard serves the new
+// version — the update-to-fresh-index latency the delta pipeline exists
+// to shrink.
+type UpdatePoint struct {
+	DeltaEdges int `json:"delta_edges"`
+	DirtyRows  int `json:"dirty_rows"` // distinct node rows the batch touches
+
+	FullModelSeconds float64 `json:"full_model_seconds"`
+	FullIndexSeconds float64 `json:"full_index_seconds"`
+	FullTotalSeconds float64 `json:"full_total_seconds"`
+	IncrModelSeconds float64 `json:"incr_model_seconds"`
+	IncrIndexSeconds float64 `json:"incr_index_seconds"`
+	IncrTotalSeconds float64 `json:"incr_total_seconds"`
+
+	// SpeedupIndex is full/incremental update-to-fresh-index latency;
+	// SpeedupTotal the same for the whole update.
+	SpeedupIndex float64 `json:"speedup_index"`
+	SpeedupTotal float64 `json:"speedup_total"`
+}
+
+// UpdateBench is the measured comparison emitted as BENCH_update.json by
+// `benchexp -exp update`.
+type UpdateBench struct {
+	N            int     `json:"n"`
+	Edges        int     `json:"edges"`
+	D            int     `json:"d"`
+	K            int     `json:"k"`
+	Shards       int     `json:"shards"`
+	TrainSeconds float64 `json:"train_seconds"`
+	// IndexBuildSeconds is the initial full build both engines start from.
+	IndexBuildSeconds float64       `json:"index_build_seconds"`
+	Points            []UpdatePoint `json:"points"`
+	// Final healthz counters of the incremental engine: every post-initial
+	// shard cycle must have been served incrementally.
+	IncrementalRefreshes uint64 `json:"incremental_refreshes"`
+	FullRebuilds         uint64 `json:"full_rebuilds"`
+}
+
+// RunUpdate generates a community graph, trains one model, and wraps it
+// in two engines with identical index stacks (exact + IVF + quantized
+// tiers over Shards shards): one pinned to the full update path
+// (threshold 0) and one to the delta path (threshold 1). Each sweep point
+// applies the same random edge batches to both and times
+// update-to-fresh-index latency. The run fails — rather than reporting a
+// misleading number — when the incremental engine's refreshed index does
+// not answer exactly like a from-scratch build around its own model.
+func RunUpdate(opt UpdateOptions) (*UpdateBench, error) {
+	if opt.N <= 0 {
+		opt.N = 100000
+	}
+	if opt.D <= 0 {
+		opt.D = 100
+	}
+	if opt.K <= 0 {
+		opt.K = 128
+	}
+	if opt.Threads <= 0 {
+		opt.Threads = 1
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.Shards <= 0 {
+		opt.Shards = 4
+	}
+	if opt.Deltas == nil {
+		opt.Deltas = []int{100, 1000, 10000}
+	}
+	if opt.Repeats <= 0 {
+		opt.Repeats = 2
+	}
+	if opt.Queries <= 0 {
+		opt.Queries = 50
+	}
+
+	g, err := datagen.Generate(datagen.Config{
+		Name: "updatebench", N: opt.N, AvgOutDeg: 8, D: opt.D, AttrsPer: 6,
+		Communities: 50, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{K: opt.K, Alpha: 0.5, Eps: 0.25, Threads: opt.Threads, Seed: opt.Seed}
+	start := time.Now()
+	emb, err := core.ParallelPANE(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	trainSec := time.Since(start).Seconds()
+
+	idxCfg := engine.IndexConfig{IVF: true, Quantize: true, Shards: opt.Shards}
+	build := func(threshold float64) (*engine.Engine, float64, error) {
+		t0 := time.Now()
+		eng, err := engine.New(g, emb, cfg,
+			engine.WithIndex(idxCfg), engine.WithRefreshThreshold(threshold))
+		return eng, time.Since(t0).Seconds(), err
+	}
+	engFull, buildSec, err := build(0)
+	if err != nil {
+		return nil, err
+	}
+	engIncr, _, err := build(1)
+	if err != nil {
+		return nil, err
+	}
+
+	// One timed update: apply the batch, then wait for every shard to
+	// serve the new version.
+	timeUpdate := func(eng *engine.Engine, edges []graph.Edge) (modelSec, indexSec float64, err error) {
+		t0 := time.Now()
+		if _, err := eng.ApplyEdges(edges); err != nil {
+			return 0, 0, err
+		}
+		t1 := time.Now()
+		eng.WaitForIndex()
+		indexSec = time.Since(t1).Seconds()
+		return t1.Sub(t0).Seconds(), indexSec, nil
+	}
+
+	b := &UpdateBench{
+		N: g.N, Edges: g.M(), D: g.D, K: opt.K, Shards: opt.Shards,
+		TrainSeconds: trainSec, IndexBuildSeconds: buildSec,
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 2))
+	for _, delta := range opt.Deltas {
+		if delta < 1 {
+			continue
+		}
+		p := UpdatePoint{DeltaEdges: delta}
+		// One batch per point, re-applied on every repeat: re-inserting an
+		// existing edge still refines and republishes (the update cost does
+		// not depend on graph novelty), so the minimum timings and the
+		// reported dirty-row count all describe the same batch.
+		edges := make([]graph.Edge, delta)
+		touched := make(map[int]struct{}, 2*delta)
+		for i := range edges {
+			edges[i] = graph.Edge{Src: rng.Intn(g.N), Dst: rng.Intn(g.N)}
+			touched[edges[i].Src] = struct{}{}
+			touched[edges[i].Dst] = struct{}{}
+		}
+		p.DirtyRows = len(touched)
+		for rep := 0; rep < opt.Repeats; rep++ {
+			im, ii, err := timeUpdate(engIncr, edges)
+			if err != nil {
+				return nil, err
+			}
+			fm, fi, err := timeUpdate(engFull, edges)
+			if err != nil {
+				return nil, err
+			}
+			if rep == 0 || im+ii < p.IncrTotalSeconds {
+				p.IncrModelSeconds, p.IncrIndexSeconds, p.IncrTotalSeconds = im, ii, im+ii
+			}
+			if rep == 0 || fm+fi < p.FullTotalSeconds {
+				p.FullModelSeconds, p.FullIndexSeconds, p.FullTotalSeconds = fm, fi, fm+fi
+			}
+		}
+		if p.IncrIndexSeconds > 0 {
+			p.SpeedupIndex = p.FullIndexSeconds / p.IncrIndexSeconds
+		}
+		if p.IncrTotalSeconds > 0 {
+			p.SpeedupTotal = p.FullTotalSeconds / p.IncrTotalSeconds
+		}
+		b.Points = append(b.Points, p)
+	}
+
+	// Report integrity. The incremental engine must (a) have served every
+	// post-initial cycle incrementally, (b) answer bit-for-bit like a
+	// fresh build around its own final model for exact and sq8, and (c)
+	// degenerate to its exact answer at full IVF probe — the refreshed
+	// inverted lists lost nobody.
+	// Compare against the ACTUAL shard count (the layout may collapse to
+	// fewer shards than requested on tiny graphs), not the requested one.
+	st := engIncr.IndexStatus()
+	b.IncrementalRefreshes = st.IncrementalRefreshes
+	b.FullRebuilds = st.FullRebuilds
+	if st.FullRebuilds != uint64(st.Shards) {
+		return nil, fmt.Errorf("experiments: incremental engine fell back to full rebuilds (%d cycles vs the %d initial builds): delta pipeline is broken",
+			st.FullRebuilds, st.Shards)
+	}
+	if st.IncrementalRefreshes == 0 {
+		return nil, fmt.Errorf("experiments: incremental engine recorded no incremental refreshes")
+	}
+	m := engIncr.Model()
+	fresh, err := engine.New(m.Graph, m.Emb, m.Cfg, engine.WithIndex(idxCfg))
+	if err != nil {
+		return nil, err
+	}
+	nlist := engIncr.IndexStatus().NList
+	qrng := rand.New(rand.NewSource(opt.Seed + 3))
+	for i := 0; i < opt.Queries; i++ {
+		u := qrng.Intn(g.N)
+		for _, mode := range []string{engine.ModeExact, engine.ModeSQ8} {
+			want, err := fresh.TopLinks(u, 10, mode, 0)
+			if err != nil {
+				return nil, err
+			}
+			got, err := engIncr.TopLinks(u, 10, mode, 0)
+			if err != nil {
+				return nil, err
+			}
+			if err := sameScored(mode, u, want.Results, got.Results); err != nil {
+				return nil, err
+			}
+		}
+		exact, err := engIncr.TopLinks(u, 10, engine.ModeExact, 0)
+		if err != nil {
+			return nil, err
+		}
+		probeAll, err := engIncr.TopLinks(u, 10, engine.ModeIVF, nlist)
+		if err != nil {
+			return nil, err
+		}
+		if err := sameScored("ivf full-probe", u, exact.Results, probeAll.Results); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func deltaSizes(points []UpdatePoint) []int {
+	out := make([]int, len(points))
+	for i, p := range points {
+		out[i] = p.DeltaEdges
+	}
+	return out
+}
+
+func sameScored(label string, u int, want, got []core.Scored) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("experiments: refreshed index diverges (%s, u=%d): %d results vs %d",
+			label, u, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("experiments: refreshed index diverges (%s, u=%d, rank %d): %v != %v",
+				label, u, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// PrintUpdate renders the sweep as a table.
+func PrintUpdate(w io.Writer, b *UpdateBench) {
+	fmt.Fprintf(w, "Update-to-fresh-index: n=%d m=%d d=%d k=%d, %d shards (train %.1fs, initial build %.1fs)\n",
+		b.N, b.Edges, b.D, b.K, b.Shards, b.TrainSeconds, b.IndexBuildSeconds)
+	fmt.Fprintf(w, "%-8s %-8s | %10s %10s %10s | %10s %10s %10s | %8s %8s\n",
+		"Δedges", "dirty", "full mdl", "full idx", "full tot", "incr mdl", "incr idx", "incr tot", "idx spd", "tot spd")
+	for _, p := range b.Points {
+		fmt.Fprintf(w, "%-8d %-8d | %9.3fs %9.3fs %9.3fs | %9.3fs %9.3fs %9.3fs | %7.1fx %7.1fx\n",
+			p.DeltaEdges, p.DirtyRows,
+			p.FullModelSeconds, p.FullIndexSeconds, p.FullTotalSeconds,
+			p.IncrModelSeconds, p.IncrIndexSeconds, p.IncrTotalSeconds,
+			p.SpeedupIndex, p.SpeedupTotal)
+	}
+	fmt.Fprintf(w, "incremental engine: %d incremental refreshes, %d full builds (initial only)\n",
+		b.IncrementalRefreshes, b.FullRebuilds)
+}
+
+// WriteUpdateJSON writes the report to path as indented JSON.
+func WriteUpdateJSON(path string, b *UpdateBench) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadUpdateJSON loads a report written by WriteUpdateJSON.
+func ReadUpdateJSON(path string) (*UpdateBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b := &UpdateBench{}
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("experiments: parsing baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// CheckUpdateBaseline is the CI regression gate for the update path: it
+// compares cur against a committed baseline and fails when the
+// incremental-vs-full speedup (a same-machine ratio, so runner hardware
+// drops out exactly as in CheckTopKBaseline) regressed by more than tol
+// on any delta size both reports measured, or when the incremental
+// pipeline stopped serving updates incrementally at all.
+func CheckUpdateBaseline(cur, base *UpdateBench, tol float64) error {
+	if tol < 0 {
+		return fmt.Errorf("experiments: negative tolerance %v", tol)
+	}
+	if cur.IncrementalRefreshes == 0 {
+		return fmt.Errorf("experiments: update gate: no incremental refreshes recorded")
+	}
+	basePoints := make(map[int]UpdatePoint, len(base.Points))
+	for _, p := range base.Points {
+		basePoints[p.DeltaEdges] = p
+	}
+	var failures []string
+	compared := 0
+	for _, p := range cur.Points {
+		bp, ok := basePoints[p.DeltaEdges]
+		if !ok {
+			continue
+		}
+		compared++
+		if bp.SpeedupIndex > 0 && p.SpeedupIndex < bp.SpeedupIndex*(1-tol) {
+			failures = append(failures, fmt.Sprintf(
+				"Δ=%d index speedup %.1fx dropped more than %.0f%% below baseline %.1fx",
+				p.DeltaEdges, p.SpeedupIndex, tol*100, bp.SpeedupIndex))
+		}
+		if bp.SpeedupTotal > 0 && p.SpeedupTotal < bp.SpeedupTotal*(1-tol) {
+			failures = append(failures, fmt.Sprintf(
+				"Δ=%d total speedup %.1fx dropped more than %.0f%% below baseline %.1fx",
+				p.DeltaEdges, p.SpeedupTotal, tol*100, bp.SpeedupTotal))
+		}
+	}
+	if compared == 0 {
+		// A delta-set drift between the run and the committed baseline
+		// must not pass as a vacuously green gate.
+		return fmt.Errorf("experiments: update gate compared no points: run measured %v, baseline has %v — regenerate the baseline",
+			deltaSizes(cur.Points), deltaSizes(base.Points))
+	}
+	if len(failures) == 0 {
+		return nil
+	}
+	msg := "experiments: update-path perf regression vs baseline:"
+	for _, f := range failures {
+		msg += "\n  - " + f
+	}
+	return fmt.Errorf("%s", msg)
+}

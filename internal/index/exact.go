@@ -27,6 +27,14 @@ func NewExact(data *mat.Dense, threads int) *Exact {
 	return &Exact{data: data, threads: threads}
 }
 
+// Refresh returns an Exact over data with this index's search fan-out —
+// the flat backend's half of the copy-on-write refresh contract. Exact
+// derives no per-row state from its matrix, so the incremental work is
+// entirely the caller's copy-on-write of the candidate rows (clone the
+// previous version's block, patch only the dirty rows); the result is
+// trivially bit-identical to NewExact(data, threads).
+func (x *Exact) Refresh(data *mat.Dense) *Exact { return NewExact(data, x.threads) }
+
 // Len returns the candidate count.
 func (x *Exact) Len() int { return x.data.Rows }
 

@@ -21,7 +21,13 @@
 // Both backends are immutable after construction and safe for concurrent
 // searches. internal/engine builds one index per model version and swaps
 // whole sets atomically, so a query never observes a half-built
-// structure. All rankings use core.Better ordering (score descending,
+// structure. Each backend additionally offers a copy-on-write Refresh
+// constructor for dynamic updates: given the new candidate matrix and the
+// set of rows that actually changed, it produces the next immutable
+// generation touching only O(Δ) state — re-wrapping the patched matrix
+// (Exact), re-encoding only dirty rows (SQ8), or moving only dirty rows
+// between inverted lists against the frozen coarse quantizer (IVF/IVFSQ)
+// — while sharing all unchanged storage with the previous generation. All rankings use core.Better ordering (score descending,
 // ties by ascending id), which makes exact and IVF results bit-for-bit
 // comparable: IVF probing every list returns exactly the exact backend's
 // answer.

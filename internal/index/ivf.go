@@ -38,13 +38,14 @@ type IVFConfig struct {
 // the nprobe lists whose centroids have the largest inner product with
 // the query. Probing all lists degenerates to the exact answer.
 type IVF struct {
-	dim     int
-	n       int
-	nprobe  int
-	threads int
-	cents   *mat.Dense   // nlist x dim centroids
-	ids     [][]int32    // per-list candidate ids, ascending
-	vecs    []*mat.Dense // per-list contiguous candidate vectors (row j = ids[j])
+	dim      int
+	n        int
+	nprobe   int
+	threads  int
+	cents    *mat.Dense   // nlist x dim centroids
+	ids      [][]int32    // per-list candidate ids, ascending
+	vecs     []*mat.Dense // per-list contiguous candidate vectors (row j = ids[j])
+	assigned []int32      // per-row home list (assigned[i] = list of candidate i)
 }
 
 // BuildIVF clusters data (one candidate per row) into an inverted file.
@@ -140,22 +141,139 @@ func BuildIVF(data *mat.Dense, cfg IVFConfig) *IVF {
 	// contiguous vector copies for cache-friendly scans.
 	assign := make([]int32, n)
 	iv.assign(data, nil, assign)
+	iv.populate(data, assign)
+	return iv
+}
+
+// populate materializes the inverted lists of iv from a complete per-row
+// assignment: per-list ascending id lists plus contiguous vector copies
+// (row j of vecs[l] = data row ids[l][j]). The assignment is retained so
+// an incremental Refresh knows each row's previous home list.
+func (iv *IVF) populate(data *mat.Dense, assign []int32) {
+	nlist := iv.cents.Rows
 	counts := make([]int, nlist)
 	for _, c := range assign {
 		counts[c]++
 	}
+	iv.assigned = assign
 	iv.ids = make([][]int32, nlist)
 	iv.vecs = make([]*mat.Dense, nlist)
 	for c := 0; c < nlist; c++ {
 		iv.ids[c] = make([]int32, 0, counts[c])
-		iv.vecs[c] = mat.New(counts[c], dim)
+		iv.vecs[c] = mat.New(counts[c], iv.dim)
 	}
-	for i := 0; i < n; i++ {
+	for i := range assign {
 		c := assign[i]
 		copy(iv.vecs[c].Row(len(iv.ids[c])), data.Row(i))
 		iv.ids[c] = append(iv.ids[c], int32(i))
 	}
-	return iv
+}
+
+// Rebuild re-indexes data (same shape as the build data) against iv's
+// existing coarse quantizer: every row is reassigned to its nearest
+// centroid and the inverted lists are rebuilt, sharing only the
+// centroids. It is the frozen-quantizer full build an incremental Refresh
+// must reproduce bit for bit — retraining the quantizer is a build-time
+// decision (BuildIVF), not a refresh-time one, exactly as inverted-file
+// systems keep a trained coarse quantizer across vector updates.
+func (iv *IVF) Rebuild(data *mat.Dense) *IVF {
+	if data.Cols != iv.dim {
+		panic(fmt.Sprintf("index: IVF rebuild dim %d does not match index dim %d", data.Cols, iv.dim))
+	}
+	out := &IVF{dim: iv.dim, n: data.Rows, nprobe: iv.nprobe, threads: iv.threads, cents: iv.cents}
+	assign := make([]int32, data.Rows)
+	out.assign(data, nil, assign)
+	out.populate(data, assign)
+	return out
+}
+
+// Refresh returns an index over data in which only the listed dirty rows
+// (ascending global ids) have been re-examined: each is reassigned to its
+// nearest centroid, and only the inverted lists a dirty row left, joined,
+// or stayed in are rebuilt — every untouched list shares its id and
+// vector storage with this index. The caller contracts that every row NOT
+// listed is value-identical to the row this index holds; under that
+// contract the result is bit-identical to Rebuild(data) at O(|dirty| ·
+// nlist + affected-list rows) cost instead of O(n · nlist).
+func (iv *IVF) Refresh(data *mat.Dense, dirty []int) *IVF {
+	if data.Rows != iv.n || data.Cols != iv.dim {
+		panic(fmt.Sprintf("index: IVF refresh data %dx%d does not match index n=%d dim=%d",
+			data.Rows, data.Cols, iv.n, iv.dim))
+	}
+	if len(dirty) == 0 {
+		return iv
+	}
+	for j, r := range dirty {
+		if r < 0 || r >= iv.n || (j > 0 && dirty[j-1] >= r) {
+			panic(fmt.Sprintf("index: IVF refresh dirty rows must be ascending ids in [0,%d)", iv.n))
+		}
+	}
+	newAssign := make([]int32, len(dirty))
+	iv.assign(data, dirty, newAssign)
+
+	nlist := iv.cents.Rows
+	changed := make([]bool, nlist)
+	assigned := append([]int32(nil), iv.assigned...)
+	dirtySet := make(map[int32]bool, len(dirty))
+	added := make(map[int32][]int32) // per new list, dirty members, ascending
+	for j, r := range dirty {
+		changed[iv.assigned[r]] = true
+		changed[newAssign[j]] = true
+		assigned[r] = newAssign[j]
+		dirtySet[int32(r)] = true
+		added[newAssign[j]] = append(added[newAssign[j]], int32(r))
+	}
+
+	out := &IVF{
+		dim: iv.dim, n: iv.n, nprobe: iv.nprobe, threads: iv.threads,
+		cents: iv.cents, assigned: assigned,
+		ids:  make([][]int32, nlist),
+		vecs: make([]*mat.Dense, nlist),
+	}
+	for l := 0; l < nlist; l++ {
+		if !changed[l] {
+			out.ids[l] = iv.ids[l]
+			out.vecs[l] = iv.vecs[l]
+			continue
+		}
+		// Survivors (clean old members, already ascending) merged with the
+		// dirty rows now assigned here; vectors copied fresh from data so a
+		// dirty row that stayed in its list still gets its new values.
+		keep := make([]int32, 0, len(iv.ids[l])+len(added[int32(l)]))
+		for _, id := range iv.ids[l] {
+			if !dirtySet[id] {
+				keep = append(keep, id)
+			}
+		}
+		ids := mergeAscending(keep, added[int32(l)])
+		vecs := mat.New(len(ids), iv.dim)
+		for j, id := range ids {
+			copy(vecs.Row(j), data.Row(int(id)))
+		}
+		out.ids[l] = ids
+		out.vecs[l] = vecs
+	}
+	return out
+}
+
+// mergeAscending merges two ascending, disjoint int32 slices.
+func mergeAscending(a, b []int32) []int32 {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // assign writes the nearest centroid (squared L2, ties to the lowest

@@ -1,0 +1,274 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"pane/internal/core"
+	"pane/internal/mat"
+)
+
+// refreshDelta returns (newData, dirty): a clone of data with the dirty
+// rows rewritten to fresh random values. dirty is ascending.
+func refreshDelta(data *mat.Dense, nDirty int, seed int64) (*mat.Dense, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(data.Rows)[:nDirty]
+	dirty := append([]int(nil), perm...)
+	for i := 1; i < len(dirty); i++ { // insertion sort; tiny n
+		for j := i; j > 0 && dirty[j-1] > dirty[j]; j-- {
+			dirty[j-1], dirty[j] = dirty[j], dirty[j-1]
+		}
+	}
+	out := data.Clone()
+	for _, r := range dirty {
+		row := out.Row(r)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	return out, dirty
+}
+
+func sameResults(t *testing.T, label string, want, got []core.Scored) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: rank %d: %v != %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func queries(dim, n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// TestExactRefreshMatchesFullBuild: the refreshed flat backend equals a
+// fresh build over the same data (trivially, but it pins the contract).
+func TestExactRefreshMatchesFullBuild(t *testing.T) {
+	data := randMatrix(300, 8, 1)
+	old := NewExact(data, 2)
+	newData, _ := refreshDelta(data, 17, 2)
+	ref := old.Refresh(newData)
+	full := NewExact(newData, 2)
+	for _, q := range queries(8, 10, 3) {
+		sameResults(t, "exact", full.Search(q, 9, Options{}), ref.Search(q, 9, Options{}))
+	}
+}
+
+// TestSQ8RefreshBitForBit: re-encoding only the dirty rows must give the
+// byte-identical encoding of a full quantization pass, and identical
+// search results.
+func TestSQ8RefreshBitForBit(t *testing.T) {
+	data := randMatrix(257, 12, 4)
+	old := NewSQ8(data, 3, 2)
+	for _, nDirty := range []int{1, 13, 100, 257} {
+		newData, dirty := refreshDelta(data, nDirty, int64(nDirty)*7)
+		ref := old.Refresh(newData, dirty)
+		full := NewSQ8(newData, 3, 2)
+		if len(ref.Codes()) != len(full.Codes()) {
+			t.Fatalf("nDirty=%d: code lengths differ", nDirty)
+		}
+		for i := range full.Codes() {
+			if ref.Codes()[i] != full.Codes()[i] {
+				t.Fatalf("nDirty=%d: code %d differs after refresh", nDirty, i)
+			}
+		}
+		for i := range full.Scale() {
+			if ref.Scale()[i] != full.Scale()[i] || ref.Base()[i] != full.Base()[i] {
+				t.Fatalf("nDirty=%d: row %d parameters differ after refresh", nDirty, i)
+			}
+		}
+		for qi, q := range queries(12, 8, int64(nDirty)) {
+			sameResults(t, "sq8", full.Search(q, 10, Options{}), ref.Search(q, 10, Options{}))
+			_ = qi
+		}
+	}
+}
+
+// TestIVFRefreshMatchesRebuild is the inverted-file refresh property:
+// moving only the dirty rows between lists must reproduce, bit for bit,
+// a full reassignment of every row against the same (frozen) coarse
+// quantizer — lists, ids, vectors, and stored assignment.
+func TestIVFRefreshMatchesRebuild(t *testing.T) {
+	data := randMatrix(400, 6, 5)
+	old := BuildIVF(data, IVFConfig{NList: 8, Seed: 11, Threads: 2})
+	for _, nDirty := range []int{1, 25, 150} {
+		newData, dirty := refreshDelta(data, nDirty, int64(nDirty)*13)
+		ref := old.Refresh(newData, dirty)
+		full := old.Rebuild(newData)
+		if ref.NList() != full.NList() {
+			t.Fatalf("nDirty=%d: nlist differs", nDirty)
+		}
+		shared := 0
+		for l := 0; l < ref.NList(); l++ {
+			if len(ref.ids[l]) != len(full.ids[l]) {
+				t.Fatalf("nDirty=%d list %d: %d members vs %d", nDirty, l, len(ref.ids[l]), len(full.ids[l]))
+			}
+			for j := range full.ids[l] {
+				if ref.ids[l][j] != full.ids[l][j] {
+					t.Fatalf("nDirty=%d list %d: member %d is %d, want %d",
+						nDirty, l, j, ref.ids[l][j], full.ids[l][j])
+				}
+			}
+			if ref.vecs[l].MaxAbsDiff(full.vecs[l]) != 0 {
+				t.Fatalf("nDirty=%d list %d: vectors differ", nDirty, l)
+			}
+			if ref.vecs[l] == old.vecs[l] {
+				shared++
+			}
+		}
+		// One dirty row touches at most two lists; the other six or seven
+		// must share storage. Larger deltas may legitimately touch every
+		// list, so sharing is only asserted where it is guaranteed.
+		if nDirty == 1 && shared < ref.NList()-2 {
+			t.Fatalf("nDirty=1: only %d of %d lists shared storage", shared, ref.NList())
+		}
+		for i := range full.assigned {
+			if ref.assigned[i] != full.assigned[i] {
+				t.Fatalf("nDirty=%d: stored assignment differs at row %d", nDirty, i)
+			}
+		}
+		for _, q := range queries(6, 10, int64(nDirty)+99) {
+			sameResults(t, "ivf", full.Search(q, 7, Options{NProbe: 3}), ref.Search(q, 7, Options{NProbe: 3}))
+		}
+	}
+}
+
+// TestIVFRefreshChains: refresh-of-refresh must keep matching the frozen-
+// quantizer rebuild — the stored assignment stays coherent across
+// generations.
+func TestIVFRefreshChains(t *testing.T) {
+	data := randMatrix(200, 5, 21)
+	cur := BuildIVF(data, IVFConfig{NList: 6, Seed: 3})
+	for step := 0; step < 4; step++ {
+		newData, dirty := refreshDelta(data, 10+step*20, int64(step)*31+1)
+		cur = cur.Refresh(newData, dirty)
+		full := cur.Rebuild(newData) // same frozen centroids
+		for l := 0; l < cur.NList(); l++ {
+			if len(cur.ids[l]) != len(full.ids[l]) {
+				t.Fatalf("step %d list %d: membership diverged", step, l)
+			}
+			if cur.vecs[l].MaxAbsDiff(full.vecs[l]) != 0 {
+				t.Fatalf("step %d list %d: vectors diverged", step, l)
+			}
+		}
+		data = newData
+	}
+}
+
+// TestIVFSQRefreshBitForBit: the quantized inverted file refreshed
+// alongside its IVF must equal a from-scratch quantization of the
+// rebuilt lists, and share code storage for untouched lists.
+func TestIVFSQRefreshBitForBit(t *testing.T) {
+	data := randMatrix(300, 7, 8)
+	iv := BuildIVF(data, IVFConfig{NList: 10, Seed: 5})
+	old := NewIVFSQ(iv, data, 2)
+	// Two dirty rows touch at most four of the ten lists, so code reuse
+	// is guaranteed for the rest.
+	newData, dirty := refreshDelta(data, 2, 17)
+	newIV := iv.Refresh(newData, dirty)
+	ref := old.Refresh(newIV, newData)
+	full := NewIVFSQ(newIV, newData, 2)
+	shared := 0
+	for l := range full.codes {
+		if len(ref.codes[l]) != len(full.codes[l]) {
+			t.Fatalf("list %d: code lengths differ", l)
+		}
+		for j := range full.codes[l] {
+			if ref.codes[l][j] != full.codes[l][j] {
+				t.Fatalf("list %d: code %d differs", l, j)
+			}
+		}
+		for j := range full.scale[l] {
+			if ref.scale[l][j] != full.scale[l][j] || ref.base[l][j] != full.base[l][j] {
+				t.Fatalf("list %d row %d: parameters differ", l, j)
+			}
+		}
+		if newIV.vecs[l] == iv.vecs[l] && &ref.codes[l][0] == &old.codes[l][0] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no list reused its quantization")
+	}
+	for _, q := range queries(7, 10, 55) {
+		sameResults(t, "ivfsq", full.Search(q, 6, Options{NProbe: 4}), ref.Search(q, 6, Options{NProbe: 4}))
+	}
+}
+
+// TestShardedRefreshMatchesUnshardedFullBuild composes the pieces the
+// engine composes: per-shard copy-on-write refresh (patch dirty rows into
+// a clone of the shard block, refresh each backend) fanned out through
+// SearchSharded must equal one fresh unsharded build over the new matrix
+// — for exact and sq8 bit for bit, and for ivf via the frozen-quantizer
+// rebuild per shard.
+func TestShardedRefreshMatchesUnshardedFullBuild(t *testing.T) {
+	const rows, dim, shards = 311, 6, 4
+	data := randMatrix(rows, dim, 33)
+	ranges := mat.SplitRanges(rows, shards)
+
+	type shard struct {
+		block *mat.Dense
+		ex    *Exact
+		sq    *SQ8
+		iv    *IVF
+	}
+	old := make([]shard, len(ranges))
+	for i, r := range ranges {
+		block := data.RowSlice(r[0], r[1]).Clone()
+		old[i] = shard{
+			block: block,
+			ex:    NewExact(block, 1),
+			sq:    NewSQ8(block, 3, 1),
+			iv:    BuildIVF(block, IVFConfig{NList: 5, Seed: 9}),
+		}
+	}
+
+	newData, dirty := refreshDelta(data, 23, 77)
+	// Per-shard refresh: clone-and-patch the block, then refresh backends.
+	exSubs := make([]Index, len(ranges))
+	sqSubs := make([]Index, len(ranges))
+	ivSubs := make([]Index, len(ranges))
+	for i, r := range ranges {
+		var local []int
+		for _, d := range dirty {
+			if d >= r[0] && d < r[1] {
+				local = append(local, d-r[0])
+			}
+		}
+		block := old[i].block
+		if len(local) > 0 {
+			block = old[i].block.Clone()
+			for _, l := range local {
+				copy(block.Row(l), newData.Row(r[0]+l))
+			}
+		}
+		exSubs[i] = Shift(old[i].ex.Refresh(block), r[0])
+		sqSubs[i] = Shift(old[i].sq.Refresh(block, local), r[0])
+		ivSubs[i] = Shift(old[i].iv.Refresh(block, local), r[0])
+	}
+
+	fullExact := NewExact(newData, 1)
+	fullSQ := NewSQ8(newData, 3, 1)
+	for _, q := range queries(dim, 12, 101) {
+		want := fullExact.Search(q, 11, Options{})
+		sameResults(t, "sharded exact refresh", want, SearchSharded(exSubs, q, 11, Options{}))
+		sameResults(t, "sharded sq8 refresh",
+			fullSQ.Search(q, 11, Options{}), SearchSharded(sqSubs, q, 11, Options{}))
+		// Full-probe sharded IVF over refreshed shards degenerates to exact.
+		sameResults(t, "sharded ivf refresh full-probe", want,
+			SearchSharded(ivSubs, q, 11, Options{NProbe: 1 << 20}))
+	}
+}

@@ -53,40 +53,49 @@ func QuantizeRows(data *mat.Dense) (codes []int8, scale, base []float32) {
 	scale = make([]float32, n)
 	base = make([]float32, n)
 	for i := 0; i < n; i++ {
-		row := data.Row(i)
-		if dim == 0 {
-			continue
-		}
-		mn, mx := row[0], row[0]
-		for _, v := range row[1:] {
-			if v < mn {
-				mn = v
-			}
-			if v > mx {
-				mx = v
-			}
-		}
-		s := float32((mx - mn) / 255)
-		scale[i] = s
-		if s == 0 {
-			base[i] = float32(mn)
-			continue // codes stay 0: x̂ = base
-		}
-		base[i] = float32(mn + 128*float64(s))
-		inv := 1 / float64(s)
-		c := codes[i*dim : (i+1)*dim]
-		for j, v := range row {
-			q := math.Round((v - mn) * inv) // nearest of 256 levels
-			if q < 0 {
-				q = 0
-			}
-			if q > 255 {
-				q = 255
-			}
-			c[j] = int8(int(q) - 128)
-		}
+		scale[i], base[i] = quantizeRowInto(data.Row(i), codes[i*dim:(i+1)*dim])
 	}
 	return codes, scale, base
+}
+
+// quantizeRowInto encodes one candidate row into c (which must have
+// length len(row)) and returns its (scale, base) pair — the per-row unit
+// QuantizeRows and the incremental Refresh share, so a refreshed row's
+// encoding is bit-identical to a full re-quantization's. c may hold stale
+// codes from a previous version; every element is overwritten.
+func quantizeRowInto(row []float64, c []int8) (scale, base float32) {
+	if len(row) == 0 {
+		return 0, 0
+	}
+	mn, mx := row[0], row[0]
+	for _, v := range row[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	s := float32((mx - mn) / 255)
+	if s == 0 {
+		for j := range c {
+			c[j] = 0 // x̂ = base for every element
+		}
+		return 0, float32(mn)
+	}
+	base = float32(mn + 128*float64(s))
+	inv := 1 / float64(s)
+	for j, v := range row {
+		q := math.Round((v - mn) * inv) // nearest of 256 levels
+		if q < 0 {
+			q = 0
+		}
+		if q > 255 {
+			q = 255
+		}
+		c[j] = int8(int(q) - 128)
+	}
+	return s, base
 }
 
 // dotI8 returns the int32 inner product of two equal-length int8 code
@@ -285,6 +294,29 @@ func (s *SQ8) Base() []float32 { return s.base }
 
 func (s *SQ8) rerankMult() int { return s.rerank }
 
+// Refresh returns a quantized backend over data (which must have this
+// index's shape) re-encoding only the listed dirty rows; every other
+// row's codes and parameters are copied from this index. The contract is
+// the copy-on-write refresh shared by all backends: rows not listed in
+// dirty must be value-identical to the rows this index was built from.
+// Because quantization is per row, the result is bit-identical to
+// NewSQ8(data, rerank, threads) at O(|dirty|·dim) encoding cost instead
+// of O(n·dim).
+func (s *SQ8) Refresh(data *mat.Dense, dirty []int) *SQ8 {
+	if data.Rows != s.full.Rows || data.Cols != s.full.Cols {
+		panic(fmt.Sprintf("index: SQ8 refresh shape mismatch: %dx%d data for %dx%d index",
+			data.Rows, data.Cols, s.full.Rows, s.full.Cols))
+	}
+	codes := append([]int8(nil), s.codes...)
+	scale := append([]float32(nil), s.scale...)
+	base := append([]float32(nil), s.base...)
+	dim := data.Cols
+	for _, r := range dirty {
+		scale[r], base[r] = quantizeRowInto(data.Row(r), codes[r*dim:(r+1)*dim])
+	}
+	return NewSQ8FromCodes(data, codes, scale, base, s.rerank, s.threads)
+}
+
 // Search scans the quantized rows for the rerank*k best approximate
 // scores, then re-ranks those survivors exactly. With rerank*k >= Len()
 // every candidate survives and the answer equals Exact.Search bit for
@@ -424,6 +456,33 @@ func (sq *IVFSQ) Rerank() int { return sq.rerank }
 func (sq *IVFSQ) IVF() *IVF { return sq.iv }
 
 func (sq *IVFSQ) rerankMult() int { return sq.rerank }
+
+// Refresh layers this index's quantization onto iv, a Refresh/Rebuild
+// descendant of sq.IVF() over data: an inverted list whose vector block
+// is shared with the wrapped IVF (pointer-equal, i.e. IVF.Refresh left it
+// untouched) reuses its codes, and only rebuilt lists are re-quantized.
+// The result is bit-identical to NewIVFSQ(iv, data, rerank) at
+// O(affected-list rows) encoding cost.
+func (sq *IVFSQ) Refresh(iv *IVF, data *mat.Dense) *IVFSQ {
+	if data.Rows != iv.n || data.Cols != iv.dim {
+		panic(fmt.Sprintf("index: IVFSQ refresh data %dx%d does not match ivf n=%d dim=%d",
+			data.Rows, data.Cols, iv.n, iv.dim))
+	}
+	out := &IVFSQ{
+		iv: iv, full: data, rerank: sq.rerank,
+		codes: make([][]int8, len(iv.vecs)),
+		scale: make([][]float32, len(iv.vecs)),
+		base:  make([][]float32, len(iv.vecs)),
+	}
+	for l, vecs := range iv.vecs {
+		if l < len(sq.iv.vecs) && vecs == sq.iv.vecs[l] {
+			out.codes[l], out.scale[l], out.base[l] = sq.codes[l], sq.scale[l], sq.base[l]
+			continue
+		}
+		out.codes[l], out.scale[l], out.base[l] = QuantizeRows(vecs)
+	}
+	return out
+}
 
 // Search probes like IVF (Options.NProbe has the same meaning), scans the
 // probed lists' quantized rows for the rerank*k best approximate scores,

@@ -21,6 +21,12 @@
 // version; a batch's top-k queries are dispatched shard-first (one pass
 // per shard over the whole batch) to amortize fan-out overhead.
 //
+// /healthz additionally exposes the delta-update pipeline's state under
+// "index": "incremental_refreshes" and "full_rebuilds" count shard build
+// cycles by kind, "last_delta_rows" is the dirty-row count of the most
+// recent update, and "refresh_threshold" the dirty fraction at or below
+// which updates refresh incrementally instead of rebuilding.
+//
 // Write and lifecycle endpoints:
 //
 //	POST /update/edges   {"edges":[{"src":0,"dst":4}, ...]}
