@@ -20,14 +20,18 @@
 // regressed by more than -tolerance — the CI perf gate.
 //
 // `-exp update` measures the dynamic-update path: the same random edge
-// batches applied through the full pipeline (full warm-start sweeps +
-// per-shard full index rebuilds) and the delta pipeline (restricted
-// sweeps + incremental per-shard refresh), sweeping the delta size and
-// reporting update-to-fresh-index latency and the incremental speedup.
+// batches applied through the full pipeline (full affinity recompute +
+// full warm-start sweeps + per-shard full index rebuilds) and the delta
+// pipeline (frontier-restricted recurrence patch + restricted sweeps +
+// incremental per-shard refresh), sweeping the delta size and reporting
+// update-to-fresh-index latency with the incremental model time broken
+// into affinity/CCD/transform phases, plus a node-attribute batch
+// absorbed by the low-rank gram correction instead of a full rebuild.
 // The result goes to -json (default BENCH_update.json); the run fails if
 // the incrementally refreshed index does not answer bit-for-bit like a
-// fresh build, and -baseline/-tolerance gate the speedups the same way
-// the top-k gate does.
+// fresh build after the edge sweep (or within 0.999 top-10 recall after
+// the attribute batch), and -baseline/-tolerance gate the model, index,
+// and total speedups the same way the top-k gate does.
 package main
 
 import (

@@ -55,7 +55,10 @@ func main() {
 		rerank    = flag.Int("rerank", 0, "quantized survivor multiplier: re-rank rerank*k candidates exactly (0 = default)")
 		refresh   = flag.Float64("refresh-threshold", engine.DefaultRefreshThreshold,
 			"dirty-row fraction at or below which updates refresh the serving index incrementally instead of rebuilding (0 = always rebuild)")
-		debug = flag.Bool("debug", false, "log per-update delta sizes and update-path choices")
+		affinity = flag.Float64("affinity-threshold", engine.DefaultAffinityThreshold,
+			"frontier fraction at or below which updates patch the retained affinity recurrence instead of recomputing it (0 = always recompute)")
+		fullAff = flag.Bool("full-affinity", false, "escape hatch: recompute the affinity recurrence from scratch on every update (same as -affinity-threshold 0)")
+		debug   = flag.Bool("debug", false, "log per-update delta sizes and update-path choices")
 	)
 	flag.Parse()
 	if *snapEvery > 0 && *snapPath == "" {
@@ -110,9 +113,14 @@ func main() {
 	// Options shared by both construction paths: sweep count, the
 	// incremental-refresh threshold, and (with -debug) an observer that
 	// logs each update's delta size and which path served it.
+	affThreshold := *affinity
+	if *fullAff {
+		affThreshold = 0
+	}
 	commonOpts := []engine.Option{
 		engine.WithUpdateSweeps(*sweeps),
 		engine.WithRefreshThreshold(*refresh),
+		engine.WithAffinityThreshold(affThreshold),
 	}
 	if *debug {
 		commonOpts = append(commonOpts, engine.WithUpdateObserver(func(s engine.UpdateStats) {
@@ -120,8 +128,16 @@ func main() {
 			if s.Incremental {
 				path = "incremental"
 			}
-			log.Printf("debug: update v%d: delta %d node rows + %d attr rows (%s path)",
-				s.Version, s.DirtyNodes, s.DirtyAttrs, path)
+			aff := "full"
+			if s.AffinityIncremental {
+				aff = "incremental"
+			}
+			gram := ""
+			if s.GramCorrection {
+				gram = ", gram-corrected links"
+			}
+			log.Printf("debug: update v%d: delta %d node rows + %d attr rows (%s path; %s affinity, frontier %d%s)",
+				s.Version, s.DirtyNodes, s.DirtyAttrs, path, aff, s.AffinityFrontier, gram)
 		}))
 	}
 

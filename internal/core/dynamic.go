@@ -173,6 +173,21 @@ func refineRows(st *state, sweeps, nb int, nodes, attrs []int) {
 // by reference, unchanged — which is what lets the serving layer keep
 // every Gram-derived structure (G, Z rows of untouched nodes) bit-for-bit.
 func refineNodeRowsGathered(prev *Embedding, f, b *mat.Dense, sweeps, nb int, nodes []int) *Embedding {
+	fRows := mat.New(len(nodes), f.Cols)
+	bRows := mat.New(len(nodes), b.Cols)
+	for j, v := range nodes {
+		copy(fRows.Row(j), f.Row(v))
+		copy(bRows.Row(j), b.Row(v))
+	}
+	return refineNodeRowsGatheredTargets(prev, fRows, bRows, sweeps, nb, nodes)
+}
+
+// refineNodeRowsGatheredTargets is refineNodeRowsGathered with the
+// affinity targets already gathered: row j of fRows/bRows is the affinity
+// row of nodes[j]. This is the entry point of the AffinityState path,
+// which materializes exactly the delta's target rows (O(|Δ|·d)) instead of
+// full n x d affinity matrices.
+func refineNodeRowsGatheredTargets(prev *Embedding, fRows, bRows *mat.Dense, sweeps, nb int, nodes []int) *Embedding {
 	nd := len(nodes)
 	half := prev.Xf.Cols
 	subXf := mat.New(nd, half)
@@ -184,11 +199,11 @@ func refineNodeRowsGathered(prev *Embedding, f, b *mat.Dense, sweeps, nb int, no
 	st := &state{Embedding: Embedding{Xf: subXf, Xb: subXb, Y: prev.Y}}
 	st.Sf = mat.ParMulBT(subXf, prev.Y, nb)
 	st.Sb = mat.ParMulBT(subXb, prev.Y, nb)
-	for j, v := range nodes {
+	for j := range nodes {
 		// Row-wise Sub: same x + (-1)·y arithmetic as Dense.Sub, so the
 		// gathered residual rows match a full rebuild's rows bit for bit.
-		mat.AxpyVec(-1, f.Row(v), st.Sf.Row(j))
-		mat.AxpyVec(-1, b.Row(v), st.Sb.Row(j))
+		mat.AxpyVec(-1, fRows.Row(j), st.Sf.Row(j))
+		mat.AxpyVec(-1, bRows.Row(j), st.Sb.Row(j))
 	}
 	// Y is fixed for the whole restricted refinement, so its column cache
 	// and norms are loop-invariant.
@@ -211,6 +226,49 @@ func refineNodeRowsGathered(prev *Embedding, f, b *mat.Dense, sweeps, nb int, no
 		copy(e.Xb.Row(v), subXb.Row(j))
 	}
 	return e
+}
+
+// RefineRowsFromState is RefineRowsFrom with the affinity targets served
+// from an incrementally-maintained AffinityState instead of freshly
+// computed matrices. For a node-only delta the state materializes exactly
+// the delta's target rows, so the whole model-side update is O(Δ) — no
+// n x d pass anywhere. A delta with attribute rows still needs the full
+// affinity matrices (an attribute sweep walks its residual column across
+// all n nodes), so that path materializes them from the state in O(n·d).
+func RefineRowsFromState(st *AffinityState, prev *Embedding, cfg Config, sweeps, nb int, delta UpdateDelta) *Embedding {
+	if err := checkRowList(delta.Nodes, prev.Xf.Rows, "node"); err != nil {
+		panic(err)
+	}
+	if err := checkRowList(delta.Attrs, prev.Y.Rows, "attribute"); err != nil {
+		panic(err)
+	}
+	if nb < 1 {
+		nb = 1
+	}
+	if sweeps <= 0 {
+		sweeps = cfg.ccdIters()
+	}
+	if delta.Empty() {
+		e := *prev
+		return &e
+	}
+	if len(delta.Attrs) == 0 {
+		fRows, bRows := st.AffinityRows(delta.Nodes, nb)
+		return refineNodeRowsGatheredTargets(prev, fRows, bRows, sweeps, nb, delta.Nodes)
+	}
+	f, b := st.Affinity(nb)
+	stt := &state{Embedding: Embedding{
+		Xf: prev.Xf.Clone(),
+		Xb: prev.Xb.Clone(),
+		Y:  prev.Y.Clone(),
+	}}
+	stt.Sf = mat.ParMulBT(stt.Xf, stt.Y, nb)
+	stt.Sf.Sub(f)
+	stt.Sb = mat.ParMulBT(stt.Xb, stt.Y, nb)
+	stt.Sb.Sub(b)
+	refineRows(stt, sweeps, nb, delta.Nodes, delta.Attrs)
+	e := stt.Embedding
+	return &e
 }
 
 // UpdateEmbeddingRows is the delta-restricted form of UpdateEmbedding: it

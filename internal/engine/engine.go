@@ -15,9 +15,11 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pane/internal/core"
 	"pane/internal/graph"
@@ -56,6 +58,20 @@ type Engine struct {
 	// at 0) the full paths run. See WithRefreshThreshold.
 	refreshThreshold float64
 
+	// affinityThreshold is the frontier fraction at or below which the
+	// model side of an update patches the retained affinity recurrence
+	// state instead of re-running the full APMI recurrence; 0 disables the
+	// retained state entirely (every update recomputes affinity from
+	// scratch, the pre-PR behavior). See WithAffinityThreshold.
+	affinityThreshold float64
+
+	// affState is the retained pre-normalization recurrence state the
+	// incremental model updates patch, valid for exactly affVersion. Both
+	// are guarded by writeMu (apply is the only reader and writer); nil
+	// until the first update lands with the affinity path enabled.
+	affState   *core.AffinityState
+	affVersion uint64
+
 	// obs, when set, receives one UpdateStats per applied update.
 	obs func(UpdateStats)
 
@@ -69,6 +85,17 @@ type Engine struct {
 	statIncr      atomic.Uint64
 	statFull      atomic.Uint64
 	statLastDelta atomic.Uint64
+
+	// Model-side affinity accounting (see AffinityStatus): updates whose
+	// recurrence was patched over the delta's frontier vs re-run in full,
+	// the most recent frontier size, the state's advisory drift estimate
+	// (as math.Float64bits), and attribute updates served through the
+	// low-rank Gram correction instead of a full link-space rebuild.
+	statAffIncr     atomic.Uint64
+	statAffFull     atomic.Uint64
+	statAffFrontier atomic.Uint64
+	statAffDrift    atomic.Uint64
+	statGram        atomic.Uint64
 
 	// Sharded serving-index state (see index.go). Each shard's index is
 	// published separately from cur: queries accept the shard set only
@@ -103,6 +130,20 @@ const DefaultUpdateSweeps = 2
 // updates take the delta path. 20% is well past the crossover where
 // patching rows stops paying against streaming a full rebuild.
 const DefaultRefreshThreshold = 0.2
+
+// DefaultAffinityThreshold is the frontier fraction at or below which
+// incremental updates patch the retained affinity state instead of
+// re-running the full recurrence, mirroring DefaultRefreshThreshold: a
+// frontier past 20% of the nodes re-runs so much of the recurrence that
+// the restricted pass stops paying.
+const DefaultAffinityThreshold = 0.2
+
+// affinityDriftRebuild bounds the retained state's advisory drift
+// estimate (incrementally-maintained column sums accumulate float error
+// across chained deltas). Past it, the next update rebuilds the state
+// from scratch — measured drift over hundreds of chained deltas stays
+// below 1e-9, so this trips only on pathological update streams.
+const affinityDriftRebuild = 1e-6
 
 // Option configures an Engine.
 type Option func(*Engine)
@@ -140,6 +181,27 @@ func WithRefreshThreshold(t float64) Option {
 	}
 }
 
+// WithAffinityThreshold sets the frontier fraction (of the node count) at
+// or below which the model side of an incremental update patches the
+// retained affinity recurrence state over the delta's t-hop frontier —
+// O(Δ) instead of the full O(n·d·t) recurrence — and enables the low-rank
+// Gram correction that keeps small attribute deltas off the full
+// link-space rebuild. 0 disables both (every update recomputes affinity
+// from scratch and attribute deltas poison the link space), trading the
+// state's 2·t·n·d float memory retention for the old behavior — the
+// serving escape hatch behind paneserve's -full-affinity. Values outside
+// [0, 1] are a construction error. The affinity path only runs for
+// updates the refresh threshold already routed to the delta path.
+func WithAffinityThreshold(t float64) Option {
+	return func(e *Engine) {
+		if t < 0 || t > 1 {
+			e.fail(fmt.Errorf("engine: affinity threshold must be in [0,1], got %v", t))
+			return
+		}
+		e.affinityThreshold = t
+	}
+}
+
 // UpdateStats describes one applied update for observers: the published
 // version, the row delta the update touched, and whether the delta path
 // (restricted sweeps + incremental index refresh eligibility) ran.
@@ -148,6 +210,22 @@ type UpdateStats struct {
 	DirtyNodes  int
 	DirtyAttrs  int
 	Incremental bool
+
+	// Model-side timing split (benchexp reports these as
+	// affinity_seconds / ccd_seconds; the remainder of the model wall time
+	// is graph merge + scorer + publish). Zero when the affinity path is
+	// disabled — the legacy paths don't separate the two phases.
+	AffinitySeconds float64
+	CCDSeconds      float64
+	// AffinityIncremental reports whether the recurrence was patched over
+	// the delta's frontier (vs re-run in full); AffinityFrontier is the
+	// total frontier size (forward + backward rows re-run).
+	AffinityIncremental bool
+	AffinityFrontier    int
+	// GramCorrection reports whether an attribute delta shipped a
+	// low-rank Z-correction to the index instead of poisoning the link
+	// space into full rebuilds.
+	GramCorrection bool
 }
 
 // WithUpdateObserver registers fn to be called synchronously after every
@@ -170,7 +248,11 @@ func newEngine(g *graph.Graph, emb *core.Embedding, cfg core.Config, version uin
 		return nil, fmt.Errorf("engine: embedding %dx%d k=%d does not fit graph %dx%d with config K=%d",
 			emb.Xf.Rows, emb.Y.Rows, emb.K(), g.N, g.D, cfg.K)
 	}
-	e := &Engine{sweeps: DefaultUpdateSweeps, refreshThreshold: DefaultRefreshThreshold}
+	e := &Engine{
+		sweeps:            DefaultUpdateSweeps,
+		refreshThreshold:  DefaultRefreshThreshold,
+		affinityThreshold: DefaultAffinityThreshold,
+	}
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -266,8 +348,52 @@ func (e *Engine) apply(edges []graph.Edge, attrs []graph.AttrEntry) (*Model, err
 	incremental := thr > 0 &&
 		float64(len(touched.Nodes)) <= thr*float64(g.N) &&
 		float64(len(touched.Attrs)) <= thr*float64(g.D)
-	var emb *core.Embedding
-	if incremental {
+	var (
+		emb   *core.Embedding
+		affUp core.AffinityUpdate
+		stats = UpdateStats{
+			Version: prev.Version + 1, Incremental: incremental,
+			DirtyNodes: len(touched.Nodes), DirtyAttrs: len(touched.Attrs),
+		}
+	)
+	if e.affinityThreshold > 0 && thr > 0 {
+		// Affinity path: serve the recurrence from the retained state,
+		// patching it over the delta's frontier when the state is current
+		// and the frontier fits the budget, rebuilding it otherwise. The
+		// state is graph-derived only, so a rebuilt state is valid for any
+		// later delta regardless of how this update refines the embedding.
+		t0 := time.Now()
+		st := e.affState
+		stale := st == nil || e.affVersion != prev.Version ||
+			st.Drift() > affinityDriftRebuild || !incremental
+		if !stale {
+			affUp, err = core.UpdateAffinity(st, g, edges, attrs, e.affinityThreshold, threads(prev.Cfg))
+			if err != nil {
+				return nil, err
+			}
+			stale = !affUp.Incremental
+		}
+		if stale {
+			st = core.NewAffinityState(g, prev.Cfg.Alpha, prev.Cfg.Iterations(), threads(prev.Cfg))
+			e.statAffFull.Add(1)
+		} else {
+			e.statAffIncr.Add(1)
+		}
+		e.affState, e.affVersion = st, prev.Version+1
+		e.statAffFrontier.Store(uint64(affUp.FrontierF + affUp.FrontierB))
+		e.statAffDrift.Store(math.Float64bits(st.Drift()))
+		stats.AffinitySeconds = time.Since(t0).Seconds()
+		stats.AffinityIncremental = !stale
+		stats.AffinityFrontier = affUp.FrontierF + affUp.FrontierB
+		t1 := time.Now()
+		if incremental {
+			emb = core.RefineRowsFromState(st, prev.Emb, prev.Cfg, e.sweeps, threads(prev.Cfg), touched)
+		} else {
+			f, b := st.Affinity(threads(prev.Cfg))
+			emb = core.RefineFrom(prev.Emb, f, b, prev.Cfg, e.sweeps, threads(prev.Cfg))
+		}
+		stats.CCDSeconds = time.Since(t1).Seconds()
+	} else if incremental {
 		emb, err = core.UpdateEmbeddingRows(g, prev.Emb, prev.Cfg, e.sweeps, touched)
 	} else {
 		emb, err = core.UpdateEmbedding(g, prev.Emb, prev.Cfg, e.sweeps)
@@ -296,20 +422,93 @@ func (e *Engine) apply(edges []graph.Edge, attrs []graph.AttrEntry) (*Model, err
 	if incremental {
 		d.links = touched.Nodes
 		d.attrs = touched.Attrs
-		d.linksFull = len(touched.Attrs) > 0
 		d.rows = touched.Rows()
+		if len(touched.Attrs) > 0 {
+			// An attribute delta moves Y rows and with them G = YᵀY — every
+			// link candidate row shifts. When the affinity path is on and
+			// the delta is low-rank relative to the space (2·|Δattrs| <
+			// k/2), ship the correction Z += Xb·ΔG instead of poisoning the
+			// link space into per-shard full rebuilds: the restricted
+			// refinement moved exactly touched.Attrs' Y rows, so the
+			// correction plus exact recomputation of the dirty node rows
+			// reproduces the new candidate matrix up to float round-off.
+			if gd := e.gramFor(prev.Emb, emb, touched.Attrs); gd != nil {
+				d.gram = gd
+				stats.GramCorrection = true
+				e.statGram.Add(1)
+			} else {
+				d.linksFull = true
+			}
+		}
 	} else {
 		d.linksFull, d.attrsFull = true, true
 		d.rows = g.N + g.D
 	}
 	e.scheduleIndexRebuild(d)
 	if e.obs != nil {
-		e.obs(UpdateStats{
-			Version: next.Version, Incremental: incremental,
-			DirtyNodes: len(touched.Nodes), DirtyAttrs: len(touched.Attrs),
-		})
+		e.obs(stats)
 	}
 	return next, nil
+}
+
+// threads clamps a config's build parallelism to at least 1.
+func threads(cfg core.Config) int {
+	if cfg.Threads < 1 {
+		return 1
+	}
+	return cfg.Threads
+}
+
+// gramFor builds the low-rank link-space correction for an attribute
+// delta, or nil when the correction doesn't apply: the affinity path is
+// off, or the delta's rank bound 2·|Δattrs| reaches the factor width k/2
+// (at which point correcting every row costs as much as the full
+// transform it replaces).
+func (e *Engine) gramFor(prevEmb, emb *core.Embedding, attrs []int) *core.GramDelta {
+	if e.affinityThreshold <= 0 || 2*len(attrs) >= emb.Y.Cols {
+		return nil
+	}
+	gd, err := core.NewGramDelta(prevEmb.Y, emb.Y, attrs)
+	if err != nil {
+		return nil
+	}
+	return gd
+}
+
+// AffinityStatus reports the model-side incremental-update state for
+// monitoring (served under healthz next to the index status).
+type AffinityStatus struct {
+	// Enabled reports whether updates retain and patch the affinity
+	// recurrence state (affinity and refresh thresholds both non-zero).
+	Enabled bool `json:"enabled"`
+	// Threshold is the frontier fraction budget in effect.
+	Threshold float64 `json:"threshold"`
+	// Incremental / Full count updates whose recurrence was patched over
+	// the delta's frontier vs re-run from scratch.
+	Incremental uint64 `json:"affinity_incremental"`
+	Full        uint64 `json:"affinity_full"`
+	// FrontierRows is the most recent update's total frontier size (the
+	// forward plus backward rows whose recurrence was re-run).
+	FrontierRows uint64 `json:"affinity_frontier_rows"`
+	// Drift is the retained state's advisory column-sum drift estimate;
+	// past the internal rebuild bound the next update rebuilds the state.
+	Drift float64 `json:"drift"`
+	// GramCorrections counts attribute updates served through the
+	// low-rank link-space correction instead of full rebuilds.
+	GramCorrections uint64 `json:"gram_corrections"`
+}
+
+// AffinityStatus returns the current model-side update accounting.
+func (e *Engine) AffinityStatus() AffinityStatus {
+	return AffinityStatus{
+		Enabled:         e.affinityThreshold > 0 && e.refreshThreshold > 0,
+		Threshold:       e.affinityThreshold,
+		Incremental:     e.statAffIncr.Load(),
+		Full:            e.statAffFull.Load(),
+		FrontierRows:    e.statAffFrontier.Load(),
+		Drift:           math.Float64frombits(e.statAffDrift.Load()),
+		GramCorrections: e.statGram.Load(),
+	}
 }
 
 // touchedDelta collects the rows a graph update directly touches: both

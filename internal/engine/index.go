@@ -203,6 +203,14 @@ type shardPending struct {
 	attrsFull bool
 	links     map[int]struct{} // global Z row ids inside this shard's range
 	attrs     map[int]struct{} // global Y row ids inside this shard's range
+	// grams are the accumulated low-rank link-space corrections of the
+	// attribute deltas since the shard last published, oldest first. Each
+	// is additive on every row whose Xb row did not change, and rows that
+	// did change are in links and get recomputed exactly — so applying
+	// them all against the current model's Xb is order-independent and
+	// reproduces the pending Z shift without a full transform. Ignored
+	// when linksFull poisons the space (the rebuild recomputes Z anyway).
+	grams []*core.GramDelta
 }
 
 // idxDelta is one published update's dirty-row report, handed from apply
@@ -212,7 +220,8 @@ type idxDelta struct {
 	linksFull    bool
 	attrsFull    bool
 	links, attrs []int
-	rows         int // total dirty rows, for monitoring
+	gram         *core.GramDelta // low-rank Z correction of an attr delta
+	rows         int             // total dirty rows, for monitoring
 }
 
 // shardSet is the sharded serving-index state of one Engine: the fixed
@@ -287,6 +296,9 @@ func (ss *shardSet) markLocked(d idxDelta) {
 		p.target = d.target
 		p.linksFull = p.linksFull || d.linksFull
 		p.attrsFull = p.attrsFull || d.attrsFull
+		if d.gram != nil {
+			p.grams = append(p.grams, d.gram)
+		}
 	}
 	if !d.linksFull {
 		for _, r := range d.links {
@@ -319,6 +331,10 @@ func (ss *shardSet) remergeLocked(s int, p shardPending) {
 	cur.attrsFull = cur.attrsFull || p.attrsFull
 	cur.links = unionRows(cur.links, p.links)
 	cur.attrs = unionRows(cur.attrs, p.attrs)
+	if len(p.grams) > 0 {
+		// p's corrections predate whatever accumulated meanwhile.
+		cur.grams = append(append([]*core.GramDelta(nil), p.grams...), cur.grams...)
+	}
 }
 
 func unionRows(dst, src map[int]struct{}) map[int]struct{} {
@@ -449,14 +465,53 @@ func (e *Engine) refreshShard(m *Model, s int, base *shardIdx, p shardPending) (
 
 	lo, hi := ss.linkRanges[s][0], ss.linkRanges[s][1]
 	linkRows := sortedRowsIn(p.links, lo, hi)
+	gramRank := 0
+	for _, gd := range p.grams {
+		gramRank += gd.Rank()
+	}
 	switch {
-	case p.linksFull || float64(len(linkRows)) > thr*float64(hi-lo):
+	case p.linksFull || gramRank >= m.Emb.Y.Cols ||
+		float64(len(linkRows)) > thr*float64(hi-lo):
+		// Poisoned space, a coalesced correction whose rank bound reaches
+		// the factor width (correcting every row would cost as much as the
+		// full transform), or a dirty delta past the threshold.
 		e.buildShardLinks(si, m, s, bp)
 		fullWork = true
-	case len(linkRows) == 0:
+	case len(linkRows) == 0 && len(p.grams) == 0:
 		si.z = base.z
 		si.links, si.linksIVF = base.links, base.linksIVF
 		si.linksSQ, si.linksIVFSQ = base.linksSQ, base.linksIVFSQ
+	case len(p.grams) > 0:
+		// Low-rank path: every candidate row shifts by Xb[i]·ΔG, so apply
+		// the accumulated corrections to the whole block in O(n·rank·k),
+		// then overwrite the dirty rows — the rows whose Xb changed, for
+		// which the additive correction is wrong — with exactly recomputed
+		// values. Every tier re-derives from the moved block: SQ8
+		// re-encodes all rows, the IVF keeps its assignments (Reseat — the
+		// values moved by a correction-sized nudge, not to new clusters),
+		// and IVFSQ re-quantizes the reseated lists.
+		z := base.z.Clone()
+		for _, gd := range p.grams {
+			gd.Apply(z, m.Emb.Xb, lo, bp.threads)
+		}
+		if len(linkRows) > 0 {
+			patch := m.Scorer.TransformedCandidatesRows(linkRows, bp.threads)
+			for j, r := range linkRows {
+				copy(z.Row(r-lo), patch.Row(j))
+			}
+		}
+		si.z = z
+		si.links = index.Shift(unshift(base.links).(*index.Exact).Refresh(z), lo)
+		if base.linksIVF != nil {
+			iv := unshift(base.linksIVF).(*index.IVF).Reseat(z)
+			si.linksIVF = index.Shift(iv, lo)
+			if base.linksIVFSQ != nil {
+				si.linksIVFSQ = index.Shift(unshift(base.linksIVFSQ).(*index.IVFSQ).Refresh(iv, z), lo)
+			}
+		}
+		if base.linksSQ != nil {
+			si.linksSQ = index.Shift(index.NewSQ8(z, bp.cfg.Rerank, bp.threads), lo)
+		}
 	default:
 		z := base.z.Clone()
 		patch := m.Scorer.TransformedCandidatesRows(linkRows, bp.threads)

@@ -34,13 +34,17 @@ type UpdateOptions struct {
 }
 
 // UpdatePoint is one row of the delta sweep: the same edge batch applied
-// through the full path (full warm-start sweeps + per-shard full index
-// rebuilds) and the delta path (restricted sweeps + incremental per-shard
-// refresh), timed end to end. ModelSeconds is the ApplyEdges call (graph
-// merge, affinity recompute, warm-start refinement, publish);
-// IndexSeconds the time from publish until every shard serves the new
-// version — the update-to-fresh-index latency the delta pipeline exists
-// to shrink.
+// through the full path (full affinity recompute + full warm-start
+// sweeps + per-shard full index rebuilds) and the delta path
+// (frontier-restricted recurrence patch + restricted sweeps +
+// incremental per-shard refresh), timed end to end. ModelSeconds is the
+// ApplyEdges call (graph merge, affinity work, warm-start refinement,
+// publish); IndexSeconds the time from publish until every shard serves
+// the new version — the update-to-fresh-index latency the delta pipeline
+// exists to shrink. The incremental model time is further broken into
+// its three phases: affinity (frontier BFS + recurrence patch), CCD
+// (warm-start coordinate descent), and transform (everything else —
+// graph merge, factor transforms, publish).
 type UpdatePoint struct {
 	DeltaEdges int `json:"delta_edges"`
 	DirtyRows  int `json:"dirty_rows"` // distinct node rows the batch touches
@@ -52,8 +56,22 @@ type UpdatePoint struct {
 	IncrIndexSeconds float64 `json:"incr_index_seconds"`
 	IncrTotalSeconds float64 `json:"incr_total_seconds"`
 
-	// SpeedupIndex is full/incremental update-to-fresh-index latency;
-	// SpeedupTotal the same for the whole update.
+	// Incremental model-phase split (sums to IncrModelSeconds).
+	IncrAffinitySeconds  float64 `json:"incr_affinity_seconds"`
+	IncrCCDSeconds       float64 `json:"incr_ccd_seconds"`
+	IncrTransformSeconds float64 `json:"incr_transform_seconds"`
+	// AffinityIncremental reports whether the point's recurrence was
+	// patched over the delta frontier (false = frontier exceeded the
+	// budget and the engine fell back to a full recurrence pass).
+	AffinityIncremental bool `json:"affinity_incremental"`
+	// AffinityFrontier is the forward+backward frontier row count of the
+	// recurrence patch.
+	AffinityFrontier int `json:"affinity_frontier"`
+
+	// SpeedupModel is full/incremental ApplyEdges latency; SpeedupIndex
+	// full/incremental update-to-fresh-index latency; SpeedupTotal the
+	// same for the whole update.
+	SpeedupModel float64 `json:"speedup_model"`
 	SpeedupIndex float64 `json:"speedup_index"`
 	SpeedupTotal float64 `json:"speedup_total"`
 }
@@ -74,16 +92,34 @@ type UpdateBench struct {
 	// shard cycle must have been served incrementally.
 	IncrementalRefreshes uint64 `json:"incremental_refreshes"`
 	FullRebuilds         uint64 `json:"full_rebuilds"`
+	// Model-side counters of the incremental engine (the affinity section
+	// of /healthz): recurrence passes by kind across the whole run.
+	AffinityIncremental uint64 `json:"affinity_incremental"`
+	AffinityFull        uint64 `json:"affinity_full"`
+
+	// Attribute-delta phase: one node-attribute batch absorbed by the
+	// low-rank link-space correction instead of a full shard rebuild.
+	AttrEntries          int     `json:"attr_entries"`
+	AttrAttrs            int     `json:"attr_attrs"` // distinct attributes touched
+	AttrFullTotalSeconds float64 `json:"attr_full_total_seconds"`
+	AttrIncrTotalSeconds float64 `json:"attr_incr_total_seconds"`
+	// AttrRecall is the incremental engine's mean top-10 link recall after
+	// the gram-corrected refresh, against a fresh index built around its
+	// own model; the run fails below 0.999.
+	AttrRecall float64 `json:"attr_recall"`
 }
 
 // RunUpdate generates a community graph, trains one model, and wraps it
 // in two engines with identical index stacks (exact + IVF + quantized
-// tiers over Shards shards): one pinned to the full update path
-// (threshold 0) and one to the delta path (threshold 1). Each sweep point
-// applies the same random edge batches to both and times
-// update-to-fresh-index latency. The run fails — rather than reporting a
-// misleading number — when the incremental engine's refreshed index does
-// not answer exactly like a from-scratch build around its own model.
+// tiers over Shards shards): one pinned to the full update path (refresh
+// and affinity thresholds 0) and one to the delta path (both 1). Each
+// sweep point applies the same random edge batches to both and times
+// update-to-fresh-index latency; a final node-attribute batch exercises
+// the gram-corrected link refresh. The run fails — rather than reporting
+// a misleading number — when the incremental engine's refreshed index
+// does not answer exactly like a from-scratch build around its own model
+// after the edge sweep, or within the 0.999 top-10 recall floor after
+// the attribute batch.
 func RunUpdate(opt UpdateOptions) (*UpdateBench, error) {
 	if opt.N <= 0 {
 		opt.N = 100000
@@ -129,17 +165,27 @@ func RunUpdate(opt UpdateOptions) (*UpdateBench, error) {
 	trainSec := time.Since(start).Seconds()
 
 	idxCfg := engine.IndexConfig{IVF: true, Quantize: true, Shards: opt.Shards}
-	build := func(threshold float64) (*engine.Engine, float64, error) {
+	// lastStats captures the incremental engine's per-update stats; the
+	// observer runs synchronously inside Apply*, so the value is final by
+	// the time the call returns.
+	var lastStats engine.UpdateStats
+	build := func(threshold float64, extra ...engine.Option) (*engine.Engine, float64, error) {
 		t0 := time.Now()
-		eng, err := engine.New(g, emb, cfg,
-			engine.WithIndex(idxCfg), engine.WithRefreshThreshold(threshold))
+		opts := append([]engine.Option{
+			engine.WithIndex(idxCfg),
+			engine.WithRefreshThreshold(threshold),
+			engine.WithAffinityThreshold(threshold),
+		}, extra...)
+		eng, err := engine.New(g, emb, cfg, opts...)
 		return eng, time.Since(t0).Seconds(), err
 	}
 	engFull, buildSec, err := build(0)
 	if err != nil {
 		return nil, err
 	}
-	engIncr, _, err := build(1)
+	engIncr, _, err := build(1, engine.WithUpdateObserver(func(s engine.UpdateStats) {
+		lastStats = s
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -184,16 +230,24 @@ func RunUpdate(opt UpdateOptions) (*UpdateBench, error) {
 			if err != nil {
 				return nil, err
 			}
+			st := lastStats
 			fm, fi, err := timeUpdate(engFull, edges)
 			if err != nil {
 				return nil, err
 			}
 			if rep == 0 || im+ii < p.IncrTotalSeconds {
 				p.IncrModelSeconds, p.IncrIndexSeconds, p.IncrTotalSeconds = im, ii, im+ii
+				p.IncrAffinitySeconds, p.IncrCCDSeconds = st.AffinitySeconds, st.CCDSeconds
+				p.IncrTransformSeconds = im - st.AffinitySeconds - st.CCDSeconds
+				p.AffinityIncremental = st.AffinityIncremental
+				p.AffinityFrontier = st.AffinityFrontier
 			}
 			if rep == 0 || fm+fi < p.FullTotalSeconds {
 				p.FullModelSeconds, p.FullIndexSeconds, p.FullTotalSeconds = fm, fi, fm+fi
 			}
+		}
+		if p.IncrModelSeconds > 0 {
+			p.SpeedupModel = p.FullModelSeconds / p.IncrModelSeconds
 		}
 		if p.IncrIndexSeconds > 0 {
 			p.SpeedupIndex = p.FullIndexSeconds / p.IncrIndexSeconds
@@ -255,7 +309,101 @@ func RunUpdate(opt UpdateOptions) (*UpdateBench, error) {
 			return nil, err
 		}
 	}
+
+	// Attribute-delta phase. One node-attribute batch over a handful of
+	// distinct attributes, applied to both engines after the edge sweep.
+	// The incremental engine must absorb it without a single full shard
+	// rebuild (low-rank gram correction of the link space), and its
+	// refreshed top-k must stay within the recall floor of a fresh build
+	// around its own model — bit-identity is out of reach here because the
+	// correction accumulates ~1 ulp against a from-scratch transform.
+	nAttrs := opt.K/4 - 1 // gram viability bound: 2·|Δattrs| < K/2
+	if nAttrs > 16 {
+		nAttrs = 16
+	}
+	if nAttrs > g.D {
+		nAttrs = g.D
+	}
+	if nAttrs < 1 {
+		nAttrs = 1
+	}
+	nEntries := opt.N / 100
+	if nEntries < 20 {
+		nEntries = 20
+	}
+	attrIDs := rng.Perm(g.D)[:nAttrs]
+	entries := make([]graph.AttrEntry, nEntries)
+	for i := range entries {
+		entries[i] = graph.AttrEntry{
+			Node: rng.Intn(g.N), Attr: attrIDs[rng.Intn(nAttrs)], Weight: 1,
+		}
+	}
+	b.AttrEntries, b.AttrAttrs = nEntries, nAttrs
+	timeAttrs := func(eng *engine.Engine) (float64, error) {
+		t0 := time.Now()
+		if _, err := eng.ApplyAttrs(entries); err != nil {
+			return 0, err
+		}
+		eng.WaitForIndex()
+		return time.Since(t0).Seconds(), nil
+	}
+	if b.AttrIncrTotalSeconds, err = timeAttrs(engIncr); err != nil {
+		return nil, err
+	}
+	if !lastStats.Incremental || !lastStats.GramCorrection {
+		return nil, fmt.Errorf("experiments: attr delta took the full path (incremental=%v gram=%v): link-space correction is broken",
+			lastStats.Incremental, lastStats.GramCorrection)
+	}
+	if b.AttrFullTotalSeconds, err = timeAttrs(engFull); err != nil {
+		return nil, err
+	}
+	if st := engIncr.IndexStatus(); st.FullRebuilds != uint64(st.Shards) {
+		return nil, fmt.Errorf("experiments: attr delta triggered full shard rebuilds (%d vs the %d initial builds)",
+			st.FullRebuilds, st.Shards)
+	}
+	m = engIncr.Model()
+	fresh, err = engine.New(m.Graph, m.Emb, m.Cfg, engine.WithIndex(idxCfg))
+	if err != nil {
+		return nil, err
+	}
+	var recallSum float64
+	for i := 0; i < opt.Queries; i++ {
+		u := qrng.Intn(g.N)
+		want, err := fresh.TopLinks(u, 10, engine.ModeExact, 0)
+		if err != nil {
+			return nil, err
+		}
+		got, err := engIncr.TopLinks(u, 10, engine.ModeExact, 0)
+		if err != nil {
+			return nil, err
+		}
+		recallSum += recallScored(want.Results, got.Results)
+	}
+	b.AttrRecall = recallSum / float64(opt.Queries)
+	if b.AttrRecall < 0.999 {
+		return nil, fmt.Errorf("experiments: gram-corrected top-10 recall %.4f below the 0.999 floor", b.AttrRecall)
+	}
+
+	as := engIncr.AffinityStatus()
+	b.AffinityIncremental, b.AffinityFull = as.Incremental, as.Full
 	return b, nil
+}
+
+func recallScored(want, got []core.Scored) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	ids := make(map[int]bool, len(got))
+	for _, s := range got {
+		ids[s.ID] = true
+	}
+	hit := 0
+	for _, s := range want {
+		if ids[s.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
 }
 
 func deltaSizes(points []UpdatePoint) []int {
@@ -284,17 +432,21 @@ func sameScored(label string, u int, want, got []core.Scored) error {
 func PrintUpdate(w io.Writer, b *UpdateBench) {
 	fmt.Fprintf(w, "Update-to-fresh-index: n=%d m=%d d=%d k=%d, %d shards (train %.1fs, initial build %.1fs)\n",
 		b.N, b.Edges, b.D, b.K, b.Shards, b.TrainSeconds, b.IndexBuildSeconds)
-	fmt.Fprintf(w, "%-8s %-8s | %10s %10s %10s | %10s %10s %10s | %8s %8s\n",
-		"Δedges", "dirty", "full mdl", "full idx", "full tot", "incr mdl", "incr idx", "incr tot", "idx spd", "tot spd")
+	fmt.Fprintf(w, "%-8s %-8s | %10s %10s %10s | %10s %10s %10s | %10s %10s %10s | %8s %8s %8s\n",
+		"Δedges", "dirty", "full mdl", "full idx", "full tot", "incr mdl", "incr idx", "incr tot",
+		"aff", "ccd", "xform", "mdl spd", "idx spd", "tot spd")
 	for _, p := range b.Points {
-		fmt.Fprintf(w, "%-8d %-8d | %9.3fs %9.3fs %9.3fs | %9.3fs %9.3fs %9.3fs | %7.1fx %7.1fx\n",
+		fmt.Fprintf(w, "%-8d %-8d | %9.3fs %9.3fs %9.3fs | %9.3fs %9.3fs %9.3fs | %9.3fs %9.3fs %9.3fs | %7.1fx %7.1fx %7.1fx\n",
 			p.DeltaEdges, p.DirtyRows,
 			p.FullModelSeconds, p.FullIndexSeconds, p.FullTotalSeconds,
 			p.IncrModelSeconds, p.IncrIndexSeconds, p.IncrTotalSeconds,
-			p.SpeedupIndex, p.SpeedupTotal)
+			p.IncrAffinitySeconds, p.IncrCCDSeconds, p.IncrTransformSeconds,
+			p.SpeedupModel, p.SpeedupIndex, p.SpeedupTotal)
 	}
-	fmt.Fprintf(w, "incremental engine: %d incremental refreshes, %d full builds (initial only)\n",
-		b.IncrementalRefreshes, b.FullRebuilds)
+	fmt.Fprintf(w, "incremental engine: %d incremental refreshes, %d full builds (initial only); %d affinity patches, %d full recurrence passes\n",
+		b.IncrementalRefreshes, b.FullRebuilds, b.AffinityIncremental, b.AffinityFull)
+	fmt.Fprintf(w, "attr delta: %d entries over %d attrs, full %.3fs vs incr %.3fs (gram-corrected, recall %.4f)\n",
+		b.AttrEntries, b.AttrAttrs, b.AttrFullTotalSeconds, b.AttrIncrTotalSeconds, b.AttrRecall)
 }
 
 // WriteUpdateJSON writes the report to path as indented JSON.
@@ -332,6 +484,9 @@ func CheckUpdateBaseline(cur, base *UpdateBench, tol float64) error {
 	if cur.IncrementalRefreshes == 0 {
 		return fmt.Errorf("experiments: update gate: no incremental refreshes recorded")
 	}
+	if cur.AffinityIncremental == 0 {
+		return fmt.Errorf("experiments: update gate: no incremental affinity passes recorded — model-side delta path is dead")
+	}
 	basePoints := make(map[int]UpdatePoint, len(base.Points))
 	for _, p := range base.Points {
 		basePoints[p.DeltaEdges] = p
@@ -344,6 +499,11 @@ func CheckUpdateBaseline(cur, base *UpdateBench, tol float64) error {
 			continue
 		}
 		compared++
+		if bp.SpeedupModel > 0 && p.SpeedupModel < bp.SpeedupModel*(1-tol) {
+			failures = append(failures, fmt.Sprintf(
+				"Δ=%d model speedup %.1fx dropped more than %.0f%% below baseline %.1fx",
+				p.DeltaEdges, p.SpeedupModel, tol*100, bp.SpeedupModel))
+		}
 		if bp.SpeedupIndex > 0 && p.SpeedupIndex < bp.SpeedupIndex*(1-tol) {
 			failures = append(failures, fmt.Sprintf(
 				"Δ=%d index speedup %.1fx dropped more than %.0f%% below baseline %.1fx",

@@ -11,9 +11,10 @@ func updateBench() *UpdateBench {
 	return &UpdateBench{
 		N: 2000, D: 30, K: 16, Shards: 2,
 		IncrementalRefreshes: 8, FullRebuilds: 2,
+		AffinityIncremental: 6, AffinityFull: 1,
 		Points: []UpdatePoint{
-			{DeltaEdges: 10, SpeedupIndex: 20, SpeedupTotal: 4},
-			{DeltaEdges: 100, SpeedupIndex: 10, SpeedupTotal: 3},
+			{DeltaEdges: 10, SpeedupModel: 30, SpeedupIndex: 20, SpeedupTotal: 4},
+			{DeltaEdges: 100, SpeedupModel: 15, SpeedupIndex: 10, SpeedupTotal: 3},
 		},
 	}
 }
@@ -42,9 +43,20 @@ func TestCheckUpdateBaselineCatchesRegressions(t *testing.T) {
 		t.Fatalf("index regression not caught: %v", err)
 	}
 	cur = updateBench()
+	cur.Points[1].SpeedupModel = 5 // -67%
+	err = CheckUpdateBaseline(cur, base, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "model speedup") {
+		t.Fatalf("model regression not caught: %v", err)
+	}
+	cur = updateBench()
 	cur.IncrementalRefreshes = 0
 	if err := CheckUpdateBaseline(cur, base, 0.25); err == nil {
 		t.Fatal("dead incremental pipeline not caught")
+	}
+	cur = updateBench()
+	cur.AffinityIncremental = 0
+	if err := CheckUpdateBaseline(cur, base, 0.25); err == nil {
+		t.Fatal("dead model-side delta path not caught")
 	}
 	// A delta-set drift (no matching points at all) must fail, not pass
 	// vacuously.
@@ -80,6 +92,18 @@ func TestRunUpdateSmoke(t *testing.T) {
 	}
 	if b.IncrementalRefreshes == 0 || b.FullRebuilds != 2 {
 		t.Fatalf("counters %+v", b)
+	}
+	if b.AffinityIncremental == 0 || b.AffinityFull == 0 {
+		t.Fatalf("affinity counters %+v", b)
+	}
+	if b.AttrEntries == 0 || b.AttrRecall < 0.999 {
+		t.Fatalf("attr phase %+v", b)
+	}
+	for _, p := range b.Points {
+		sum := p.IncrAffinitySeconds + p.IncrCCDSeconds + p.IncrTransformSeconds
+		if d := sum - p.IncrModelSeconds; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("Δ=%d phase split %.9f does not sum to model time %.9f", p.DeltaEdges, sum, p.IncrModelSeconds)
+		}
 	}
 	var buf bytes.Buffer
 	PrintUpdate(&buf, b)

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"sort"
 
 	"pane/internal/sparse"
 )
@@ -41,10 +42,69 @@ func (g *Graph) AttrEntries() []AttrEntry {
 // no-op); attribute weights are additive, matching New's semantics for the
 // weighted set ER. Node and attribute counts are unchanged, so entries
 // referencing ids outside [0,N) x [0,D) are rejected.
+//
+// The delta is folded into the parent's CSRs with an O(m) sorted-row
+// merge instead of the entry-list rebuild New performs, and the parent's
+// derived-matrix cache (Walk / NormalizedAttrs products), when it has been
+// materialized, is carried over with only the dirty rows and columns
+// recomputed — the two changes that keep the per-update graph cost
+// proportional to the graph, not to re-deriving the dense seeds.
 func (g *Graph) WithUpdates(edges []Edge, attrs []AttrEntry) (*Graph, error) {
-	allEdges := append(g.Edges(), edges...)
-	allAttrs := append(g.AttrEntries(), attrs...)
-	return New(g.N, g.D, allEdges, allAttrs, g.Labels)
+	edgeEntries := make([]sparse.Entry, 0, len(edges))
+	for _, e := range edges {
+		if e.Src < 0 || e.Src >= g.N || e.Dst < 0 || e.Dst >= g.N {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range for %d nodes", e.Src, e.Dst, g.N)
+		}
+		edgeEntries = append(edgeEntries, sparse.Entry{Row: e.Src, Col: e.Dst, Val: 1})
+	}
+	attrEntries := make([]sparse.Entry, 0, len(attrs))
+	nodeSet := map[int]bool{}
+	attrSet := map[int]bool{}
+	for _, a := range attrs {
+		if a.Node < 0 || a.Node >= g.N || a.Attr < 0 || a.Attr >= g.D {
+			return nil, fmt.Errorf("graph: attribute entry (%d,%d) out of range", a.Node, a.Attr)
+		}
+		if a.Weight < 0 {
+			return nil, fmt.Errorf("graph: negative attribute weight %v at (%d,%d)", a.Weight, a.Node, a.Attr)
+		}
+		if a.Weight == 0 {
+			continue
+		}
+		attrEntries = append(attrEntries, sparse.Entry{Row: a.Node, Col: a.Attr, Val: a.Weight})
+		nodeSet[a.Node] = true
+		attrSet[a.Attr] = true
+	}
+	adj := g.Adj
+	if len(edgeEntries) > 0 {
+		adj = g.Adj.MergeEntries(edgeEntries, func(old, add float64) float64 { return 1 })
+	}
+	attr := g.Attr
+	if len(attrEntries) > 0 {
+		attr = g.Attr.MergeEntries(attrEntries, func(old, add float64) float64 { return old + add })
+	}
+	ng := &Graph{N: g.N, D: g.D, Adj: adj, Attr: attr, Labels: g.Labels}
+	if adj == g.Adj {
+		ng.AdjT, ng.outDeg = g.AdjT, g.outDeg
+	} else {
+		ng.AdjT = adj.T()
+		ng.outDeg = adj.RowSums()
+	}
+	g.prodMu.Lock()
+	old := g.prod
+	g.prodMu.Unlock()
+	if old != nil {
+		ng.prod = ng.patchDerived(old, sortedKeys(nodeSet), sortedKeys(attrSet))
+	}
+	return ng, nil
+}
+
+func sortedKeys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // FromCSR reconstructs a Graph directly from its adjacency and attribute

@@ -6,6 +6,7 @@ package graph
 
 import (
 	"fmt"
+	"sync"
 
 	"pane/internal/mat"
 	"pane/internal/sparse"
@@ -36,6 +37,13 @@ type Graph struct {
 	Labels [][]int     // optional per-node label sets (may be nil)
 
 	outDeg []float64
+
+	// Lazily-built cache of the derived matrices (P, Pᵀ, Rr, Rc, …).
+	// Logically the graph stays immutable: the cache only memoizes pure
+	// functions of Adj/Attr, and WithUpdates carries it across versions
+	// with the dirty parts patched.
+	prodMu sync.Mutex
+	prod   *derived
 }
 
 // New builds a Graph from n nodes, d attributes, the directed edge list,
@@ -99,22 +107,19 @@ func (g *Graph) NNZAttr() int { return g.Attr.NNZ() }
 // OutDegree returns the out-degree of node v.
 func (g *Graph) OutDegree(v int) float64 { return g.outDeg[v] }
 
-// Walk returns the random-walk matrix P = D⁻¹A as a fresh CSR, together
-// with its transpose Pᵀ. Rows of dangling nodes (out-degree 0) are zero:
-// a walk at a dangling node has nowhere to go, so the iterative recurrence
-// of Equation (6) simply stops propagating mass through it. This matches
-// the behaviour of the simulator in package rwalk, which terminates walks
+// Walk returns the random-walk matrix P = D⁻¹A together with its
+// transpose Pᵀ. Rows of dangling nodes (out-degree 0) are zero: a walk at
+// a dangling node has nowhere to go, so the iterative recurrence of
+// Equation (6) simply stops propagating mass through it. This matches the
+// behaviour of the simulator in package rwalk, which terminates walks
 // stranded at dangling nodes.
+//
+// The matrices are cached on the graph (and carried across WithUpdates
+// with only the dirty parts recomputed); they are shared and must not be
+// mutated.
 func (g *Graph) Walk() (p, pt *sparse.CSR) {
-	p = g.Adj.Clone()
-	inv := make([]float64, g.N)
-	for i, d := range g.outDeg {
-		if d > 0 {
-			inv[i] = 1 / d
-		}
-	}
-	p.ScaleRows(inv)
-	return p, p.T()
+	pr := g.products()
+	return pr.p, pr.pt
 }
 
 // NormalizedAttrs returns the row-normalized attribute matrix Rr
@@ -130,12 +135,20 @@ func (g *Graph) Walk() (p, pt *sparse.CSR) {
 // probability that attribute rj picks node vl") are unambiguous, so we
 // follow the semantics: Rr row-stochastic, Rc column-stochastic. Zero
 // rows/columns stay zero.
+//
+// Like Walk, the matrices are cached on the graph and carried across
+// WithUpdates with only the dirty rows/columns re-normalized; they are
+// shared and must not be mutated.
 func (g *Graph) NormalizedAttrs() (rr, rc *mat.Dense) {
-	rr = g.Attr.ToDense()
-	rc = rr.Clone()
-	rr.NormalizeRows()
-	rc.NormalizeColumns()
-	return rr, rc
+	pr := g.products()
+	return pr.rr, pr.rc
+}
+
+// AttrColSums returns the attribute matrix's per-column weight sums (Rc's
+// normalization denominators), cached with the other derived products.
+// The slice is shared and must not be mutated.
+func (g *Graph) AttrColSums() []float64 {
+	return g.products().attrColSums
 }
 
 // ForwardPickProbs returns the distribution used at the end of a forward

@@ -25,7 +25,14 @@
 // "index": "incremental_refreshes" and "full_rebuilds" count shard build
 // cycles by kind, "last_delta_rows" is the dirty-row count of the most
 // recent update, and "refresh_threshold" the dirty fraction at or below
-// which updates refresh incrementally instead of rebuilding.
+// which updates refresh incrementally instead of rebuilding. The
+// model-side counterpart lives under "affinity": "affinity_incremental"
+// and "affinity_full" count recurrence passes by kind,
+// "affinity_frontier_rows" is the frontier size of the most recent
+// incremental pass, "drift" the running column-sum drift estimate of the
+// retained recurrence state, and "gram_corrections" how many attribute
+// deltas were absorbed by the low-rank link-space correction instead of
+// a full shard rebuild.
 //
 // Write and lifecycle endpoints:
 //
@@ -95,6 +102,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	// behind the model — the legitimate "rebuild pending" state — rather
 	// than impossibly ahead of it.
 	idx := s.eng.IndexStatus()
+	aff := s.eng.AffinityStatus()
 	m := s.eng.Model()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":       "ok",
@@ -105,6 +113,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"edges":        m.Graph.M(),
 		"attr_entries": m.Graph.NNZAttr(),
 		"index":        idx,
+		"affinity":     aff,
 	})
 }
 

@@ -67,6 +67,14 @@ func TestHealthz(t *testing.T) {
 	if body["version"].(float64) != 1 {
 		t.Fatalf("fresh model version = %v, want 1", body["version"])
 	}
+	aff, ok := body["affinity"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("healthz missing affinity section: %v", body)
+	}
+	if aff["enabled"] != true || aff["affinity_incremental"].(float64) != 0 ||
+		aff["affinity_full"].(float64) != 0 || aff["affinity_frontier_rows"].(float64) != 0 {
+		t.Fatalf("fresh affinity status: %v", aff)
+	}
 }
 
 func TestAttrScoreMatchesEmbedding(t *testing.T) {

@@ -1,0 +1,133 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file holds the delta primitives the dynamic-update path builds on:
+// Reach computes the t-hop frontier a CSR delta can influence, and
+// MergeEntries folds a small entry delta into an existing CSR in O(nnz)
+// without the map-dedup + per-row sort of a full NewCSR rebuild.
+
+// Reach returns, sorted ascending, every row reachable from seeds in at
+// most steps hops along m's rows (row j's neighbors are its stored column
+// indices). steps < 0 is treated as 0; seeds themselves are always
+// included (dedup'd). Out-of-range seeds cause a panic.
+//
+// The intended use is frontier computation for incremental APMI: a change
+// to rows S of the recurrence input can, after ℓ iterations, influence
+// exactly the rows whose ℓ-hop neighborhood (along the dependency
+// direction) meets S — so callers pass the dependency graph (AdjT for the
+// forward recurrence, Adj for the backward one) and steps = remaining
+// iterations.
+func Reach(m *CSR, seeds []int, steps int) []int {
+	visited := make([]bool, m.R)
+	cur := make([]int, 0, len(seeds))
+	for _, s := range seeds {
+		if s < 0 || s >= m.R {
+			panic(fmt.Sprintf("sparse: Reach seed %d out of range [0,%d)", s, m.R))
+		}
+		if !visited[s] {
+			visited[s] = true
+			cur = append(cur, s)
+		}
+	}
+	for step := 0; step < steps && len(cur) > 0; step++ {
+		var next []int
+		for _, j := range cur {
+			cols, _ := m.Row(j)
+			for _, c := range cols {
+				if !visited[c] {
+					visited[c] = true
+					next = append(next, int(c))
+				}
+			}
+		}
+		cur = next
+	}
+	out := make([]int, 0, len(seeds))
+	for i, v := range visited {
+		if v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MergeEntries returns a new CSR equal to m with entries folded in. For
+// each entry (r, c, v): when (r, c) is already stored with value old, the
+// stored value becomes combine(old, v); otherwise the entry is inserted
+// with value combine(0, v). Duplicates within entries apply combine
+// successively in (row, col)-sorted order. Rows without entries are copied
+// verbatim, so the merge costs O(nnz + |entries| log |entries|) with no
+// per-row re-sort. With no entries, m itself is returned (CSRs are
+// immutable by convention). Out-of-range entries cause a panic, matching
+// NewCSR.
+func (m *CSR) MergeEntries(entries []Entry, combine func(old, add float64) float64) *CSR {
+	if len(entries) == 0 {
+		return m
+	}
+	add := make([]Entry, len(entries))
+	copy(add, entries)
+	for _, e := range add {
+		if e.Row < 0 || e.Row >= m.R || e.Col < 0 || e.Col >= m.C {
+			panic(fmt.Sprintf("sparse: entry (%d,%d) out of range for %dx%d", e.Row, e.Col, m.R, m.C))
+		}
+	}
+	sort.Slice(add, func(i, j int) bool {
+		if add[i].Row != add[j].Row {
+			return add[i].Row < add[j].Row
+		}
+		return add[i].Col < add[j].Col
+	})
+	rowPtr := make([]int, m.R+1)
+	cols := make([]int32, 0, m.NNZ()+len(add))
+	vals := make([]float64, 0, m.NNZ()+len(add))
+	a := 0
+	for i := 0; i < m.R; i++ {
+		rowPtr[i] = len(cols)
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		if a >= len(add) || add[a].Row != i {
+			cols = append(cols, m.Cols[lo:hi]...)
+			vals = append(vals, m.Vals[lo:hi]...)
+			continue
+		}
+		k := lo
+		for k < hi || (a < len(add) && add[a].Row == i) {
+			adding := a < len(add) && add[a].Row == i
+			switch {
+			case !adding || (k < hi && int(m.Cols[k]) < add[a].Col):
+				cols = append(cols, m.Cols[k])
+				vals = append(vals, m.Vals[k])
+				k++
+			case k < hi && int(m.Cols[k]) == add[a].Col:
+				v := m.Vals[k]
+				for a < len(add) && add[a].Row == i && add[a].Col == int(m.Cols[k]) {
+					v = combine(v, add[a].Val)
+					a++
+				}
+				cols = append(cols, m.Cols[k])
+				vals = append(vals, v)
+				k++
+			default:
+				c := add[a].Col
+				var v float64
+				first := true
+				for a < len(add) && add[a].Row == i && add[a].Col == c {
+					if first {
+						v = combine(0, add[a].Val)
+						first = false
+					} else {
+						v = combine(v, add[a].Val)
+					}
+					a++
+				}
+				cols = append(cols, int32(c))
+				vals = append(vals, v)
+			}
+		}
+	}
+	rowPtr[m.R] = len(cols)
+	return &CSR{R: m.R, C: m.C, RowPtr: rowPtr, Cols: cols, Vals: vals}
+}

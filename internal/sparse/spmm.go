@@ -91,19 +91,7 @@ func (m *CSR) AxpyInto(dst *mat.Dense, a float64, x *mat.Dense, b float64, y *ma
 		for i := lo; i < hi; i++ {
 			di := dst.Data[i*k : (i+1)*k]
 			yi := y.Data[i*k : (i+1)*k]
-			cols, vals := m.Row(i)
-			// Accumulate the sparse product in a stack-friendly pass,
-			// then combine with y so dst==y aliasing stays safe.
-			for p := range di {
-				di[p] = b * yi[p]
-			}
-			for t, c := range cols {
-				v := a * vals[t]
-				xr := x.Data[int(c)*k : (int(c)+1)*k]
-				for p, xv := range xr {
-					di[p] += v * xv
-				}
-			}
+			m.AxpyRowInto(di, i, a, x, b, yi)
 		}
 	}
 	if nb <= 1 {
@@ -111,6 +99,27 @@ func (m *CSR) AxpyInto(dst *mat.Dense, a float64, x *mat.Dense, b float64, y *ma
 		return
 	}
 	mat.ParallelRanges(m.R, nb, work)
+}
+
+// AxpyRowInto computes one row of AxpyInto: dst = a*(m[i,:]·x) + b*y,
+// where y is row i of the additive term and dst a length-x.Cols slice.
+// dst may alias y. The incremental-APMI frontier patch re-runs single rows
+// of the recurrence through this exact kernel, which is what guarantees a
+// patched row is bit-identical to the same row of a full AxpyInto pass.
+func (m *CSR) AxpyRowInto(dst []float64, i int, a float64, x *mat.Dense, b float64, y []float64) {
+	// Accumulate the sparse product in a stack-friendly pass, combining
+	// with y first so dst==y aliasing stays safe.
+	for p := range dst {
+		dst[p] = b * y[p]
+	}
+	cols, vals := m.Row(i)
+	for t, c := range cols {
+		v := a * vals[t]
+		xr := x.Data[int(c)*x.Cols : (int(c)+1)*x.Cols]
+		for p, xv := range xr {
+			dst[p] += v * xv
+		}
+	}
 }
 
 // MulDenseCols multiplies m by the column block x[:, lo:hi) of a dense
