@@ -12,14 +12,23 @@
 // Or restore a previously saved bundle (from cmd/pane or a snapshot):
 //
 //	paneserve -load model.pane -addr :8080
+//
+// Observability: the main listener always serves GET /metrics (Prometheus
+// text). -metrics-addr starts a second, admin-only listener carrying
+// /metrics, /debug/pprof/* and /debug/vars (expvar, with the full metric
+// snapshot published under "pane") — keep it off the public network.
+// -slow-query-ms logs any request slower than the threshold and counts it
+// in pane_http_slow_requests_total.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,8 +66,12 @@ func main() {
 			"dirty-row fraction at or below which updates refresh the serving index incrementally instead of rebuilding (0 = always rebuild)")
 		affinity = flag.Float64("affinity-threshold", engine.DefaultAffinityThreshold,
 			"frontier fraction at or below which updates patch the retained affinity recurrence instead of recomputing it (0 = always recompute)")
-		fullAff = flag.Bool("full-affinity", false, "escape hatch: recompute the affinity recurrence from scratch on every update (same as -affinity-threshold 0)")
-		debug   = flag.Bool("debug", false, "log per-update delta sizes and update-path choices")
+		fullAff     = flag.Bool("full-affinity", false, "escape hatch: recompute the affinity recurrence from scratch on every update (same as -affinity-threshold 0)")
+		debug       = flag.Bool("debug", false, "log per-update delta sizes and update-path choices")
+		metricsAddr = flag.String("metrics-addr", "",
+			"admin listener address for /metrics + /debug/pprof + /debug/vars (empty = disabled; /metrics is always on the main listener)")
+		slowQueryMS = flag.Int("slow-query-ms", 0,
+			"log requests slower than this many milliseconds (0 disables the slow-query log)")
 	)
 	flag.Parse()
 	if *snapEvery > 0 && *snapPath == "" {
@@ -190,11 +203,33 @@ func main() {
 	if *snapPath != "" {
 		opts = append(opts, server.WithSnapshotPath(*snapPath))
 	}
+	if *slowQueryMS > 0 {
+		opts = append(opts, server.WithSlowQueryLog(time.Duration(*slowQueryMS)*time.Millisecond, nil))
+	}
 	srv := &http.Server{
 		Addr:         *addr,
 		Handler:      server.New(eng, opts...),
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 30 * time.Second,
+	}
+
+	// The admin listener carries the profiling and introspection surface a
+	// public listener must not: pprof handlers (CPU/heap/goroutine
+	// profiles can stall or leak internals), expvar, and the same
+	// /metrics exposition. No read/write timeouts — CPU profiles stream
+	// for their whole -seconds duration.
+	var adminSrv *http.Server
+	if *metricsAddr != "" {
+		expvar.Publish("pane", expvar.Func(func() any { return eng.Metrics().Snapshot() }))
+		admin := http.NewServeMux()
+		admin.Handle("GET /metrics", eng.Metrics().Handler())
+		admin.Handle("GET /debug/vars", expvar.Handler())
+		admin.HandleFunc("/debug/pprof/", pprof.Index)
+		admin.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		admin.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		admin.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		admin.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		adminSrv = &http.Server{Addr: *metricsAddr, Handler: admin}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -224,6 +259,14 @@ func main() {
 		log.Printf("serving on %s", *addr)
 		errc <- srv.ListenAndServe()
 	}()
+	if adminSrv != nil {
+		go func() {
+			log.Printf("admin (metrics/pprof/expvar) on %s", *metricsAddr)
+			if err := adminSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("admin listener: %v", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:
@@ -236,6 +279,11 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("shutdown: %v", err)
+		}
+		if adminSrv != nil {
+			if err := adminSrv.Shutdown(shutdownCtx); err != nil {
+				log.Printf("admin shutdown: %v", err)
+			}
 		}
 		if *snapPath != "" {
 			if m, err := eng.Snapshot(*snapPath); err != nil {

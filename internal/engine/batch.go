@@ -6,6 +6,7 @@ import (
 
 	"pane/internal/core"
 	"pane/internal/index"
+	"pane/internal/obs"
 )
 
 // Batch query execution: N heterogeneous queries evaluated against ONE
@@ -78,13 +79,13 @@ type Result struct {
 func (e *Engine) Execute(qs []Query) ([]Result, uint64) {
 	m := e.Model()
 	shards := e.freshShards(m)
-	return m.execute(qs, shards), m.Version
+	return m.execute(qs, shards, e.met), m.Version
 }
 
 // Execute evaluates the batch against this specific model version. Top-k
 // queries take the brute-force scan path; use Engine.Execute for indexed
 // batches.
-func (m *Model) Execute(qs []Query) []Result { return m.execute(qs, nil) }
+func (m *Model) Execute(qs []Query) []Result { return m.execute(qs, nil, nil) }
 
 // vecPool recycles per-query float64 scratch (the AttrQueryInto targets):
 // a batch of attribute top-k queries would otherwise allocate one vector
@@ -114,14 +115,14 @@ type preparedTopK struct {
 	subs    []index.Index
 }
 
-func (m *Model) execute(qs []Query, shards []*shardIdx) []Result {
+func (m *Model) execute(qs []Query, shards []*shardIdx, met *engineMetrics) []Result {
 	out := make([]Result, len(qs))
 	var prep []preparedTopK
 	for i, q := range qs {
-		out[i] = m.run(q, shards, i, &prep)
+		out[i] = m.run(q, shards, met, i, &prep)
 	}
 	if len(prep) > 0 {
-		runShardFirst(prep, len(shards), out)
+		runShardFirst(prep, len(shards), out, met)
 	}
 	return out
 }
@@ -131,12 +132,13 @@ func (m *Model) execute(qs []Query, shards []*shardIdx) []Result {
 // result slot. The merge goes through index.MergePartials — the same
 // two-phase survivor cut the single-query fan-out uses — so a quantized
 // batch answer is bit-for-bit what the query would get issued alone.
-func runShardFirst(prep []preparedTopK, nShards int, out []Result) {
+func runShardFirst(prep []preparedTopK, nShards int, out []Result, met *engineMetrics) {
 	// partials[p][s] is query p's contribution from shard s.
 	partials := make([][]index.Partial, len(prep))
 	for p := range partials {
 		partials[p] = make([]index.Partial, nShards)
 	}
+	fanSp := obs.StartSpan(met.fanoutHist())
 	var wg sync.WaitGroup
 	for s := 0; s < nShards; s++ {
 		wg.Add(1)
@@ -150,19 +152,22 @@ func runShardFirst(prep []preparedTopK, nShards int, out []Result) {
 		}(s)
 	}
 	wg.Wait()
+	fanSp.End()
+	mergeSp := obs.StartSpan(met.mergeHist())
 	for p, pq := range prep {
 		out[pq.resIdx].Top = index.MergePartials(partials[p], pq.k, pq.mult)
 		if pq.qPooled {
 			putVec(pq.q)
 		}
 	}
+	mergeSp.End()
 }
 
 // run evaluates one query. Scalar ops are answered inline; top-k ops with
 // a fresh shard set are validated, appended to prep for the shard-first
 // pass, and have their Backend set immediately (the merge later fills
 // Top). Without shards, top-k ops scan inline.
-func (m *Model) run(q Query, shards []*shardIdx, resIdx int, prep *[]preparedTopK) Result {
+func (m *Model) run(q Query, shards []*shardIdx, met *engineMetrics, resIdx int, prep *[]preparedTopK) Result {
 	res := Result{Op: q.Op}
 	fail := func(format string, args ...interface{}) Result {
 		res.Err = fmt.Sprintf(format, args...)
@@ -199,9 +204,9 @@ func (m *Model) run(q Query, shards []*shardIdx, resIdx int, prep *[]preparedTop
 			var top []core.Scored
 			var backend string
 			if q.Op == OpTopAttrs {
-				top, backend, err = m.topAttrs(nil, q.Node, k, q.Mode, q.NProbe)
+				top, backend, err = m.topAttrs(nil, met, q.Node, k, q.Mode, q.NProbe)
 			} else {
-				top, backend, err = m.topLinks(nil, q.Src, k, q.Mode, q.NProbe)
+				top, backend, err = m.topLinks(nil, met, q.Src, k, q.Mode, q.NProbe)
 			}
 			if err != nil {
 				return fail("%v", err)

@@ -15,7 +15,6 @@ package engine
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -23,6 +22,7 @@ import (
 
 	"pane/internal/core"
 	"pane/internal/graph"
+	"pane/internal/obs"
 	"pane/internal/store"
 )
 
@@ -79,23 +79,13 @@ type Engine struct {
 	// fails with it instead of serving a silently-corrected configuration.
 	optErr error
 
-	// Rebuild accounting for monitoring (see IndexStatus): shard build
-	// cycles served incrementally vs by full rebuild, and the row count of
-	// the most recent update's delta.
-	statIncr      atomic.Uint64
-	statFull      atomic.Uint64
-	statLastDelta atomic.Uint64
-
-	// Model-side affinity accounting (see AffinityStatus): updates whose
-	// recurrence was patched over the delta's frontier vs re-run in full,
-	// the most recent frontier size, the state's advisory drift estimate
-	// (as math.Float64bits), and attribute updates served through the
-	// low-rank Gram correction instead of a full link-space rebuild.
-	statAffIncr     atomic.Uint64
-	statAffFull     atomic.Uint64
-	statAffFrontier atomic.Uint64
-	statAffDrift    atomic.Uint64
-	statGram        atomic.Uint64
+	// reg is the obs registry every engine counter, gauge, and stage
+	// histogram lives in; met holds the pre-resolved handles the hot paths
+	// record through. IndexStatus and AffinityStatus read the same handles,
+	// so /healthz and /metrics cannot disagree. Per-engine by default
+	// (WithMetricsRegistry shares one across engine + HTTP layer).
+	reg *obs.Registry
+	met *engineMetrics
 
 	// Sharded serving-index state (see index.go). Each shard's index is
 	// published separately from cur: queries accept the shard set only
@@ -264,6 +254,11 @@ func newEngine(g *graph.Graph, emb *core.Embedding, cfg core.Config, version uin
 			return nil, err
 		}
 	}
+	if e.reg == nil {
+		e.reg = obs.NewRegistry()
+	}
+	e.met = newEngineMetrics(e.reg)
+	e.met.modelVersion.Set(float64(version))
 	e.cur.Store(&Model{
 		Version: version,
 		Cfg:     cfg,
@@ -375,14 +370,19 @@ func (e *Engine) apply(edges []graph.Edge, attrs []graph.AttrEntry) (*Model, err
 		}
 		if stale {
 			st = core.NewAffinityState(g, prev.Cfg.Alpha, prev.Cfg.Iterations(), threads(prev.Cfg))
-			e.statAffFull.Add(1)
+			e.met.affPassFull.Inc()
 		} else {
-			e.statAffIncr.Add(1)
+			e.met.affPassIncr.Inc()
 		}
 		e.affState, e.affVersion = st, prev.Version+1
-		e.statAffFrontier.Store(uint64(affUp.FrontierF + affUp.FrontierB))
-		e.statAffDrift.Store(math.Float64bits(st.Drift()))
+		e.met.affFrontier.Set(float64(affUp.FrontierF + affUp.FrontierB))
+		e.met.affDrift.Set(st.Drift())
 		stats.AffinitySeconds = time.Since(t0).Seconds()
+		if stale {
+			e.met.affDurFull.ObserveSeconds(stats.AffinitySeconds)
+		} else {
+			e.met.affDurIncr.ObserveSeconds(stats.AffinitySeconds)
+		}
 		stats.AffinityIncremental = !stale
 		stats.AffinityFrontier = affUp.FrontierF + affUp.FrontierB
 		t1 := time.Now()
@@ -393,6 +393,7 @@ func (e *Engine) apply(edges []graph.Edge, attrs []graph.AttrEntry) (*Model, err
 			emb = core.RefineFrom(prev.Emb, f, b, prev.Cfg, e.sweeps, threads(prev.Cfg))
 		}
 		stats.CCDSeconds = time.Since(t1).Seconds()
+		e.met.ccdDur.ObserveSeconds(stats.CCDSeconds)
 	} else if incremental {
 		emb, err = core.UpdateEmbeddingRows(g, prev.Emb, prev.Cfg, e.sweeps, touched)
 	} else {
@@ -409,6 +410,12 @@ func (e *Engine) apply(edges []graph.Edge, attrs []graph.AttrEntry) (*Model, err
 		Scorer:  core.NewLinkScorer(emb),
 	}
 	e.cur.Store(next)
+	e.met.modelVersion.Set(float64(next.Version))
+	if incremental {
+		e.met.updIncr.Inc()
+	} else {
+		e.met.updFull.Inc()
+	}
 	// A restored quantized payload encodes exactly the restored version;
 	// once the model moves past it, free it.
 	e.restoredQuant.Store(nil)
@@ -435,7 +442,7 @@ func (e *Engine) apply(edges []graph.Edge, attrs []graph.AttrEntry) (*Model, err
 			if gd := e.gramFor(prev.Emb, emb, touched.Attrs); gd != nil {
 				d.gram = gd
 				stats.GramCorrection = true
-				e.statGram.Add(1)
+				e.met.gram.Inc()
 			} else {
 				d.linksFull = true
 			}
@@ -498,16 +505,17 @@ type AffinityStatus struct {
 	GramCorrections uint64 `json:"gram_corrections"`
 }
 
-// AffinityStatus returns the current model-side update accounting.
+// AffinityStatus returns the current model-side update accounting, read
+// from the same obs handles GET /metrics exposes.
 func (e *Engine) AffinityStatus() AffinityStatus {
 	return AffinityStatus{
 		Enabled:         e.affinityThreshold > 0 && e.refreshThreshold > 0,
 		Threshold:       e.affinityThreshold,
-		Incremental:     e.statAffIncr.Load(),
-		Full:            e.statAffFull.Load(),
-		FrontierRows:    e.statAffFrontier.Load(),
-		Drift:           math.Float64frombits(e.statAffDrift.Load()),
-		GramCorrections: e.statGram.Load(),
+		Incremental:     e.met.affPassIncr.Value(),
+		Full:            e.met.affPassFull.Value(),
+		FrontierRows:    uint64(e.met.affFrontier.Value()),
+		Drift:           e.met.affDrift.Value(),
+		GramCorrections: e.met.gram.Value(),
 	}
 }
 

@@ -27,10 +27,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pane/internal/core"
 	"pane/internal/index"
 	"pane/internal/mat"
+	"pane/internal/obs"
 	"pane/internal/store"
 )
 
@@ -635,7 +637,7 @@ func (e *Engine) scheduleIndexRebuild(d idxDelta) {
 	if e.shards == nil {
 		return
 	}
-	e.statLastDelta.Store(uint64(d.rows))
+	e.met.lastDelta.Set(float64(d.rows))
 	if e.idxManual {
 		return
 	}
@@ -718,15 +720,19 @@ func (e *Engine) buildShard(s int, p shardPending) bool {
 	// identical values.
 	var si *shardIdx
 	fullWork := true
+	t0 := time.Now()
 	if base == nil {
 		si = e.buildShardIdx(m, s)
 	} else {
 		si, fullWork = e.refreshShard(m, s, base, p)
 	}
+	d := time.Since(t0)
 	if fullWork {
-		e.statFull.Add(1)
+		e.met.buildFull.Inc()
+		e.met.buildDurFull.Observe(d)
 	} else {
-		e.statIncr.Add(1)
+		e.met.buildIncr.Inc()
+		e.met.buildDurIncr.Observe(d)
 	}
 	ss.slots[s].Store(si)
 	return true
@@ -743,8 +749,10 @@ func (e *Engine) rebuildShardFull(s int) {
 	if cur := ss.slots[s].Load(); cur != nil && cur.version >= m.Version {
 		return
 	}
+	t0 := time.Now()
 	ss.slots[s].Store(e.buildShardIdx(m, s))
-	e.statFull.Add(1)
+	e.met.buildFull.Inc()
+	e.met.buildDurFull.Observe(time.Since(t0))
 }
 
 // RebuildIndex synchronously builds and publishes every shard's index for
@@ -842,9 +850,9 @@ func (e *Engine) IndexStatus() IndexStatus {
 		Quantize:             e.idxCfg.Quantize,
 		Shards:               len(ss.slots),
 		ShardVersions:        make([]uint64, len(ss.slots)),
-		IncrementalRefreshes: e.statIncr.Load(),
-		FullRebuilds:         e.statFull.Load(),
-		LastDeltaRows:        e.statLastDelta.Load(),
+		IncrementalRefreshes: e.met.buildIncr.Value(),
+		FullRebuilds:         e.met.buildFull.Value(),
+		LastDeltaRows:        uint64(e.met.lastDelta.Value()),
 		RefreshThreshold:     e.refreshThreshold,
 	}
 	if st.Quantize {
@@ -944,7 +952,7 @@ type TopKAnswer struct {
 func (e *Engine) TopLinks(u, k int, mode string, nprobe int) (TopKAnswer, error) {
 	m := e.Model()
 	shards := e.freshShards(m)
-	res, backend, err := m.topLinks(shards, u, k, mode, nprobe)
+	res, backend, err := m.topLinks(shards, e.met, u, k, mode, nprobe)
 	if err != nil {
 		return TopKAnswer{}, err
 	}
@@ -956,7 +964,7 @@ func (e *Engine) TopLinks(u, k int, mode string, nprobe int) (TopKAnswer, error)
 func (e *Engine) TopAttrs(v, k int, mode string, nprobe int) (TopKAnswer, error) {
 	m := e.Model()
 	shards := e.freshShards(m)
-	res, backend, err := m.topAttrs(shards, v, k, mode, nprobe)
+	res, backend, err := m.topAttrs(shards, e.met, v, k, mode, nprobe)
 	if err != nil {
 		return TopKAnswer{}, err
 	}
@@ -1038,8 +1046,10 @@ func attrSubs(shards []*shardIdx, mode string) ([]index.Index, string) {
 }
 
 // topLinks runs the link top-k against this model, fanning out over
-// shards when non-nil.
-func (m *Model) topLinks(shards []*shardIdx, u, k int, mode string, nprobe int) ([]core.Scored, string, error) {
+// shards when non-nil. met may be nil (Model.Execute outside an engine);
+// with one, the shard fan-out, merge, and scan-fallback stages record
+// into the engine's stage histograms.
+func (m *Model) topLinks(shards []*shardIdx, met *engineMetrics, u, k int, mode string, nprobe int) ([]core.Scored, string, error) {
 	mode, err := validateTopK(k, mode, nprobe)
 	if err != nil {
 		return nil, "", err
@@ -1051,14 +1061,19 @@ func (m *Model) topLinks(shards []*shardIdx, u, k int, mode string, nprobe int) 
 		q := m.Emb.Xf.Row(u)
 		skip := func(id int) bool { return id == u }
 		subs, backend := linkSubs(shards, mode)
-		return index.SearchSharded(subs, q, k, index.Options{NProbe: nprobe, Skip: skip}), backend, nil
+		res, fan, merge := index.SearchShardedTimed(subs, q, k, index.Options{NProbe: nprobe, Skip: skip})
+		recordStages(met, fan, merge)
+		return res, backend, nil
 	}
-	return m.Scorer.TopKTargets(u, k, nil), BackendScan, nil
+	sp := obs.StartSpan(met.scanHist())
+	res := m.Scorer.TopKTargets(u, k, nil)
+	sp.End()
+	return res, BackendScan, nil
 }
 
 // topAttrs runs the attribute top-k against this model, fanning out over
-// shards when non-nil.
-func (m *Model) topAttrs(shards []*shardIdx, v, k int, mode string, nprobe int) ([]core.Scored, string, error) {
+// shards when non-nil; see topLinks for met semantics.
+func (m *Model) topAttrs(shards []*shardIdx, met *engineMetrics, v, k int, mode string, nprobe int) ([]core.Scored, string, error) {
 	mode, err := validateTopK(k, mode, nprobe)
 	if err != nil {
 		return nil, "", err
@@ -1069,9 +1084,22 @@ func (m *Model) topAttrs(shards []*shardIdx, v, k int, mode string, nprobe int) 
 	if shards != nil {
 		q := m.Emb.AttrQueryInto(v, getVec(m.Emb.Xf.Cols))
 		subs, backend := attrSubs(shards, mode)
-		res := index.SearchSharded(subs, q, k, index.Options{NProbe: nprobe})
+		res, fan, merge := index.SearchShardedTimed(subs, q, k, index.Options{NProbe: nprobe})
+		recordStages(met, fan, merge)
 		putVec(q)
 		return res, backend, nil
 	}
-	return m.Emb.TopKAttrs(v, k, nil), BackendScan, nil
+	sp := obs.StartSpan(met.scanHist())
+	res := m.Emb.TopKAttrs(v, k, nil)
+	sp.End()
+	return res, BackendScan, nil
+}
+
+// recordStages records a fan-out/merge timing pair; nil-safe for met.
+func recordStages(met *engineMetrics, fan, merge time.Duration) {
+	if met == nil {
+		return
+	}
+	met.stageFanout.Observe(fan)
+	met.stageMerge.Observe(merge)
 }

@@ -13,6 +13,7 @@ import (
 	"pane/internal/datagen"
 	"pane/internal/engine"
 	"pane/internal/index"
+	"pane/internal/obs"
 )
 
 // TopKOptions configures the serving-index comparison of RunTopK. Zero
@@ -97,6 +98,16 @@ type TopKBench struct {
 	SQ8Allocs   float64 `json:"sq8_allocs_per_query"`
 	IVFSQAllocs float64 `json:"ivfsq_allocs_per_query"`
 
+	// Per-path latency percentiles, recorded per query into the same
+	// obs.Histogram type the live server scrapes through /metrics.
+	// Pointers with omitempty so baselines written before these fields
+	// existed still parse and gate (CheckTopKBaseline never reads them).
+	ScanLatency  *obs.LatencySummary `json:"scan_latency_ms,omitempty"`
+	ExactLatency *obs.LatencySummary `json:"exact_latency_ms,omitempty"`
+	IVFLatency   *obs.LatencySummary `json:"ivf_latency_ms,omitempty"`
+	SQ8Latency   *obs.LatencySummary `json:"sq8_latency_ms,omitempty"`
+	IVFSQLatency *obs.LatencySummary `json:"ivfsq_latency_ms,omitempty"`
+
 	// Sharding is the shard-count scaling sweep: the same model served at
 	// S ∈ ShardPoints, exact AND sq8 answers verified bit-for-bit against
 	// S=1.
@@ -174,22 +185,29 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 	}
 	m := eng.Model()
 
-	// timeQueries also reports heap allocations per query: Mallocs is a
+	// timeQueries also reports heap allocations per query (Mallocs is a
 	// process-global counter, so worker-goroutine allocations are
 	// included, and the single-stream loop keeps other mutators out of
-	// the window.
-	timeQueries := func(run func(u int) []core.Scored) ([][]core.Scored, float64, float64) {
+	// the window) and p50/p95/p99 latency from per-query durations
+	// recorded into an obs.Histogram — the same bucket layout the serving
+	// path exposes, so bench percentiles and scraped percentiles are
+	// directly comparable.
+	timeQueries := func(run func(u int) []core.Scored) ([][]core.Scored, float64, float64, *obs.LatencySummary) {
 		out := make([][]core.Scored, len(nodes))
+		h := obs.NewHistogram()
 		var ms0, ms1 runtime.MemStats
 		runtime.ReadMemStats(&ms0)
 		t0 := time.Now()
 		for i, u := range nodes {
+			q0 := time.Now()
 			out[i] = run(u)
+			h.Observe(time.Since(q0))
 		}
 		elapsed := time.Since(t0).Seconds()
 		runtime.ReadMemStats(&ms1)
 		allocs := float64(ms1.Mallocs-ms0.Mallocs) / float64(len(nodes))
-		return out, float64(len(nodes)) / elapsed, allocs
+		sum := h.SummaryMs()
+		return out, float64(len(nodes)) / elapsed, allocs, &sum
 	}
 	topLinks := func(e *engine.Engine, mode string, nprobe int, wantBackend string) func(u int) []core.Scored {
 		return func(u int) []core.Scored {
@@ -220,19 +238,19 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 		return float64(hit) / float64(total)
 	}
 
-	_, scanQPS, scanAllocs := timeQueries(func(u int) []core.Scored {
+	_, scanQPS, scanAllocs, scanLat := timeQueries(func(u int) []core.Scored {
 		return m.Scorer.TopKTargets(u, opt.TopK, nil)
 	})
-	exactRes, exactQPS, exactAllocs := timeQueries(topLinks(eng, engine.ModeExact, 0, engine.BackendExact))
-	ivfRes, ivfQPS, ivfAllocs := timeQueries(topLinks(eng, engine.ModeIVF, 0, engine.BackendIVF))
-	sq8Res, sq8QPS, sq8Allocs := timeQueries(topLinks(eng, engine.ModeSQ8, 0, engine.BackendSQ8))
-	ivfsqRes, ivfsqQPS, ivfsqAllocs := timeQueries(topLinks(eng, engine.ModeIVFSQ, 0, engine.BackendIVFSQ))
+	exactRes, exactQPS, exactAllocs, exactLat := timeQueries(topLinks(eng, engine.ModeExact, 0, engine.BackendExact))
+	ivfRes, ivfQPS, ivfAllocs, ivfLat := timeQueries(topLinks(eng, engine.ModeIVF, 0, engine.BackendIVF))
+	sq8Res, sq8QPS, sq8Allocs, sq8Lat := timeQueries(topLinks(eng, engine.ModeSQ8, 0, engine.BackendSQ8))
+	ivfsqRes, ivfsqQPS, ivfsqAllocs, ivfsqLat := timeQueries(topLinks(eng, engine.ModeIVFSQ, 0, engine.BackendIVFSQ))
 
 	st := eng.IndexStatus()
 	// Full-probe IVF must reproduce the exact answer; anything well below
 	// 1.0 means the inverted file itself lost candidates, and the report
 	// must not mask that as an aggressive-nprobe artifact.
-	fullRes, _, _ := timeQueries(topLinks(eng, engine.ModeIVF, st.NList, engine.BackendIVF))
+	fullRes, _, _, _ := timeQueries(topLinks(eng, engine.ModeIVF, st.NList, engine.BackendIVF))
 	fullRecall := recall(exactRes, fullRes)
 	if fullRecall < minFullProbeRecall {
 		return nil, fmt.Errorf("experiments: IVF recall@%d at full nprobe is %.3f (< %.2f): serving index is broken",
@@ -269,6 +287,11 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 		IVFAllocs:          ivfAllocs,
 		SQ8Allocs:          sq8Allocs,
 		IVFSQAllocs:        ivfsqAllocs,
+		ScanLatency:        scanLat,
+		ExactLatency:       exactLat,
+		IVFLatency:         ivfLat,
+		SQ8Latency:         sq8Lat,
+		IVFSQLatency:       ivfsqLat,
 	}
 
 	for _, s := range opt.ShardPoints {
@@ -307,15 +330,15 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 			}
 			return nil
 		}
-		sExactRes, sExactQPS, _ := timeQueries(topLinks(se, engine.ModeExact, 0, engine.BackendExact))
+		sExactRes, sExactQPS, _, _ := timeQueries(topLinks(se, engine.ModeExact, 0, engine.BackendExact))
 		if err := verify("exact", exactRes, sExactRes); err != nil {
 			return nil, err
 		}
-		sSq8Res, sSq8QPS, _ := timeQueries(topLinks(se, engine.ModeSQ8, 0, engine.BackendSQ8))
+		sSq8Res, sSq8QPS, _, _ := timeQueries(topLinks(se, engine.ModeSQ8, 0, engine.BackendSQ8))
 		if err := verify("sq8", sq8Res, sSq8Res); err != nil {
 			return nil, err
 		}
-		sIvfRes, sIvfQPS, _ := timeQueries(topLinks(se, engine.ModeIVF, 0, engine.BackendIVF))
+		sIvfRes, sIvfQPS, _, _ := timeQueries(topLinks(se, engine.ModeIVF, 0, engine.BackendIVF))
 		b.Sharding = append(b.Sharding, ShardScalingPoint{
 			Shards:            s,
 			IndexBuildSeconds: sBuild,
@@ -334,12 +357,20 @@ func PrintTopK(w io.Writer, b *TopKBench) {
 		b.N, b.Edges, b.D, b.K, b.Queries, b.TopK, b.NList, b.NProbe, b.Rerank)
 	fmt.Fprintf(w, "train %.1fs, index build %.1fs, full-probe recall %.3f\n",
 		b.TrainSeconds, b.IndexBuildSeconds, b.RecallFullProbe)
-	fmt.Fprintf(w, "%-22s %12s %10s %10s %12s\n", "path", "QPS", "speedup", "recall", "allocs/op")
-	fmt.Fprintf(w, "%-22s %12.1f %10s %10s %12.1f\n", "scan (PR-1 brute)", b.ScanQPS, "1.0x", "1.000", b.ScanAllocs)
-	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10s %12.1f\n", "index exact", b.ExactQPS, b.SpeedupExactVsScan, "1.000", b.ExactAllocs)
-	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10.3f %12.1f\n", "index ivf", b.IVFQPS, b.SpeedupIVFVsScan, b.RecallAtK, b.IVFAllocs)
-	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10.3f %12.1f\n", "index sq8", b.SQ8QPS, b.SpeedupSQ8VsScan, b.RecallSQ8, b.SQ8Allocs)
-	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10.3f %12.1f\n", "index ivfsq", b.IVFSQQPS, b.SpeedupIVFSQVsScan, b.RecallIVFSQ, b.IVFSQAllocs)
+	// latCols renders a path's p50/p95/p99 (ms); a report written before
+	// the latency fields existed prints dashes instead of zeros.
+	latCols := func(l *obs.LatencySummary) string {
+		if l == nil {
+			return fmt.Sprintf("%9s %9s %9s", "-", "-", "-")
+		}
+		return fmt.Sprintf("%9.3f %9.3f %9.3f", l.P50, l.P95, l.P99)
+	}
+	fmt.Fprintf(w, "%-22s %12s %10s %10s %12s %9s %9s %9s\n", "path", "QPS", "speedup", "recall", "allocs/op", "p50(ms)", "p95(ms)", "p99(ms)")
+	fmt.Fprintf(w, "%-22s %12.1f %10s %10s %12.1f %s\n", "scan (PR-1 brute)", b.ScanQPS, "1.0x", "1.000", b.ScanAllocs, latCols(b.ScanLatency))
+	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10s %12.1f %s\n", "index exact", b.ExactQPS, b.SpeedupExactVsScan, "1.000", b.ExactAllocs, latCols(b.ExactLatency))
+	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10.3f %12.1f %s\n", "index ivf", b.IVFQPS, b.SpeedupIVFVsScan, b.RecallAtK, b.IVFAllocs, latCols(b.IVFLatency))
+	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10.3f %12.1f %s\n", "index sq8", b.SQ8QPS, b.SpeedupSQ8VsScan, b.RecallSQ8, b.SQ8Allocs, latCols(b.SQ8Latency))
+	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10.3f %12.1f %s\n", "index ivfsq", b.IVFSQQPS, b.SpeedupIVFSQVsScan, b.RecallIVFSQ, b.IVFSQAllocs, latCols(b.IVFSQLatency))
 	if len(b.Sharding) > 0 {
 		fmt.Fprintf(w, "\nShard scaling (exact and sq8 verified bit-for-bit against S=1):\n")
 		fmt.Fprintf(w, "%-8s %14s %12s %12s %12s %10s\n", "shards", "build (s)", "exact QPS", "ivf QPS", "sq8 QPS", "recall")

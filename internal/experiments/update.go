@@ -12,6 +12,7 @@ import (
 	"pane/internal/datagen"
 	"pane/internal/engine"
 	"pane/internal/graph"
+	"pane/internal/obs"
 )
 
 // UpdateOptions configures the update-to-fresh-index comparison of
@@ -74,6 +75,14 @@ type UpdatePoint struct {
 	SpeedupModel float64 `json:"speedup_model"`
 	SpeedupIndex float64 `json:"speedup_index"`
 	SpeedupTotal float64 `json:"speedup_total"`
+
+	// IncrLatency summarizes the point's per-repeat incremental
+	// update-to-fresh-index totals (every repeat, where the *Seconds
+	// fields above keep only the minimum), recorded into the same
+	// obs.Histogram type the live server scrapes. Pointer with omitempty
+	// so pre-existing baselines still parse (CheckUpdateBaseline never
+	// reads it).
+	IncrLatency *obs.LatencySummary `json:"incr_latency_ms,omitempty"`
 }
 
 // UpdateBench is the measured comparison emitted as BENCH_update.json by
@@ -225,11 +234,13 @@ func RunUpdate(opt UpdateOptions) (*UpdateBench, error) {
 			touched[edges[i].Dst] = struct{}{}
 		}
 		p.DirtyRows = len(touched)
+		incrH := obs.NewHistogram()
 		for rep := 0; rep < opt.Repeats; rep++ {
 			im, ii, err := timeUpdate(engIncr, edges)
 			if err != nil {
 				return nil, err
 			}
+			incrH.ObserveSeconds(im + ii)
 			st := lastStats
 			fm, fi, err := timeUpdate(engFull, edges)
 			if err != nil {
@@ -255,6 +266,8 @@ func RunUpdate(opt UpdateOptions) (*UpdateBench, error) {
 		if p.IncrTotalSeconds > 0 {
 			p.SpeedupTotal = p.FullTotalSeconds / p.IncrTotalSeconds
 		}
+		lat := incrH.SummaryMs()
+		p.IncrLatency = &lat
 		b.Points = append(b.Points, p)
 	}
 
@@ -432,16 +445,20 @@ func sameScored(label string, u int, want, got []core.Scored) error {
 func PrintUpdate(w io.Writer, b *UpdateBench) {
 	fmt.Fprintf(w, "Update-to-fresh-index: n=%d m=%d d=%d k=%d, %d shards (train %.1fs, initial build %.1fs)\n",
 		b.N, b.Edges, b.D, b.K, b.Shards, b.TrainSeconds, b.IndexBuildSeconds)
-	fmt.Fprintf(w, "%-8s %-8s | %10s %10s %10s | %10s %10s %10s | %10s %10s %10s | %8s %8s %8s\n",
+	fmt.Fprintf(w, "%-8s %-8s | %10s %10s %10s | %10s %10s %10s | %10s %10s %10s | %8s %8s %8s | %9s %9s %9s\n",
 		"Δedges", "dirty", "full mdl", "full idx", "full tot", "incr mdl", "incr idx", "incr tot",
-		"aff", "ccd", "xform", "mdl spd", "idx spd", "tot spd")
+		"aff", "ccd", "xform", "mdl spd", "idx spd", "tot spd", "p50(ms)", "p95(ms)", "p99(ms)")
 	for _, p := range b.Points {
-		fmt.Fprintf(w, "%-8d %-8d | %9.3fs %9.3fs %9.3fs | %9.3fs %9.3fs %9.3fs | %9.3fs %9.3fs %9.3fs | %7.1fx %7.1fx %7.1fx\n",
+		lat := fmt.Sprintf("%9s %9s %9s", "-", "-", "-")
+		if p.IncrLatency != nil {
+			lat = fmt.Sprintf("%9.1f %9.1f %9.1f", p.IncrLatency.P50, p.IncrLatency.P95, p.IncrLatency.P99)
+		}
+		fmt.Fprintf(w, "%-8d %-8d | %9.3fs %9.3fs %9.3fs | %9.3fs %9.3fs %9.3fs | %9.3fs %9.3fs %9.3fs | %7.1fx %7.1fx %7.1fx | %s\n",
 			p.DeltaEdges, p.DirtyRows,
 			p.FullModelSeconds, p.FullIndexSeconds, p.FullTotalSeconds,
 			p.IncrModelSeconds, p.IncrIndexSeconds, p.IncrTotalSeconds,
 			p.IncrAffinitySeconds, p.IncrCCDSeconds, p.IncrTransformSeconds,
-			p.SpeedupModel, p.SpeedupIndex, p.SpeedupTotal)
+			p.SpeedupModel, p.SpeedupIndex, p.SpeedupTotal, lat)
 	}
 	fmt.Fprintf(w, "incremental engine: %d incremental refreshes, %d full builds (initial only); %d affinity patches, %d full recurrence passes\n",
 		b.IncrementalRefreshes, b.FullRebuilds, b.AffinityIncremental, b.AffinityFull)

@@ -2,6 +2,7 @@ package index
 
 import (
 	"sync"
+	"time"
 
 	"pane/internal/core"
 )
@@ -197,6 +198,16 @@ func MergePartials(parts []Partial, k, mult int) []core.Scored {
 // full-probe IVF stays bit-for-bit equal to exact, and a quantized
 // backend returns exactly its unsharded answer, at any shard count.
 func SearchSharded(subs []Index, q []float64, k int, opt Options) []core.Scored {
+	res, _, _ := SearchShardedTimed(subs, q, k, opt)
+	return res
+}
+
+// SearchShardedTimed is SearchSharded plus per-stage wall times: the
+// fan-out duration (the parallel per-shard searches, wg.Wait included)
+// and the merge duration (MergePartials). A single live shard answers
+// directly — its search time reports as the fan-out stage and the merge
+// is zero, matching what actually ran.
+func SearchShardedTimed(subs []Index, q []float64, k int, opt Options) (res []core.Scored, fanout, merge time.Duration) {
 	live := subs[:0:0]
 	for _, s := range subs {
 		if s != nil {
@@ -204,10 +215,12 @@ func SearchSharded(subs []Index, q []float64, k int, opt Options) []core.Scored 
 		}
 	}
 	if len(live) == 0 {
-		return nil
+		return nil, 0, 0
 	}
+	t0 := time.Now()
 	if len(live) == 1 {
-		return live[0].Search(q, k, opt)
+		res = live[0].Search(q, k, opt)
+		return res, time.Since(t0), 0
 	}
 	mult := RerankMult(live[0], opt)
 	parts := make([]Partial, len(live))
@@ -220,5 +233,8 @@ func SearchSharded(subs []Index, q []float64, k int, opt Options) []core.Scored 
 		}(i, s)
 	}
 	wg.Wait()
-	return MergePartials(parts, k, mult)
+	fanout = time.Since(t0)
+	t1 := time.Now()
+	res = MergePartials(parts, k, mult)
+	return res, fanout, time.Since(t1)
 }

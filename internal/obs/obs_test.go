@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCanonicalHandles(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("pane_test_total", "h", L("route", "/x"), L("code", "200"))
+	// Same labels in the opposite order must resolve to the same cell.
+	b := r.Counter("pane_test_total", "h", L("code", "200"), L("route", "/x"))
+	if a != b {
+		t.Fatal("label order changed the series identity")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatalf("handles not aliased: got %d", b.Value())
+	}
+	if c := r.Counter("pane_test_total", "h", L("route", "/y"), L("code", "200")); c == a {
+		t.Fatal("distinct label values mapped to the same series")
+	}
+	if c := r.Counter("pane_test_total", "h"); c == a {
+		t.Fatal("empty label set mapped to a labeled series")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pane_test_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter family as a gauge did not panic")
+		}
+	}()
+	r.Gauge("pane_test_total", "h")
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"", "1leading_digit", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("metric name %q did not panic", name)
+				}
+			}()
+			r.Counter(name, "h")
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid label name did not panic")
+		}
+	}()
+	r.Counter("pane_ok_total", "h", L("bad-key", "v"))
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("pane_test_gauge", "h")
+	g.Set(3.5)
+	g.Add(-1.25)
+	if v := g.Value(); v != 2.25 {
+		t.Fatalf("gauge = %v, want 2.25", v)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	h := NewHistogram()
+	sp := StartSpan(h)
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d <= 0 {
+		t.Fatalf("span elapsed %v, want > 0", d)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("span did not record: count %d", h.Count())
+	}
+	// Zero-histogram spans are no-ops, not nil dereferences.
+	var nilSpan = StartSpan(nil)
+	if d := nilSpan.End(); d != 0 {
+		t.Fatalf("nil-histogram span returned %v, want 0", d)
+	}
+}
+
+// TestConcurrentRecordAndScrape hammers one registry from recording
+// goroutines (including concurrent first-time registrations) while the
+// main goroutine scrapes both expositions. Run under -race this is the
+// lock-free hot path's correctness test; the final assertions check no
+// increment was lost.
+func TestConcurrentRecordAndScrape(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("pane_test_ops_total", "h", L("worker", strconv.Itoa(w)))
+			g := r.Gauge("pane_test_inflight", "h")
+			h := r.Histogram("pane_test_duration_seconds", "h")
+			for i := 0; i < perWorker; i++ {
+				g.Add(1)
+				c.Inc()
+				h.Observe(time.Duration(i) * time.Microsecond)
+				// First-touch registration racing against scrapes and
+				// against the same registration from other workers.
+				r.Counter("pane_test_shared_total", "h", L("i", strconv.Itoa(i%5))).Inc()
+				g.Add(-1)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatalf("scrape during writes: %v", err)
+		}
+		_ = r.Snapshot()
+		select {
+		case <-done:
+			var total uint64
+			for w := 0; w < workers; w++ {
+				total += r.Counter("pane_test_ops_total", "h", L("worker", strconv.Itoa(w))).Value()
+			}
+			if total != workers*perWorker {
+				t.Fatalf("lost increments: %d, want %d", total, workers*perWorker)
+			}
+			if h := r.Histogram("pane_test_duration_seconds", "h"); h.Count() != workers*perWorker {
+				t.Fatalf("lost observations: %d, want %d", h.Count(), workers*perWorker)
+			}
+			var shared uint64
+			for i := 0; i < 5; i++ {
+				shared += r.Counter("pane_test_shared_total", "h", L("i", strconv.Itoa(i))).Value()
+			}
+			if shared != workers*perWorker {
+				t.Fatalf("lost increments on racing registrations: %d, want %d", shared, workers*perWorker)
+			}
+			if g := r.Gauge("pane_test_inflight", "h").Value(); g != 0 {
+				t.Fatalf("gauge did not settle to 0: %v", g)
+			}
+			return
+		default:
+		}
+	}
+}

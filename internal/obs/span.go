@@ -1,0 +1,38 @@
+package obs
+
+import "time"
+
+// Span times one stage of a request and records the elapsed duration
+// into a histogram when ended. It is a value, not a pointer — starting
+// a span allocates nothing:
+//
+//	sp := obs.StartSpan(m.stageFanout)
+//	... fan out to shards ...
+//	sp.End()
+//
+// A span over a nil histogram is a no-op (End still returns the
+// elapsed time), which lets call sites stay unconditional when metrics
+// are disabled — e.g. Model.Execute outside any engine.
+type Span struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// StartSpan starts timing against h (h may be nil).
+func StartSpan(h *Histogram) Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, t0: time.Now()}
+}
+
+// End records the elapsed duration and returns it. Safe to call on a
+// zero Span (returns 0, records nothing).
+func (s Span) End() time.Duration {
+	if s.h == nil {
+		return 0
+	}
+	d := time.Since(s.t0)
+	s.h.Observe(d)
+	return d
+}

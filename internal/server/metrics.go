@@ -1,0 +1,100 @@
+package server
+
+import (
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pane/internal/obs"
+)
+
+// HTTP instrumentation: every route registers through instrument, which
+// wraps the handler with an in-flight gauge, a per-route latency
+// histogram, per-route+status-code request counts, and the threshold-
+// driven slow-query log. The registry is the engine's own
+// (Engine.Metrics()), so GET /metrics serves the HTTP series and the
+// engine's update/index/stage series from one exposition — and /healthz,
+// which reads the engine's status structs, can never disagree with it.
+
+// serverMetrics holds the handles shared across routes; the per-route
+// histogram handles live in each wrapped handler's closure.
+type serverMetrics struct {
+	reg      *obs.Registry
+	inFlight *obs.Gauge
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg: reg,
+		inFlight: reg.Gauge("pane_http_in_flight_requests",
+			"HTTP requests currently being served."),
+	}
+}
+
+const (
+	reqHelp     = "HTTP requests by route and status code."
+	reqDurHelp  = "HTTP request wall time by route."
+	slowHelp    = "HTTP requests slower than the configured slow-query threshold, by route."
+	topkHelp    = "Top-k requests by route and the backend that answered."
+	topkDurHelp = "Top-k engine search wall time by route and backend."
+)
+
+// statusRecorder captures the status code a handler writes; an implicit
+// 200 (body written without WriteHeader) is recorded as 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps h with the standard middleware for route (the path
+// label every series for this handler carries). The route's latency
+// histogram and slow counter are resolved once here; the status-coded
+// request counter is looked up per request since the code is only known
+// after the handler runs.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	durH := s.met.reg.Histogram("pane_http_request_duration_seconds", reqDurHelp, obs.L("route", route))
+	slowC := s.met.reg.Counter("pane_http_slow_requests_total", slowHelp, obs.L("route", route))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.met.inFlight.Add(1)
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		h(sr, r)
+		d := time.Since(t0)
+		s.met.inFlight.Add(-1)
+		durH.Observe(d)
+		s.met.reg.Counter("pane_http_requests_total", reqHelp,
+			obs.L("route", route), obs.L("code", strconv.Itoa(sr.status))).Inc()
+		if s.slowThreshold > 0 && d >= s.slowThreshold {
+			slowC.Inc()
+			s.slowLog.Printf("slow query: %s %s -> %d in %s (threshold %s)",
+				r.Method, r.URL.RequestURI(), sr.status, d, s.slowThreshold)
+		}
+	})
+}
+
+// recordTopK records one answered top-k request under the backend that
+// actually served it.
+func (s *Server) recordTopK(route, backend string, d time.Duration) {
+	s.met.reg.Counter("pane_topk_requests_total", topkHelp,
+		obs.L("route", route), obs.L("backend", backend)).Inc()
+	s.met.reg.Histogram("pane_topk_duration_seconds", topkDurHelp,
+		obs.L("route", route), obs.L("backend", backend)).Observe(d)
+}
+
+// WithSlowQueryLog logs any request slower than threshold (and counts it
+// in pane_http_slow_requests_total). A zero threshold disables the log;
+// a nil logger uses log.Default().
+func WithSlowQueryLog(threshold time.Duration, logger *log.Logger) Option {
+	return func(s *Server) {
+		s.slowThreshold = threshold
+		if logger != nil {
+			s.slowLog = logger
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scrape fetches GET /metrics raw (it serves text exposition, not JSON).
+func scrape(t *testing.T, s *Server) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	return rec.Body.String()
+}
+
+func TestMetricsCoverServingPath(t *testing.T) {
+	s, _ := testServer(t)
+	get(t, s, "/top-links?src=0&k=3")
+	get(t, s, "/top-links?src=0&k=-1") // 400: bad k
+	post(t, s, "/update/edges", `{"edges":[{"src":0,"dst":5}]}`)
+	out := scrape(t, s)
+	for _, want := range []string{
+		`pane_http_requests_total{code="200",route="/top-links"} 1`,
+		`pane_http_requests_total{code="400",route="/top-links"} 1`,
+		`pane_http_requests_total{code="200",route="/update/edges"} 1`,
+		`pane_http_request_duration_seconds_count{route="/top-links"} 2`,
+		`pane_topk_requests_total{backend="scan",route="/top-links"} 1`,
+		`pane_updates_total{path="full"} 1`,
+		"pane_model_version 2",
+		"pane_http_in_flight_requests",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, out)
+		}
+	}
+	// The scrape itself is instrumented too: a second scrape must see the
+	// first one's request counted.
+	if out := scrape(t, s); !strings.Contains(out, `pane_http_requests_total{code="200",route="/metrics"} 1`) {
+		t.Fatalf("scrape missing the /metrics route's own series:\n%s", out)
+	}
+}
+
+func TestMetricsCoverIndexedEngine(t *testing.T) {
+	s, _ := indexedServer(t)
+	get(t, s, "/top-links?src=0&k=3&mode=exact")
+	post(t, s, "/update/edges", `{"edges":[{"src":0,"dst":5}]}`)
+	out := scrape(t, s)
+	for _, want := range []string{
+		`pane_topk_requests_total{backend="exact",route="/top-links"} 1`,
+		`pane_topk_duration_seconds_count{backend="exact",route="/top-links"} 1`,
+		`pane_index_build_cycles_total{kind="full"}`,
+		"pane_query_stage_duration_seconds_count{stage=\"fanout\"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestScrapeWhileQueryingWhileUpdating is the serving-stack race test:
+// reader goroutines issue top-k and batch queries, a writer applies
+// edge updates, and the main goroutine scrapes /metrics and /healthz
+// throughout. Run under -race it exercises every lock-free recording
+// path against the copy-on-write scrape path through real handlers.
+func TestScrapeWhileQueryingWhileUpdating(t *testing.T) {
+	s, eng := indexedServer(t)
+	n := eng.Model().Nodes()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := httptest.NewRequest(http.MethodGet,
+					fmt.Sprintf("/top-links?src=%d&k=3&mode=exact", (w+i)%n), nil)
+				s.ServeHTTP(httptest.NewRecorder(), req)
+				breq := httptest.NewRequest(http.MethodPost, "/batch",
+					strings.NewReader(fmt.Sprintf(`{"queries":[{"op":"top-links","src":%d,"k":2,"mode":"exact"}]}`, i%n)))
+				s.ServeHTTP(httptest.NewRecorder(), breq)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			req := httptest.NewRequest(http.MethodPost, "/update/edges",
+				strings.NewReader(fmt.Sprintf(`{"edges":[{"src":%d,"dst":%d}]}`, i%n, (i+1)%n)))
+			s.ServeHTTP(httptest.NewRecorder(), req)
+		}
+	}()
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		scrape(t, s)
+		get(t, s, "/healthz")
+	}
+	close(stop)
+	wg.Wait()
+	eng.WaitForIndex()
+	// Post-quiescence consistency: /healthz and /metrics read the same
+	// cells, so the version must match exactly.
+	_, health := get(t, s, "/healthz")
+	if want := fmt.Sprintf("pane_model_version %g", health["version"].(float64)); !strings.Contains(scrape(t, s), want) {
+		t.Fatalf("metrics/healthz disagree on model version: want %q", want)
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	eng := testEngine(t)
+	var buf bytes.Buffer
+	s := New(eng, WithSlowQueryLog(time.Nanosecond, log.New(&buf, "", 0)))
+	get(t, s, "/healthz")
+	if !strings.Contains(buf.String(), "slow query: GET /healthz -> 200") {
+		t.Fatalf("slow-query log missing entry: %q", buf.String())
+	}
+	if !strings.Contains(scrape(t, s), `pane_http_slow_requests_total{route="/healthz"} 1`) {
+		t.Fatal("slow request not counted")
+	}
+	// Without the option no threshold is set, so nothing logs.
+	var quiet bytes.Buffer
+	s2 := New(testEngine(t), WithSlowQueryLog(0, log.New(&quiet, "", 0)))
+	get(t, s2, "/healthz")
+	if quiet.Len() != 0 {
+		t.Fatalf("zero threshold still logged: %q", quiet.String())
+	}
+}
+
+func TestInFlightGaugeSettles(t *testing.T) {
+	s, _ := testServer(t)
+	for i := 0; i < 5; i++ {
+		get(t, s, "/healthz")
+	}
+	if !strings.Contains(scrape(t, s), "pane_http_in_flight_requests 1") {
+		// The scrape observes itself in flight: exactly 1 during its own
+		// request, since everything else finished.
+		t.Fatal("in-flight gauge did not settle to the scrape's own request")
+	}
+}

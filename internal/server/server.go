@@ -3,6 +3,7 @@
 // their application. Read endpoints:
 //
 //	GET /healthz                     liveness + model shape + version + index state
+//	GET /metrics                     Prometheus text exposition (see internal/obs)
 //	GET /attr-score?node=v&attr=r    Eq. 21 affinity score
 //	GET /link-score?src=u&dst=v      Eq. 22 edge plausibility
 //	GET /top-attrs?node=v&k=10       strongest attributes for a node
@@ -51,11 +52,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
+	"time"
 
 	"pane/internal/engine"
 	"pane/internal/graph"
+	"pane/internal/obs"
 )
 
 // Server wraps an engine with HTTP handlers.
@@ -63,6 +67,12 @@ type Server struct {
 	eng          *engine.Engine
 	snapshotPath string
 	mux          *http.ServeMux
+
+	// met instruments every route (see metrics.go); it records into the
+	// engine's registry so /metrics serves both layers' series.
+	met           *serverMetrics
+	slowThreshold time.Duration
+	slowLog       *log.Logger
 }
 
 // Option configures a Server.
@@ -77,19 +87,29 @@ func WithSnapshotPath(path string) Option {
 
 // New builds a Server around eng.
 func New(eng *engine.Engine, opts ...Option) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s := &Server{eng: eng, mux: http.NewServeMux(), slowLog: log.Default()}
+	s.met = newServerMetrics(eng.Metrics())
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /attr-score", s.handleAttrScore)
-	s.mux.HandleFunc("GET /link-score", s.handleLinkScore)
-	s.mux.HandleFunc("GET /top-attrs", s.handleTopAttrs)
-	s.mux.HandleFunc("GET /top-links", s.handleTopLinks)
-	s.mux.HandleFunc("POST /update/edges", s.handleUpdateEdges)
-	s.mux.HandleFunc("POST /update/attrs", s.handleUpdateAttrs)
-	s.mux.HandleFunc("POST /batch", s.handleBatch)
-	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	routes := []struct {
+		method, path string
+		h            http.HandlerFunc
+	}{
+		{"GET", "/healthz", s.handleHealth},
+		{"GET", "/metrics", eng.Metrics().Handler().ServeHTTP},
+		{"GET", "/attr-score", s.handleAttrScore},
+		{"GET", "/link-score", s.handleLinkScore},
+		{"GET", "/top-attrs", s.handleTopAttrs},
+		{"GET", "/top-links", s.handleTopLinks},
+		{"POST", "/update/edges", s.handleUpdateEdges},
+		{"POST", "/update/attrs", s.handleUpdateAttrs},
+		{"POST", "/batch", s.handleBatch},
+		{"POST", "/snapshot", s.handleSnapshot},
+	}
+	for _, rt := range routes {
+		s.mux.Handle(rt.method+" "+rt.path, s.instrument(rt.path, rt.h))
+	}
 	return s
 }
 
@@ -160,11 +180,13 @@ func (s *Server) handleTopAttrs(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	t0 := time.Now()
 	ans, err := s.eng.TopAttrs(v, k, mode, nprobe)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.recordTopK("/top-attrs", ans.Backend, time.Since(t0))
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"node": v, "results": ans.Results, "version": ans.Version, "backend": ans.Backend,
 	})
@@ -180,11 +202,13 @@ func (s *Server) handleTopLinks(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	t0 := time.Now()
 	ans, err := s.eng.TopLinks(u, k, mode, nprobe)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.recordTopK("/top-links", ans.Backend, time.Since(t0))
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"src": u, "results": ans.Results, "version": ans.Version, "backend": ans.Backend,
 	})
@@ -262,7 +286,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no queries in batch")
 		return
 	}
+	t0 := time.Now()
 	results, version := s.eng.Execute(body.Queries)
+	d := time.Since(t0)
+	// Per-backend accounting for the batch's top-k members: the whole
+	// batch shares one wall time, so each backend's histogram gets the
+	// batch duration once (counts stay per-query via the counter).
+	seen := map[string]int{}
+	for _, res := range results {
+		if res.Backend != "" && res.Err == "" {
+			seen[res.Backend]++
+		}
+	}
+	for backend, n := range seen {
+		s.met.reg.Counter("pane_topk_requests_total", topkHelp,
+			obs.L("route", "/batch"), obs.L("backend", backend)).Add(uint64(n))
+		s.met.reg.Histogram("pane_topk_duration_seconds", topkDurHelp,
+			obs.L("route", "/batch"), obs.L("backend", backend)).Observe(d)
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"version": version, "results": results,
 	})
