@@ -32,6 +32,17 @@
 // fresh build after the edge sweep (or within 0.999 top-10 recall after
 // the attribute batch), and -baseline/-tolerance gate the model, index,
 // and total speedups the same way the top-k gate does.
+//
+// `-exp replicate` measures the replication tier: WAL append throughput
+// under each fsync policy (always/interval/none), and how a follower
+// catches up on a -repl-backlog-update leader lead — O(Δ) record replay
+// over /replicate vs fetching the leader's bundle — reporting the
+// crossover backlog at which the bundle starts winning (the trade
+// paneserve's -follow-lag encodes). The result goes to -json (default
+// BENCH_replicate.json); the run fails when the replay path touches the
+// bundle fallback or converged top-k recall drops below 0.999, and
+// -baseline/-tolerance gate the sync-free append speedup and the
+// crossover — both same-machine ratios.
 package main
 
 import (
@@ -57,6 +68,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		topkN     = flag.Int("topk-n", 100000, "graph size for -exp topk")
 		updateN   = flag.Int("update-n", 100000, "graph size for -exp update")
+		replN     = flag.Int("repl-n", 20000, "graph size for -exp replicate")
+		replBack  = flag.Int("repl-backlog", 10000, "follower catch-up backlog for -exp replicate")
 		shards    = flag.Int("shards", 4, "serving shards for -exp update")
 		rerank    = flag.Int("rerank", 0, "quantized survivor multiplier for -exp topk (0 = index default)")
 		topkJSON  = flag.String("json", "", "output path for the -exp topk/update JSON report (default BENCH_topk.json / BENCH_update.json)")
@@ -273,6 +286,56 @@ func main() {
 				check(err)
 				check(experiments.CheckUpdateBaseline(b, base, *tolerance))
 				fmt.Printf("update gate: within %.0f%% of %s\n", *tolerance*100, *baseline)
+			}
+		case "replicate":
+			// Append throughput is I/O-bound and catch-up replay is
+			// dominated by O(Δ) model updates, so the graph can stay
+			// moderate; -quick shrinks everything so the perf gate runs
+			// on every push. Explicit flags win over -quick.
+			n, backlog, replK, appendRecs := *replN, *replBack, 64, 2000
+			nSet, backSet, kSet := false, false, false
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "k":
+					replK = *k
+					kSet = true
+				case "repl-n":
+					nSet = true
+				case "repl-backlog":
+					backSet = true
+				}
+			})
+			if *quick {
+				if !nSet {
+					n = 4000
+				}
+				if !backSet {
+					backlog = 1500
+				}
+				if !kSet {
+					replK = 32
+				}
+				appendRecs = 500
+			}
+			b, err := experiments.RunReplicate(experiments.ReplicateOptions{
+				N: n, K: replK, Threads: opt.Threads, Seed: opt.Seed,
+				Backlog: backlog, AppendRecords: appendRecs,
+			})
+			check(err)
+			experiments.PrintReplicate(os.Stdout, b)
+			jsonPath := *topkJSON
+			if jsonPath == "" {
+				jsonPath = "BENCH_replicate.json"
+			}
+			check(experiments.WriteReplicateJSON(jsonPath, b))
+			fmt.Printf("wrote %s\n", jsonPath)
+			if *baseline != "" {
+				base, err := experiments.ReadReplicateJSON(*baseline)
+				check(err)
+				check(experiments.CheckReplicateBaseline(b, base, *tolerance))
+				fmt.Printf("replicate gate: within %.0f%% of %s (sync-free %.1fx vs %.1fx, crossover %.0f vs %.0f)\n",
+					*tolerance*100, *baseline, b.SyncFreeSpeedup, base.SyncFreeSpeedup,
+					b.CrossoverRecords, base.CrossoverRecords)
 			}
 		default:
 			log.Fatalf("unknown experiment %q", id)

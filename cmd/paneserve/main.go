@@ -13,6 +13,26 @@
 //
 //	paneserve -load model.pane -addr :8080
 //
+// Replication (see the README's Replication section): a leader adds a
+// durable write-ahead delta log so every applied update survives a
+// crash and can be tailed by followers —
+//
+//	paneserve -load model.pane -wal wal/ -wal-sync always \
+//	          -snapshot model.pane -snapshot-every 5m -addr :8080
+//
+// while a follower bootstraps from the leader's /bundle, tails its
+// /replicate stream, and serves the read endpoints only (writes answer
+// 403):
+//
+//	paneserve -follow http://leader:8080 -addr :8081
+//
+// On restart a leader replays the log records past its restored bundle,
+// so no acknowledged update is lost; a snapshot compacts log segments
+// the bundle's version makes redundant. Followers report
+// replication_lag_records / applied_version under /healthz and
+// /metrics, and fall back to a full bundle fetch when their lag exceeds
+// -follow-lag (or their log position was compacted away).
+//
 // Observability: the main listener always serves GET /metrics (Prometheus
 // text). -metrics-addr starts a second, admin-only listener carrying
 // /metrics, /debug/pprof/* and /debug/vars (expvar, with the full metric
@@ -37,7 +57,9 @@ import (
 	"pane/internal/core"
 	"pane/internal/engine"
 	"pane/internal/graph"
+	"pane/internal/replica"
 	"pane/internal/server"
+	"pane/internal/wal"
 )
 
 func main() {
@@ -72,10 +94,32 @@ func main() {
 			"admin listener address for /metrics + /debug/pprof + /debug/vars (empty = disabled; /metrics is always on the main listener)")
 		slowQueryMS = flag.Int("slow-query-ms", 0,
 			"log requests slower than this many milliseconds (0 disables the slow-query log)")
+		walDir = flag.String("wal", "",
+			"write-ahead log directory (leader mode): every applied update is logged before it publishes, and restart replays the log past the restored bundle")
+		walSync = flag.String("wal-sync", "always",
+			"WAL fsync policy: always (durable per update), interval (flush every -wal-sync-interval), or none (OS-paced)")
+		walSyncInterval = flag.Duration("wal-sync-interval", 100*time.Millisecond,
+			"flush cadence under -wal-sync interval")
+		walSegBytes = flag.Int64("wal-segment-bytes", 64<<20,
+			"WAL segment rotation size; snapshots compact whole segments at or below the snapshotted version")
+		followURL = flag.String("follow", "",
+			"follower mode: bootstrap from this leader's /bundle, tail its /replicate stream, and serve read-only")
+		followPoll = flag.Duration("follow-poll", 500*time.Millisecond,
+			"poll interval while caught up with the leader")
+		followLag = flag.Uint64("follow-lag", 10000,
+			"record lag past which the follower fetches a bundle instead of replaying deltas")
 	)
 	flag.Parse()
 	if *snapEvery > 0 && *snapPath == "" {
 		log.Fatal("-snapshot-every requires -snapshot")
+	}
+	if *followURL != "" {
+		if *walDir != "" {
+			log.Fatal("-follow and -wal are mutually exclusive: followers do not write a log")
+		}
+		if *loadPath != "" || *edgePath != "" || *attrPath != "" {
+			log.Fatal("-follow bootstraps from the leader; drop -load/-edges/-attrs")
+		}
 	}
 
 	// An explicitly passed -shards must win even when "auto" restores a
@@ -156,9 +200,22 @@ func main() {
 
 	var (
 		eng *engine.Engine
+		rep *replica.Replica
 		err error
 	)
 	switch {
+	case *followURL != "":
+		opts := append(append([]engine.Option{}, commonOpts...), indexOpts(true)...)
+		rep, err = replica.Bootstrap(context.Background(), replica.Options{
+			Leader: *followURL, Poll: *followPoll, LagFallback: *followLag,
+		}, opts...)
+		if err != nil {
+			log.Fatalf("bootstrapping from leader: %v", err)
+		}
+		eng = rep.Engine()
+		m := eng.Model()
+		log.Printf("following %s: version %d, %d nodes, %d attrs, k=%d",
+			*followURL, m.Version, m.Nodes(), m.Attrs(), m.Emb.K())
 	case *loadPath != "":
 		opts := append(append([]engine.Option{}, commonOpts...), indexOpts(true)...)
 		eng, err = engine.Open(*loadPath, opts...)
@@ -192,6 +249,32 @@ func main() {
 		log.Fatal("either -load or both -edges and -attrs are required")
 	}
 
+	// Leader durability: attach the write-ahead log. Records past the
+	// restored bundle replay first, so an acknowledged update stream
+	// picks up exactly where the crashed process durably got to.
+	var walLog *wal.Log
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		walLog, err = wal.Open(*walDir, wal.Options{
+			Sync: policy, SyncEvery: *walSyncInterval, SegmentBytes: *walSegBytes,
+		})
+		if err != nil {
+			log.Fatalf("opening WAL: %v", err)
+		}
+		before := eng.Version()
+		if err := eng.AttachWAL(walLog); err != nil {
+			log.Fatalf("attaching WAL: %v", err)
+		}
+		if after := eng.Version(); after != before {
+			log.Printf("replayed WAL %s: version %d -> %d (%d records)", *walDir, before, after, after-before)
+		} else {
+			log.Printf("WAL %s attached at version %d (sync=%s)", *walDir, after, policy)
+		}
+	}
+
 	if st := eng.IndexStatus(); st.Enabled {
 		log.Printf("serving index: version %d, %d shard(s), ivf=%v nlist=%d nprobe=%d quantize=%v rerank=%d refresh-threshold=%.2f",
 			st.Version, st.Shards, st.IVF, st.NList, st.NProbe, st.Quantize, st.Rerank, st.RefreshThreshold)
@@ -205,6 +288,19 @@ func main() {
 	}
 	if *slowQueryMS > 0 {
 		opts = append(opts, server.WithSlowQueryLog(time.Duration(*slowQueryMS)*time.Millisecond, nil))
+	}
+	if rep != nil {
+		opts = append(opts,
+			server.WithReadOnly(),
+			server.WithHealthSection("replication", func() interface{} { return rep.Status() }))
+	}
+	if walLog != nil {
+		opts = append(opts, server.WithHealthSection("wal", func() interface{} {
+			first, last, ok := walLog.Bounds()
+			return map[string]interface{}{
+				"first_record": first, "last_record": last, "records": ok, "sync": *walSync,
+			}
+		}))
 	}
 	srv := &http.Server{
 		Addr:         *addr,
@@ -234,6 +330,10 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if rep != nil {
+		go rep.Run(ctx)
+	}
 
 	if *snapEvery > 0 {
 		go func() {
@@ -290,6 +390,13 @@ func main() {
 				log.Printf("final snapshot: %v", err)
 			} else {
 				log.Printf("final snapshot: version %d -> %s", m.Version, *snapPath)
+			}
+		}
+		// Close the log after the final snapshot: the snapshot's
+		// compaction reclaims everything the bundle now anchors.
+		if walLog != nil {
+			if err := walLog.Close(); err != nil {
+				log.Printf("closing WAL: %v", err)
 			}
 		}
 	}

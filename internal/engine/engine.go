@@ -24,6 +24,7 @@ import (
 	"pane/internal/graph"
 	"pane/internal/obs"
 	"pane/internal/store"
+	"pane/internal/wal"
 )
 
 // Model is one immutable, versioned generation of the served state.
@@ -101,6 +102,11 @@ type Engine struct {
 	// can ever match — via an atomic pointer, since shard rebuild workers
 	// read it concurrently.
 	restoredQuant atomic.Pointer[restoredQuant]
+
+	// wal, when attached, receives every applied update's delta before
+	// the new version publishes (see AttachWAL in wal.go). Atomic because
+	// Snapshot compacts through it without holding writeMu.
+	wal atomic.Pointer[wal.Log]
 }
 
 // restoredQuant pairs a bundle's quantized payload with the only model
@@ -328,6 +334,10 @@ func (e *Engine) ApplyAttrs(attrs []graph.AttrEntry) (*Model, error) {
 func (e *Engine) apply(edges []graph.Edge, attrs []graph.AttrEntry) (*Model, error) {
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
+	return e.applyLocked(edges, attrs)
+}
+
+func (e *Engine) applyLocked(edges []graph.Edge, attrs []graph.AttrEntry) (*Model, error) {
 	prev := e.Model()
 	g, err := prev.Graph.WithUpdates(edges, attrs)
 	if err != nil {
@@ -408,6 +418,16 @@ func (e *Engine) apply(edges []graph.Edge, attrs []graph.AttrEntry) (*Model, err
 		Graph:   g,
 		Emb:     emb,
 		Scorer:  core.NewLinkScorer(emb),
+	}
+	// Write-ahead: the update's delta must be durable under the log's
+	// sync policy before the version it produced becomes visible. On
+	// append failure nothing publishes — the caller sees the error and
+	// the model stays at prev (the retained affinity state self-heals:
+	// its version no longer matches, so the next update rebuilds it).
+	if w := e.wal.Load(); w != nil {
+		if err := w.Append(wal.Record{Version: next.Version, Edges: edges, Attrs: attrs}); err != nil {
+			return nil, err
+		}
 	}
 	e.cur.Store(next)
 	e.met.modelVersion.Set(float64(next.Version))
@@ -553,9 +573,30 @@ func sortedKeys(set map[int]struct{}) []int {
 // Snapshot atomically persists the current model as a single bundle file
 // and returns the model that was written. It reads the model through the
 // same atomic pointer as queries, so a snapshot taken mid-update-stream
-// is a consistent point-in-time version, never a torn mix of two.
+// is a consistent point-in-time version, never a torn mix of two. With a
+// WAL attached, a completed snapshot also compacts the log up to the
+// version the bundle recorded — see compactAfterSnapshot for why that
+// watermark, and never the live version, is the safe one.
 func (e *Engine) Snapshot(path string) (*Model, error) {
 	m := e.Model()
+	b := e.bundleFor(m)
+	if err := store.SaveBundleFile(path, b); err != nil {
+		return nil, err
+	}
+	if err := e.compactAfterSnapshot(b); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// CurrentBundle assembles (without persisting) the bundle for the
+// current model — what the /bundle endpoint streams to followers.
+func (e *Engine) CurrentBundle() *store.Bundle {
+	return e.bundleFor(e.Model())
+}
+
+// bundleFor builds the store bundle encoding model m.
+func (e *Engine) bundleFor(m *Model) *store.Bundle {
 	b := &store.Bundle{
 		ModelVersion: m.Version,
 		Cfg:          m.Cfg,
@@ -581,10 +622,7 @@ func (e *Engine) Snapshot(path string) (*Model, error) {
 			b.Quant = e.assembleQuant(m)
 		}
 	}
-	if err := store.SaveBundleFile(path, b); err != nil {
-		return nil, err
-	}
-	return m, nil
+	return b
 }
 
 // Open restores an Engine from a bundle file written by Snapshot (or by
@@ -598,6 +636,13 @@ func Open(path string, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	return FromBundle(b, opts...)
+}
+
+// FromBundle restores an Engine from an in-memory bundle — what Open
+// does after reading the file, and what a follower does with a bundle
+// fetched from its leader.
+func FromBundle(b *store.Bundle, opts ...Option) (*Engine, error) {
 	g, err := graph.FromCSR(b.Adj, b.Attr, b.Labels)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,314 @@
+// Package replica implements the follower side of the replicated
+// serving tier: a read-only engine bootstrapped from a leader's
+// /bundle, kept converged by tailing the leader's write-ahead log over
+// /replicate. Records apply through the engine's existing O(Δ) update
+// path; a follower that has fallen too far behind (or whose position
+// was compacted away on the leader) falls back to fetching a fresh
+// bundle and swapping it in wholesale.
+package replica
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"pane/internal/engine"
+	"pane/internal/obs"
+	"pane/internal/server"
+	"pane/internal/store"
+	"pane/internal/wal"
+)
+
+// Options configure a follower.
+type Options struct {
+	// Leader is the leader's base URL, e.g. http://leader:8080.
+	Leader string
+	// Poll is the tail interval when the follower is caught up; a full
+	// batch triggers an immediate next request instead. Default 500ms.
+	Poll time.Duration
+	// LagFallback is the record lag past which the follower stops
+	// replaying deltas and fetches a bundle instead — the delta-replay
+	// vs snapshot-fetch crossover benchexp's replicate experiment
+	// measures. Default 10000.
+	LagFallback uint64
+	// BatchMax caps the records requested per /replicate call.
+	// Default (and server-side cap) 4096.
+	BatchMax int
+	// Client is the HTTP client used for all leader calls. Default
+	// http.DefaultClient.
+	Client *http.Client
+}
+
+func (o *Options) defaults() error {
+	if o.Leader == "" {
+		return errors.New("replica: leader URL required")
+	}
+	if _, err := url.Parse(o.Leader); err != nil {
+		return fmt.Errorf("replica: leader URL: %w", err)
+	}
+	if o.Poll <= 0 {
+		o.Poll = 500 * time.Millisecond
+	}
+	if o.LagFallback == 0 {
+		o.LagFallback = 10000
+	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 4096
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	return nil
+}
+
+// Replica tails one leader into one local engine.
+type Replica struct {
+	eng  *engine.Engine
+	opts Options
+
+	// Pre-resolved obs handles in the engine's registry, so the
+	// follower's /metrics and /healthz replication section read the
+	// same cells.
+	lagG     *obs.Gauge
+	appliedG *obs.Gauge
+	recordsC *obs.Counter
+	fetchesC *obs.Counter
+
+	mu        sync.Mutex
+	leaderVer uint64
+	lastErr   string
+}
+
+// Bootstrap fetches the leader's current bundle and builds the local
+// engine from it (engOpts configure the local serving surface — index
+// layout, thresholds; they need not mirror the leader's).
+func Bootstrap(ctx context.Context, opts Options, engOpts ...engine.Option) (*Replica, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	r := &Replica{opts: opts}
+	b, err := r.fetchBundle(ctx)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.FromBundle(b, engOpts...)
+	if err != nil {
+		return nil, err
+	}
+	r.eng = eng
+	reg := eng.Metrics()
+	r.lagG = reg.Gauge("pane_replication_lag_records",
+		"Records the leader has applied that this follower has not.")
+	r.appliedG = reg.Gauge("pane_replication_applied_version",
+		"Model version this follower has applied up to.")
+	r.recordsC = reg.Counter("pane_replication_records_applied_total",
+		"WAL records replayed from the leader.")
+	r.fetchesC = reg.Counter("pane_replication_bundle_fetches_total",
+		"Full bundle fetches (bootstrap excluded) after falling behind.")
+	r.appliedG.Set(float64(eng.Version()))
+	return r, nil
+}
+
+// Engine returns the follower's engine, ready for read-only serving.
+func (r *Replica) Engine() *engine.Engine { return r.eng }
+
+// Run tails the leader until ctx is done. Transient errors (leader
+// down, truncated stream) are absorbed: the follower records them in
+// Status and keeps polling.
+func (r *Replica) Run(ctx context.Context) {
+	t := time.NewTimer(0)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		n, err := r.SyncOnce(ctx)
+		r.mu.Lock()
+		if err != nil {
+			r.lastErr = err.Error()
+		} else {
+			r.lastErr = ""
+		}
+		r.mu.Unlock()
+		if err == nil && n >= r.opts.BatchMax {
+			// A full batch means backlog: drain without sleeping.
+			t.Reset(0)
+			continue
+		}
+		t.Reset(r.opts.Poll)
+	}
+}
+
+// SyncOnce performs one replication round — one /replicate request,
+// applying every returned record, falling back to a bundle fetch on 410
+// or when the remaining lag exceeds the threshold — and returns how
+// many records it applied. Exported for tests and for benchexp's
+// catch-up measurements.
+func (r *Replica) SyncOnce(ctx context.Context) (int, error) {
+	from := r.eng.Version()
+	u := fmt.Sprintf("%s/replicate?from=%d&max=%d", r.opts.Leader, from, r.opts.BatchMax)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := r.opts.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	leaderVer, _ := parseVersion(resp.Header.Get(server.VersionHeader))
+	r.noteLeader(leaderVer)
+
+	applied := 0
+	switch resp.StatusCode {
+	case http.StatusOK:
+		br := bufio.NewReader(resp.Body)
+		for {
+			rec, err := wal.ReadFrame(br)
+			if err == io.EOF {
+				break
+			}
+			if errors.Is(err, wal.ErrTorn) {
+				// Truncated mid-stream (leader died or hiccuped): what
+				// arrived whole was applied; the next poll resumes.
+				break
+			}
+			if err != nil {
+				return applied, err
+			}
+			if _, err := r.eng.ApplyRecord(rec); err != nil {
+				return applied, err
+			}
+			applied++
+			r.recordsC.Inc()
+			r.appliedG.Set(float64(rec.Version))
+		}
+	case http.StatusGone:
+		// Our position was compacted away; only a bundle can catch up.
+		if err := r.catchUpFromBundle(ctx); err != nil {
+			return 0, err
+		}
+		r.updateLag(leaderVer)
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("replica: leader answered %s on /replicate", resp.Status)
+	}
+
+	// Past the lag threshold even after this batch, a snapshot fetch
+	// beats replaying the rest record by record.
+	if cur := r.eng.Version(); leaderVer > cur && leaderVer-cur > r.opts.LagFallback {
+		if err := r.catchUpFromBundle(ctx); err != nil {
+			return applied, err
+		}
+	}
+	r.updateLag(leaderVer)
+	return applied, nil
+}
+
+func (r *Replica) catchUpFromBundle(ctx context.Context) error {
+	b, err := r.fetchBundle(ctx)
+	if err != nil {
+		return err
+	}
+	if b.ModelVersion <= r.eng.Version() {
+		return nil // raced an older leader state; the next poll resolves it
+	}
+	if err := r.eng.LoadBundle(b); err != nil {
+		return err
+	}
+	r.fetchesC.Inc()
+	r.appliedG.Set(float64(b.ModelVersion))
+	return nil
+}
+
+func (r *Replica) fetchBundle(ctx context.Context) (*store.Bundle, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.opts.Leader+"/bundle", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replica: leader answered %s on /bundle", resp.Status)
+	}
+	if v, ok := parseVersion(resp.Header.Get(server.VersionHeader)); ok {
+		r.noteLeader(v)
+	}
+	return store.ReadBundle(resp.Body)
+}
+
+func parseVersion(raw string) (uint64, bool) {
+	if raw == "" {
+		return 0, false
+	}
+	var v uint64
+	if _, err := fmt.Sscanf(raw, "%d", &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func (r *Replica) noteLeader(v uint64) {
+	if v == 0 {
+		return
+	}
+	r.mu.Lock()
+	if v > r.leaderVer {
+		r.leaderVer = v
+	}
+	r.mu.Unlock()
+}
+
+func (r *Replica) updateLag(leaderVer uint64) {
+	cur := r.eng.Version()
+	if leaderVer > cur {
+		r.lagG.Set(float64(leaderVer - cur))
+	} else {
+		r.lagG.Set(0)
+	}
+}
+
+// Status is the follower's replication state, served under /healthz
+// (server.WithHealthSection) from the same obs cells /metrics exposes.
+type Status struct {
+	Leader         string `json:"leader"`
+	AppliedVersion uint64 `json:"applied_version"`
+	LeaderVersion  uint64 `json:"leader_version"`
+	LagRecords     uint64 `json:"replication_lag_records"`
+	RecordsApplied uint64 `json:"records_applied"`
+	BundleFetches  uint64 `json:"bundle_fetches"`
+	LastError      string `json:"last_error,omitempty"`
+}
+
+// Status reports the follower's current replication state.
+func (r *Replica) Status() Status {
+	r.mu.Lock()
+	leaderVer, lastErr := r.leaderVer, r.lastErr
+	r.mu.Unlock()
+	return Status{
+		Leader:         r.opts.Leader,
+		AppliedVersion: uint64(r.appliedG.Value()),
+		LeaderVersion:  leaderVer,
+		LagRecords:     uint64(r.lagG.Value()),
+		RecordsApplied: r.recordsC.Value(),
+		BundleFetches:  r.fetchesC.Value(),
+		LastError:      lastErr,
+	}
+}

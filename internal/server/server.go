@@ -42,6 +42,21 @@
 //	POST /batch          {"queries":[{"op":"link-score","src":0,"dst":4}, ...]}
 //	POST /snapshot       persist the current model to the configured path
 //
+// Replication endpoints (see internal/replica for the follower side):
+//
+//	GET /replicate?from=V[&max=N]   stream WAL records with version > V
+//	GET /bundle                     stream the current model as a bundle
+//
+// /replicate answers with the wal frame encoding (binary), an
+// X-Pane-Version header carrying the leader's live model version, 410
+// Gone when the requested records were compacted away (the follower
+// must fetch /bundle instead), and 503 when the engine has no
+// write-ahead log attached. /bundle streams the same byte-deterministic
+// v4 format POST /snapshot writes. A follower built with WithReadOnly
+// serves every read endpoint but answers 403 on the mutating ones —
+// writes belong to the leader, and read-your-writes clients route by
+// the model version every response already carries.
+//
 // Each request resolves the engine's current model once, so every
 // response is internally consistent even while updates land; reads never
 // block on writes. Routes are method-scoped: the wrong verb on a known
@@ -60,19 +75,35 @@ import (
 	"pane/internal/engine"
 	"pane/internal/graph"
 	"pane/internal/obs"
+	"pane/internal/store"
+	"pane/internal/wal"
 )
+
+// VersionHeader carries the serving model version on replication
+// responses; followers compute their record lag from it.
+const VersionHeader = "X-Pane-Version"
 
 // Server wraps an engine with HTTP handlers.
 type Server struct {
 	eng          *engine.Engine
 	snapshotPath string
 	mux          *http.ServeMux
+	readOnly     bool
+
+	// health holds extra named sections merged into /healthz (e.g. a
+	// follower's replication status).
+	health []healthSection
 
 	// met instruments every route (see metrics.go); it records into the
 	// engine's registry so /metrics serves both layers' series.
 	met           *serverMetrics
 	slowThreshold time.Duration
 	slowLog       *log.Logger
+}
+
+type healthSection struct {
+	name string
+	fn   func() interface{}
 }
 
 // Option configures a Server.
@@ -85,6 +116,19 @@ func WithSnapshotPath(path string) Option {
 	return func(s *Server) { s.snapshotPath = path }
 }
 
+// WithReadOnly makes the server a replica surface: the mutating routes
+// (updates, snapshot) answer 403 instead of touching the engine. Reads,
+// metrics, and the replication endpoints stay live.
+func WithReadOnly() Option {
+	return func(s *Server) { s.readOnly = true }
+}
+
+// WithHealthSection merges fn's value under the given key into every
+// /healthz response. fn runs per request; keep it cheap.
+func WithHealthSection(name string, fn func() interface{}) Option {
+	return func(s *Server) { s.health = append(s.health, healthSection{name, fn}) }
+}
+
 // New builds a Server around eng.
 func New(eng *engine.Engine, opts ...Option) *Server {
 	s := &Server{eng: eng, mux: http.NewServeMux(), slowLog: log.Default()}
@@ -95,22 +139,33 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 	routes := []struct {
 		method, path string
 		h            http.HandlerFunc
+		write        bool
 	}{
-		{"GET", "/healthz", s.handleHealth},
-		{"GET", "/metrics", eng.Metrics().Handler().ServeHTTP},
-		{"GET", "/attr-score", s.handleAttrScore},
-		{"GET", "/link-score", s.handleLinkScore},
-		{"GET", "/top-attrs", s.handleTopAttrs},
-		{"GET", "/top-links", s.handleTopLinks},
-		{"POST", "/update/edges", s.handleUpdateEdges},
-		{"POST", "/update/attrs", s.handleUpdateAttrs},
-		{"POST", "/batch", s.handleBatch},
-		{"POST", "/snapshot", s.handleSnapshot},
+		{"GET", "/healthz", s.handleHealth, false},
+		{"GET", "/metrics", eng.Metrics().Handler().ServeHTTP, false},
+		{"GET", "/attr-score", s.handleAttrScore, false},
+		{"GET", "/link-score", s.handleLinkScore, false},
+		{"GET", "/top-attrs", s.handleTopAttrs, false},
+		{"GET", "/top-links", s.handleTopLinks, false},
+		{"GET", "/replicate", s.handleReplicate, false},
+		{"GET", "/bundle", s.handleBundle, false},
+		{"POST", "/update/edges", s.handleUpdateEdges, true},
+		{"POST", "/update/attrs", s.handleUpdateAttrs, true},
+		{"POST", "/batch", s.handleBatch, false},
+		{"POST", "/snapshot", s.handleSnapshot, true},
 	}
 	for _, rt := range routes {
-		s.mux.Handle(rt.method+" "+rt.path, s.instrument(rt.path, rt.h))
+		h := rt.h
+		if rt.write && s.readOnly {
+			h = rejectReadOnly
+		}
+		s.mux.Handle(rt.method+" "+rt.path, s.instrument(rt.path, h))
 	}
 	return s
+}
+
+func rejectReadOnly(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusForbidden, "read-only replica: writes go to the leader")
 }
 
 // ServeHTTP implements http.Handler.
@@ -124,7 +179,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	idx := s.eng.IndexStatus()
 	aff := s.eng.AffinityStatus()
 	m := s.eng.Model()
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	body := map[string]interface{}{
 		"status":       "ok",
 		"version":      m.Version,
 		"nodes":        m.Nodes(),
@@ -134,7 +189,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"attr_entries": m.Graph.NNZAttr(),
 		"index":        idx,
 		"affinity":     aff,
-	})
+		"read_only":    s.readOnly,
+	}
+	for _, sec := range s.health {
+		body[sec.name] = sec.fn()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleAttrScore(w http.ResponseWriter, r *http.Request) {
@@ -307,6 +367,72 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"version": version, "results": results,
 	})
+}
+
+// defaultReplicateMax bounds one /replicate response; followers page
+// through larger backlogs with repeated requests.
+const defaultReplicateMax = 4096
+
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	l := s.eng.WAL()
+	if l == nil {
+		writeError(w, http.StatusServiceUnavailable, "no write-ahead log attached")
+		return
+	}
+	q := r.URL.Query()
+	raw := q.Get("from")
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing parameter \"from\"")
+		return
+	}
+	from, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("parameter \"from\": %v", err))
+		return
+	}
+	max := defaultReplicateMax
+	if raw := q.Get("max"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("parameter \"max\" must be a positive integer, got %q", raw))
+			return
+		}
+		if v < max {
+			max = v
+		}
+	}
+	recs, err := l.ReadFrom(from, max)
+	// The version header is resolved after the read so a follower's lag
+	// estimate never counts records it was just handed.
+	w.Header().Set(VersionHeader, strconv.FormatUint(s.eng.Version(), 10))
+	if err != nil {
+		if errors.Is(err, wal.ErrCompacted) {
+			writeError(w, http.StatusGone, "records compacted away; fetch /bundle")
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	var frame []byte
+	for _, rec := range recs {
+		frame, err = wal.EncodeFrame(frame[:0], rec)
+		if err != nil {
+			return // mid-stream: the torn tail tells the follower to retry
+		}
+		if _, err := w.Write(frame); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleBundle(w http.ResponseWriter, r *http.Request) {
+	b := s.eng.CurrentBundle()
+	w.Header().Set(VersionHeader, strconv.FormatUint(b.ModelVersion, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_ = store.WriteBundle(w, b) // mid-stream failure surfaces as a follower decode error
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,553 @@
+// Package wal implements the durable write-ahead delta log behind the
+// serving engine: an append-only, checksummed record stream of the
+// edge/attr deltas each applied update carried, segmented for
+// compaction. The log is the database (LogBase-style): a leader appends
+// every update before publishing the new model version, a restarted
+// leader replays log-after-bundle, and followers tail it over
+// /replicate.
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged update
+	// survives power loss. The durable default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background timer (Options.SyncEvery):
+	// bounded loss window, near-SyncNone throughput.
+	SyncInterval
+	// SyncNone never fsyncs explicitly; the OS flushes when it likes.
+	// Crash-consistent (torn tails still truncate cleanly) but recent
+	// acknowledged updates can vanish.
+	SyncNone
+)
+
+// ParseSyncPolicy maps the -wal-sync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return SyncAlways, fmt.Errorf("wal: unknown sync policy %q (want always|interval|none)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Options tune a Log. Zero values mean the defaults below.
+type Options struct {
+	// SegmentBytes rotates to a new segment file once the active one
+	// would exceed this size. Default 64 MiB.
+	SegmentBytes int64
+	// Sync is the fsync policy for appends. Default SyncAlways.
+	Sync SyncPolicy
+	// SyncEvery is the flush cadence under SyncInterval. Default 100ms.
+	SyncEvery time.Duration
+}
+
+const (
+	defaultSegmentBytes = 64 << 20
+	defaultSyncEvery    = 100 * time.Millisecond
+	segmentSuffix       = ".wal"
+)
+
+// ErrCompacted reports that the requested records were reclaimed by
+// compaction; the caller must fetch a bundle instead of replaying.
+var ErrCompacted = errors.New("wal: requested records compacted away")
+
+// segment is the in-memory index entry for one on-disk segment file.
+// Segments are named by their first record version (zero-padded so the
+// lexical directory order is the version order) and hold a contiguous,
+// strictly increasing version range.
+type segment struct {
+	path        string
+	first, last uint64
+	size        int64
+}
+
+// Log is a durable segmented record log. All mutation happens under mu;
+// ReadFrom snapshots segment metadata under mu and then reads file
+// bytes lock-free (appends only ever extend the active file, and each
+// record lands in a single write call).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	segments []segment
+	f        *os.File // active (= last) segment, nil when the log is empty
+	buf      []byte   // reused frame encode buffer
+	dirty    bool     // unsynced appends under SyncInterval
+	closed   bool
+
+	// crashAfter, when positive, makes the next Append write only that
+	// many bytes of the frame and then fail the log — the injected
+	// crash point the recovery tests tear pages with.
+	crashAfter int
+
+	stopSync chan struct{} // interval flusher shutdown
+	syncDone chan struct{}
+}
+
+// Open opens (creating if needed) the log directory, validates every
+// segment record-by-record, and truncates a torn tail on the final
+// segment. Corruption anywhere but the final segment's tail is a hard
+// error: that is not a crash artifact.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = defaultSyncEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	names, err := segmentNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts}
+	for i, name := range names {
+		seg, err := l.scanSegment(filepath.Join(dir, name), i == len(names)-1)
+		if err != nil {
+			return nil, err
+		}
+		if seg.size == 0 {
+			// A truncated-to-empty final segment: remove it rather than
+			// carry a segment with no records.
+			if err := os.Remove(seg.path); err != nil {
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			continue
+		}
+		if n := len(l.segments); n > 0 && seg.first != l.segments[n-1].last+1 {
+			return nil, fmt.Errorf("wal: version gap between %s (ends %d) and %s (starts %d)",
+				l.segments[n-1].path, l.segments[n-1].last, seg.path, seg.first)
+		}
+		l.segments = append(l.segments, seg)
+	}
+	if n := len(l.segments); n > 0 {
+		f, err := os.OpenFile(l.segments[n-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.f = f
+	}
+	if opts.Sync == SyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// segmentNames lists the *.wal files in dir in version order.
+func segmentNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), segmentSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// scanSegment validates one segment file and returns its metadata. For
+// the final segment a torn tail is truncated in place; for any other
+// segment it is corruption.
+func (l *Log) scanSegment(path string, last bool) (segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return segment{}, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	nameVer, err := versionFromName(path)
+	if err != nil {
+		return segment{}, err
+	}
+	seg := segment{path: path}
+	br := bufio.NewReader(f)
+	for {
+		rec, err := ReadFrame(br)
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, ErrTorn) {
+			if !last {
+				return segment{}, fmt.Errorf("wal: %s is corrupt mid-log (torn record after version %d)", path, seg.last)
+			}
+			if err := os.Truncate(path, seg.size); err != nil {
+				return segment{}, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+			}
+			break
+		}
+		if err != nil {
+			return segment{}, err
+		}
+		if seg.size == 0 {
+			if rec.Version != nameVer {
+				return segment{}, fmt.Errorf("wal: %s starts at version %d, want %d", path, rec.Version, nameVer)
+			}
+			seg.first = rec.Version
+		} else if rec.Version != seg.last+1 {
+			return segment{}, fmt.Errorf("wal: %s skips from version %d to %d", path, seg.last, rec.Version)
+		}
+		seg.last = rec.Version
+		seg.size += int64(frameHeaderSize + payloadSize(rec))
+	}
+	return seg, nil
+}
+
+func versionFromName(path string) (uint64, error) {
+	base := strings.TrimSuffix(filepath.Base(path), segmentSuffix)
+	v, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("wal: segment name %q is not a version: %w", filepath.Base(path), err)
+	}
+	return v, nil
+}
+
+func segmentPath(dir string, first uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%020d%s", first, segmentSuffix))
+}
+
+// Append durably records rec. Versions must be contiguous: on a
+// non-empty log rec.Version must be exactly LastVersion()+1 — the same
+// invariant replay and followers rely on.
+func (l *Log) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: append on closed log")
+	}
+	if n := len(l.segments); n > 0 && rec.Version != l.segments[n-1].last+1 {
+		return fmt.Errorf("wal: append version %d does not extend last version %d", rec.Version, l.segments[n-1].last)
+	}
+	frame, err := EncodeFrame(l.buf[:0], rec)
+	if err != nil {
+		return err
+	}
+	l.buf = frame
+	if l.f != nil {
+		if active := &l.segments[len(l.segments)-1]; active.size+int64(len(frame)) > l.opts.SegmentBytes && active.size > 0 {
+			if err := l.rotateLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	if l.f == nil {
+		if err := l.createSegmentLocked(rec.Version); err != nil {
+			return err
+		}
+	}
+	if l.crashAfter > 0 && l.crashAfter < len(frame) {
+		// Injected crash: persist a torn prefix of the frame and die.
+		l.f.Write(frame[:l.crashAfter])
+		l.f.Sync()
+		l.f.Close()
+		l.closed = true
+		return errors.New("wal: injected crash mid-record")
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	active := &l.segments[len(l.segments)-1]
+	active.size += int64(len(frame))
+	active.last = rec.Version
+	switch l.opts.Sync {
+	case SyncAlways:
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	case SyncInterval:
+		l.dirty = true
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment; the next append creates a
+// fresh one named by its record's version.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = nil
+	return nil
+}
+
+// createSegmentLocked starts a new segment whose first record will be
+// version first, and fsyncs the directory so the file itself survives.
+func (l *Log) createSegmentLocked(first uint64) error {
+	path := segmentPath(l.dir, first)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.segments = append(l.segments, segment{path: path, first: first, last: first - 1})
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Sync forces unsynced appends to disk (a no-op under SyncAlways).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.f == nil || l.closed {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.dirty = false
+	return nil
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopSync:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.dirty {
+				l.syncLocked()
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	if l.stopSync != nil {
+		close(l.stopSync)
+		<-l.syncDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Bounds reports the first and last record versions and whether the log
+// holds any records at all.
+func (l *Log) Bounds() (first, last uint64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segments) == 0 {
+		return 0, 0, false
+	}
+	return l.segments[0].first, l.segments[len(l.segments)-1].last, true
+}
+
+// LastVersion returns the newest record version, or 0 on an empty log.
+func (l *Log) LastVersion() uint64 {
+	_, last, _ := l.Bounds()
+	return last
+}
+
+// ReadFrom returns up to max records with Version > after, in order
+// (max <= 0 means no cap). It returns ErrCompacted when record after+1
+// existed but was reclaimed — the caller must fall back to a bundle.
+func (l *Log) ReadFrom(after uint64, max int) ([]Record, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, errors.New("wal: read on closed log")
+	}
+	if len(l.segments) == 0 {
+		l.mu.Unlock()
+		return nil, nil
+	}
+	if after+1 < l.segments[0].first {
+		l.mu.Unlock()
+		return nil, ErrCompacted
+	}
+	// Snapshot the metadata of the segments that can hold wanted
+	// records, then read outside the lock: appends only extend the
+	// active file past the size captured here, and compaction never
+	// removes a segment whose records we were promised (it only
+	// reclaims below snapshots the caller is already past).
+	var want []segment
+	for _, seg := range l.segments {
+		if seg.last > after {
+			want = append(want, seg)
+		}
+	}
+	l.mu.Unlock()
+
+	var out []Record
+	for _, seg := range want {
+		recs, err := readSegment(seg, after, max-len(out), max > 0)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil, ErrCompacted
+			}
+			return nil, err
+		}
+		out = append(out, recs...)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out, nil
+}
+
+// readSegment reads records with Version > after from one segment,
+// bounded to the byte size captured under the log lock.
+func readSegment(seg segment, after uint64, budget int, capped bool) ([]Record, error) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(io.LimitReader(f, seg.size))
+	var out []Record
+	for {
+		rec, err := ReadFrame(br)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("wal: reading %s: %w", seg.path, err)
+		}
+		if rec.Version <= after {
+			continue
+		}
+		out = append(out, rec)
+		if capped && len(out) >= budget {
+			return out, nil
+		}
+	}
+}
+
+// Reset discards every segment, active one included. Recovery calls it
+// when the log's newest record is older than the restored bundle (a
+// crash under a relaxed sync policy lost appends the bundle had already
+// captured): the stale history cannot be extended contiguously, and
+// followers it can no longer serve fall back to a bundle fetch.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: reset on closed log")
+	}
+	if l.f != nil {
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.f = nil
+	}
+	for _, seg := range l.segments {
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	l.segments = nil
+	l.dirty = false
+	return syncDir(l.dir)
+}
+
+// Compact reclaims whole segments whose every record is at or below
+// watermark — the model version recorded inside a durably written
+// bundle, never the live engine version (which may have advanced past
+// what the bundle captured). The active segment is always retained so
+// the log keeps its append position.
+func (l *Log) Compact(watermark uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: compact on closed log")
+	}
+	kept := l.segments[:0]
+	removed := false
+	for i, seg := range l.segments {
+		if i < len(l.segments)-1 && seg.last <= watermark {
+			if err := os.Remove(seg.path); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			removed = true
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segments = kept
+	if removed {
+		return syncDir(l.dir)
+	}
+	return nil
+}

@@ -1,0 +1,431 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"pane/internal/graph"
+)
+
+// testRecord builds a deterministic record for version v with a
+// v-dependent mix of edge and attr deltas.
+func testRecord(v uint64) Record {
+	rng := rand.New(rand.NewSource(int64(v)))
+	rec := Record{Version: v}
+	for i := 0; i < 1+rng.Intn(4); i++ {
+		rec.Edges = append(rec.Edges, graph.Edge{Src: rng.Intn(1000), Dst: rng.Intn(1000)})
+	}
+	for i := 0; i < rng.Intn(3); i++ {
+		rec.Attrs = append(rec.Attrs, graph.AttrEntry{Node: rng.Intn(1000), Attr: rng.Intn(50), Weight: rng.Float64()})
+	}
+	return rec
+}
+
+func appendRecords(t *testing.T, l *Log, from, to uint64) {
+	t.Helper()
+	for v := from; v <= to; v++ {
+		if err := l.Append(testRecord(v)); err != nil {
+			t.Fatalf("append v%d: %v", v, err)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for v := uint64(1); v <= 50; v++ {
+		rec := testRecord(v)
+		frame, err := EncodeFrame(nil, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)))
+		if err != nil {
+			t.Fatalf("v%d: %v", v, err)
+		}
+		if !reflect.DeepEqual(rec, got) {
+			t.Fatalf("v%d round trip: %+v != %+v", v, got, rec)
+		}
+		// Re-encoding the decoded record must reproduce the bytes: the
+		// /replicate stream depends on it.
+		again, err := EncodeFrame(nil, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(frame, again) {
+			t.Fatalf("v%d re-encode differs", v)
+		}
+	}
+}
+
+func TestEncodeFrameRejectsOutOfRangeIDs(t *testing.T) {
+	if _, err := EncodeFrame(nil, Record{Version: 1, Edges: []graph.Edge{{Src: -1, Dst: 0}}}); err == nil {
+		t.Fatal("negative edge id accepted")
+	}
+	if _, err := EncodeFrame(nil, Record{Version: 1, Attrs: []graph.AttrEntry{{Node: 1 << 40, Attr: 0}}}); err == nil {
+		t.Fatal("oversized attr id accepted")
+	}
+}
+
+func TestAppendReopenReadFrom(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecords(t, l, 1, 40)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err = Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	first, last, ok := l.Bounds()
+	if !ok || first != 1 || last != 40 {
+		t.Fatalf("bounds = %d..%d ok=%v, want 1..40", first, last, ok)
+	}
+	recs, err := l.ReadFrom(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 40 {
+		t.Fatalf("got %d records, want 40", len(recs))
+	}
+	for i, rec := range recs {
+		if want := testRecord(uint64(i + 1)); !reflect.DeepEqual(rec, want) {
+			t.Fatalf("record %d: %+v != %+v", i, rec, want)
+		}
+	}
+	// Reopening must keep the append position.
+	appendRecords(t, l, 41, 45)
+	if got, err := l.ReadFrom(42, 0); err != nil || len(got) != 3 || got[0].Version != 43 {
+		t.Fatalf("ReadFrom(42) = %d recs, err %v", len(got), err)
+	}
+	// Capped reads stop early.
+	if got, err := l.ReadFrom(0, 7); err != nil || len(got) != 7 || got[6].Version != 7 {
+		t.Fatalf("capped ReadFrom = %d recs, err %v", len(got), err)
+	}
+}
+
+func TestAppendEnforcesContiguousVersions(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendRecords(t, l, 7, 9) // an empty log accepts any starting version
+	if err := l.Append(testRecord(11)); err == nil {
+		t.Fatal("version gap accepted")
+	}
+	if err := l.Append(testRecord(9)); err == nil {
+		t.Fatal("version replay accepted")
+	}
+}
+
+func TestSegmentRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every record rotates.
+	l, err := Open(dir, Options{Sync: SyncNone, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecords(t, l, 1, 10)
+	if n := len(l.segments); n != 10 {
+		t.Fatalf("got %d segments, want 10", n)
+	}
+
+	// Compaction keeps segments above the watermark plus the active
+	// one, and reads below the new floor report ErrCompacted.
+	if err := l.Compact(5); err != nil {
+		t.Fatal(err)
+	}
+	first, last, _ := l.Bounds()
+	if first != 6 || last != 10 {
+		t.Fatalf("bounds after compact = %d..%d, want 6..10", first, last)
+	}
+	if _, err := l.ReadFrom(3, 0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("ReadFrom(3) err = %v, want ErrCompacted", err)
+	}
+	recs, err := l.ReadFrom(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || recs[0].Version != 6 {
+		t.Fatalf("ReadFrom(5) = %d recs starting %d", len(recs), recs[0].Version)
+	}
+	// The active segment survives even a watermark past its records.
+	if err := l.Compact(99); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(l.segments); n != 1 {
+		t.Fatalf("active segment not retained: %d segments", n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The compacted log reopens and appends cleanly.
+	l, err = Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendRecords(t, l, 11, 12)
+	if v := l.LastVersion(); v != 12 {
+		t.Fatalf("LastVersion = %d, want 12", v)
+	}
+}
+
+func TestTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecords(t, l, 1, 5)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := segmentNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, names[len(names)-1])
+
+	// A torn frame prefix at the tail: header plus part of a payload.
+	partial, err := EncodeFrame(nil, testRecord(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, frameHeaderSize, len(partial) - 1} {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(partial[:cut]); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		l, err := Open(dir, Options{Sync: SyncNone})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if v := l.LastVersion(); v != 5 {
+			t.Fatalf("cut %d: LastVersion = %d, want 5", cut, v)
+		}
+		l.Close()
+	}
+
+	// A corrupted byte inside the tail record also truncates to the
+	// last good record.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), partial...)
+	flipped[len(flipped)-1] ^= 0xff
+	if _, err := f.Write(flipped); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	l, err = Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if v := l.LastVersion(); v != 5 {
+		t.Fatalf("LastVersion after checksum tear = %d, want 5", v)
+	}
+	appendRecords(t, l, 6, 7)
+}
+
+func TestInjectedCrashMidRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecords(t, l, 1, 3)
+	l.crashAfter = 5 // die five bytes into the next frame
+	if err := l.Append(testRecord(4)); err == nil {
+		t.Fatal("injected crash did not fail the append")
+	}
+
+	l, err = Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if v := l.LastVersion(); v != 3 {
+		t.Fatalf("LastVersion after crash = %d, want 3", v)
+	}
+	recs, err := l.ReadFrom(0, 0)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("replay after crash: %d recs, err %v", len(recs), err)
+	}
+	appendRecords(t, l, 4, 4)
+}
+
+// TestCrashAtEveryByte is the recovery property test: for a log cut at
+// every possible byte offset — every SIGKILL point — reopening yields
+// exactly the longest record prefix whose frames fit, and the log stays
+// appendable.
+func TestCrashAtEveryByte(t *testing.T) {
+	golden := t.TempDir()
+	l, err := Open(golden, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	var ends []int64 // byte offset after each record
+	var off int64
+	for v := uint64(1); v <= n; v++ {
+		rec := testRecord(v)
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		off += int64(frameHeaderSize + payloadSize(rec))
+		ends = append(ends, off)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := segmentNames(golden)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("want one segment, got %v (err %v)", names, err)
+	}
+	data, err := os.ReadFile(filepath.Join(golden, names[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(data); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, names[0]), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, Options{Sync: SyncNone})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		wantLast := uint64(0)
+		for i, end := range ends {
+			if int64(cut) >= end {
+				wantLast = uint64(i + 1)
+			}
+		}
+		if v := l.LastVersion(); v != wantLast {
+			t.Fatalf("cut %d: LastVersion = %d, want %d", cut, v, wantLast)
+		}
+		recs, err := l.ReadFrom(0, 0)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs) != int(wantLast) {
+			t.Fatalf("cut %d: %d records, want %d", cut, len(recs), wantLast)
+		}
+		appendRecords(t, l, wantLast+1, wantLast+1)
+		l.Close()
+	}
+}
+
+func TestReset(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecords(t, l, 1, 6)
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := l.Bounds(); ok {
+		t.Fatal("bounds non-empty after reset")
+	}
+	if names, _ := segmentNames(dir); len(names) != 0 {
+		t.Fatalf("segments survive reset: %v", names)
+	}
+	// A reset log accepts any next version — that is its purpose.
+	appendRecords(t, l, 20, 22)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	first, last, _ := l.Bounds()
+	if first != 20 || last != 22 {
+		t.Fatalf("bounds = %d..%d, want 20..22", first, last)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, p := range []SyncPolicy{SyncAlways, SyncInterval, SyncNone} {
+		got, err := ParseSyncPolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", p.String(), got, err)
+		}
+		dir := t.TempDir()
+		l, err := Open(dir, Options{Sync: p, SyncEvery: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendRecords(t, l, 1, 10)
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		l, err = Open(dir, Options{Sync: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := l.LastVersion(); v != 10 {
+			t.Fatalf("policy %v: LastVersion = %d", p, v)
+		}
+		l.Close()
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestOpenRejectsMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecords(t, l, 1, 3) // three segments
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := segmentNames(dir)
+	if err != nil || len(names) != 3 {
+		t.Fatalf("want 3 segments, got %v", names)
+	}
+	// Tear the middle segment: that is data loss, not a crash tail.
+	mid := filepath.Join(dir, names[1])
+	data, err := os.ReadFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mid, data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Sync: SyncNone}); err == nil {
+		t.Fatal("mid-log tear accepted")
+	}
+}
