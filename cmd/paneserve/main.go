@@ -33,6 +33,19 @@
 // /metrics, and fall back to a full bundle fetch when their lag exceeds
 // -follow-lag (or their log position was compacted away).
 //
+// Failover (see the README's "Failover runbook"): a follower started
+// with -promote-wal can be promoted in place when the leader dies —
+//
+//	paneserve -follow http://leader:8080 -promote-wal wal/ -addr :8081
+//	curl -X POST http://follower:8081/promote
+//
+// Promotion stops the tail, opens the promotion WAL, raises the fencing
+// epoch, and lifts read-only mode; the deposed leader's appends fail
+// with a fencing error the moment it hears the new epoch. While a
+// follower cannot reach its leader it keeps serving reads, advertising
+// X-Pane-Staleness: stale and failing GET /readyz so load balancers can
+// drain it without killing it.
+//
 // Observability: the main listener always serves GET /metrics (Prometheus
 // text). -metrics-addr starts a second, admin-only listener carrying
 // /metrics, /debug/pprof/* and /debug/vars (expvar, with the full metric
@@ -51,6 +64,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -108,6 +122,10 @@ func main() {
 			"poll interval while caught up with the leader")
 		followLag = flag.Uint64("follow-lag", 10000,
 			"record lag past which the follower fetches a bundle instead of replaying deltas")
+		followRetries = flag.Int("follow-bootstrap-retries", 5,
+			"extra bootstrap attempts (capped exponential backoff) before a follower gives up on an unreachable leader")
+		promoteWAL = flag.String("promote-wal", "",
+			"write-ahead log directory this follower opens when promoted to leader via POST /promote (empty keeps the route disabled)")
 	)
 	flag.Parse()
 	if *snapEvery > 0 && *snapPath == "" {
@@ -120,6 +138,8 @@ func main() {
 		if *loadPath != "" || *edgePath != "" || *attrPath != "" {
 			log.Fatal("-follow bootstraps from the leader; drop -load/-edges/-attrs")
 		}
+	} else if *promoteWAL != "" {
+		log.Fatal("-promote-wal is follower-only: a process that is already a leader has -wal")
 	}
 
 	// An explicitly passed -shards must win even when "auto" restores a
@@ -208,6 +228,7 @@ func main() {
 		opts := append(append([]engine.Option{}, commonOpts...), indexOpts(true)...)
 		rep, err = replica.Bootstrap(context.Background(), replica.Options{
 			Leader: *followURL, Poll: *followPoll, LagFallback: *followLag,
+			BootstrapRetries: *followRetries,
 		}, opts...)
 		if err != nil {
 			log.Fatalf("bootstrapping from leader: %v", err)
@@ -289,10 +310,43 @@ func main() {
 	if *slowQueryMS > 0 {
 		opts = append(opts, server.WithSlowQueryLog(time.Duration(*slowQueryMS)*time.Millisecond, nil))
 	}
+	// promotedLog holds the WAL a promoted follower opened; written once
+	// from the /promote handler's goroutine, read at shutdown.
+	var promotedLog atomic.Pointer[wal.Log]
 	if rep != nil {
 		opts = append(opts,
 			server.WithReadOnly(),
-			server.WithHealthSection("replication", func() interface{} { return rep.Status() }))
+			server.WithHealthSection("replication", func() interface{} { return rep.Status() }),
+			server.WithStaleness(rep.Stale),
+			server.WithReadiness("replication", func() error {
+				if rep.Stale() {
+					return errors.New("replication stale: leader unreachable")
+				}
+				return nil
+			}))
+		if *promoteWAL != "" {
+			opts = append(opts, server.WithPromotion(func() (uint32, error) {
+				policy, err := wal.ParseSyncPolicy(*walSync)
+				if err != nil {
+					return 0, err
+				}
+				plog, err := wal.Open(*promoteWAL, wal.Options{
+					Sync: policy, SyncEvery: *walSyncInterval, SegmentBytes: *walSegBytes,
+				})
+				if err != nil {
+					return 0, err
+				}
+				epoch, err := rep.Promote(plog)
+				if err != nil {
+					plog.Close()
+					return 0, err
+				}
+				promotedLog.Store(plog)
+				log.Printf("promoted to leader: epoch %d, version %d, wal %s (sync=%s)",
+					epoch, eng.Version(), *promoteWAL, policy)
+				return epoch, nil
+			}))
+		}
 	}
 	if walLog != nil {
 		opts = append(opts, server.WithHealthSection("wal", func() interface{} {
@@ -397,6 +451,11 @@ func main() {
 		if walLog != nil {
 			if err := walLog.Close(); err != nil {
 				log.Printf("closing WAL: %v", err)
+			}
+		}
+		if plog := promotedLog.Load(); plog != nil {
+			if err := plog.Close(); err != nil {
+				log.Printf("closing promotion WAL: %v", err)
 			}
 		}
 	}

@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -107,7 +108,23 @@ type Engine struct {
 	// the new version publishes (see AttachWAL in wal.go). Atomic because
 	// Snapshot compacts through it without holding writeMu.
 	wal atomic.Pointer[wal.Log]
+
+	// epoch is the fencing epoch this engine writes records at (leader)
+	// or has accepted records from (follower). It starts at 0, bumps only
+	// through Promote (failover) or by applying a record from a newer
+	// epoch, and never regresses.
+	epoch atomic.Uint32
+	// observedEpoch is the highest foreign fencing epoch the engine has
+	// been shown (Fence) — by a replication request from a promoted
+	// lineage, or by an operator. While it exceeds epoch the engine is
+	// deposed: every write fails with ErrFenced.
+	observedEpoch atomic.Uint32
 }
+
+// ErrFenced reports a write refused because this engine's fencing epoch
+// was superseded — a deposed leader, or a record from a deposed lineage.
+// Callers detect it with errors.Is.
+var ErrFenced = errors.New("engine: fenced by a newer epoch")
 
 // restoredQuant pairs a bundle's quantized payload with the only model
 // version it encodes.
@@ -309,6 +326,70 @@ func (e *Engine) Model() *Model { return e.cur.Load() }
 // Version returns the current model version.
 func (e *Engine) Version() uint64 { return e.Model().Version }
 
+// Epoch returns the fencing epoch the engine currently writes (or
+// accepts replicated records) at. 0 until a failover promotes somebody.
+func (e *Engine) Epoch() uint32 { return e.epoch.Load() }
+
+// Deposed reports whether a newer fencing epoch has been observed: a
+// deposed engine keeps serving reads but refuses every write with
+// ErrFenced.
+func (e *Engine) Deposed() bool { return e.observedEpoch.Load() > e.epoch.Load() }
+
+// ObservedEpoch returns the highest fencing epoch the engine knows to
+// exist anywhere — its own, or a newer one it was fenced with. A
+// deposed server advertises this (not its own stale epoch) so callers
+// learn which lineage superseded it.
+func (e *Engine) ObservedEpoch() uint32 {
+	if seen := e.observedEpoch.Load(); seen > e.epoch.Load() {
+		return seen
+	}
+	return e.epoch.Load()
+}
+
+// Fence records that epoch exists somewhere in the deployment. If it
+// exceeds the engine's own epoch the engine is deposed — writes fail
+// from the next applyLocked on, while reads stay live (degraded mode).
+// The replication handlers call this when a request arrives from a
+// follower that already crossed a failover; idempotent and monotonic.
+func (e *Engine) Fence(epoch uint32) {
+	for {
+		cur := e.observedEpoch.Load()
+		if epoch <= cur {
+			return
+		}
+		if e.observedEpoch.CompareAndSwap(cur, epoch) {
+			if epoch > e.epoch.Load() {
+				e.met.deposed.Set(1)
+			}
+			return
+		}
+	}
+}
+
+// Promote raises the engine's fencing epoch — the follower-to-leader
+// transition. The new epoch must exceed both the engine's own epoch and
+// every epoch it has observed; promoting below an observed epoch would
+// fork a lineage the rest of the deployment already fenced off.
+func (e *Engine) Promote(epoch uint32) error {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if own := e.epoch.Load(); epoch <= own {
+		return fmt.Errorf("engine: promotion epoch %d does not advance own epoch %d", epoch, own)
+	}
+	if seen := e.observedEpoch.Load(); epoch <= seen {
+		return fmt.Errorf("engine: promotion epoch %d not above observed epoch %d", epoch, seen)
+	}
+	if w := e.wal.Load(); w != nil {
+		if last := w.LastEpoch(); epoch < last {
+			return fmt.Errorf("engine: promotion epoch %d below the log's epoch %d", epoch, last)
+		}
+	}
+	e.epoch.Store(epoch)
+	e.met.epoch.Set(float64(epoch))
+	e.met.deposed.Set(0)
+	return nil
+}
+
 // ApplyEdges inserts directed edges into the graph and publishes a new
 // model version whose embedding is warm-started from the previous one.
 // Inserting an existing edge is a no-op on the graph but still refines
@@ -338,6 +419,14 @@ func (e *Engine) apply(edges []graph.Edge, attrs []graph.AttrEntry) (*Model, err
 }
 
 func (e *Engine) applyLocked(edges []graph.Edge, attrs []graph.AttrEntry) (*Model, error) {
+	// Fencing: a deposed engine (a newer epoch exists somewhere) must not
+	// produce new versions — they would collide with the promoted
+	// lineage's versions under a different epoch.
+	ep := e.epoch.Load()
+	if seen := e.observedEpoch.Load(); seen > ep {
+		e.met.fenced.Inc()
+		return nil, fmt.Errorf("%w: this engine is at epoch %d, epoch %d exists", ErrFenced, ep, seen)
+	}
 	prev := e.Model()
 	g, err := prev.Graph.WithUpdates(edges, attrs)
 	if err != nil {
@@ -425,7 +514,7 @@ func (e *Engine) applyLocked(edges []graph.Edge, attrs []graph.AttrEntry) (*Mode
 	// the model stays at prev (the retained affinity state self-heals:
 	// its version no longer matches, so the next update rebuilds it).
 	if w := e.wal.Load(); w != nil {
-		if err := w.Append(wal.Record{Version: next.Version, Edges: edges, Attrs: attrs}); err != nil {
+		if err := w.Append(wal.Record{Version: next.Version, Epoch: ep, Edges: edges, Attrs: attrs}); err != nil {
 			return nil, err
 		}
 	}

@@ -26,6 +26,11 @@ type engineMetrics struct {
 	gram         *obs.Counter
 	modelVersion *obs.Gauge
 
+	// Failover / fencing.
+	epoch   *obs.Gauge   // fencing epoch the engine writes at
+	deposed *obs.Gauge   // 1 while a newer epoch has been observed
+	fenced  *obs.Counter // writes refused with ErrFenced
+
 	// Index build cycles (per-shard workers + manual rebuilds).
 	buildIncr    *obs.Counter
 	buildFull    *obs.Counter
@@ -69,6 +74,12 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 			"Attribute updates served through the low-rank Gram correction instead of a full link-space rebuild."),
 		modelVersion: reg.Gauge("pane_model_version",
 			"Version of the currently served model."),
+		epoch: reg.Gauge("pane_model_epoch",
+			"Fencing epoch the engine writes (or accepts records) at; failover promotions bump it."),
+		deposed: reg.Gauge("pane_model_deposed",
+			"1 while a newer fencing epoch has been observed: writes are refused, reads keep serving."),
+		fenced: reg.Counter("pane_fencing_rejections_total",
+			"Writes and replicated records refused because their fencing epoch was superseded."),
 		buildIncr:    reg.Counter("pane_index_build_cycles_total", buildHelp, obs.L("kind", "incremental")),
 		buildFull:    reg.Counter("pane_index_build_cycles_total", buildHelp, obs.L("kind", "full")),
 		buildDurIncr: reg.Histogram("pane_index_build_duration_seconds", buildDur, obs.L("kind", "incremental")),

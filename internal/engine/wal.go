@@ -71,7 +71,13 @@ func (e *Engine) AttachWAL(l *wal.Log) error {
 // ApplyRecord applies one replicated update record: the record must
 // extend the current version by exactly one (the caller — replay or a
 // follower — is responsible for feeding records in order and without
-// gaps). Followers run their engines WAL-less, so nothing re-appends.
+// gaps), and must not come from a fencing epoch older than the engine
+// has already accepted — a deposed leader's record is refused with
+// ErrFenced even when its version would fit, so no version is ever
+// served under two epochs. A record from a *newer* epoch is the normal
+// sight of a failover from the follower's side: the engine adopts the
+// epoch and applies the record. Followers run their engines WAL-less,
+// so nothing re-appends.
 func (e *Engine) ApplyRecord(rec wal.Record) (*Model, error) {
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
@@ -81,6 +87,18 @@ func (e *Engine) ApplyRecord(rec wal.Record) (*Model, error) {
 func (e *Engine) applyRecordLocked(rec wal.Record) (*Model, error) {
 	if cur := e.Model().Version; rec.Version != cur+1 {
 		return nil, fmt.Errorf("engine: record version %d does not extend model version %d", rec.Version, cur)
+	}
+	if own := e.epoch.Load(); rec.Epoch < own {
+		e.met.fenced.Inc()
+		return nil, fmt.Errorf("%w: record v%d from deposed epoch %d, engine at epoch %d",
+			ErrFenced, rec.Version, rec.Epoch, own)
+	} else if rec.Epoch > own {
+		// Crossing a failover boundary: adopt the promoted lineage's
+		// epoch before applying so the fencing check in applyLocked (and
+		// every later record) sees it.
+		e.epoch.Store(rec.Epoch)
+		e.met.epoch.Set(float64(rec.Epoch))
+		e.met.deposed.Set(0)
 	}
 	return e.applyLocked(rec.Edges, rec.Attrs)
 }

@@ -1,0 +1,223 @@
+// Package faults is the fault-injection layer behind the chaos tier:
+// deterministic, test-controlled failures at the two boundaries the
+// serving stack crosses — the network (Transport, an http.RoundTripper
+// that errors, delays, hangs, or truncates responses) and the disk
+// (FS, a wal.FS that tears writes, fails fsyncs, and errors reads).
+//
+// Nothing here is random. Tests script faults explicitly (a Plan
+// function per request, counted budgets per filesystem op), so a chaos
+// run that fails replays exactly. The package has no test-only build
+// constraints because paneserve never imports it; it depends only on
+// internal/wal for the FS seam.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"pane/internal/wal"
+)
+
+// ErrInjected is the root of every synthetic failure, so tests can
+// errors.Is-match injected faults apart from real ones.
+var ErrInjected = errors.New("faults: injected fault")
+
+// Fault describes what happens to one HTTP request. The zero value
+// passes the request through untouched. Fields compose in order:
+// Delay first, then Err or Hang (mutually exclusive, Err wins), then —
+// for requests that do go out — TruncateBody on the response.
+type Fault struct {
+	// Delay sleeps before anything else (bounded by the request
+	// context), modeling a slow network or an overloaded leader.
+	Delay time.Duration
+	// Err fails the round trip outright — connection refused, reset.
+	Err error
+	// Hang blocks until the request context is done and returns its
+	// error: the pathology timeouts exist for. A client with no
+	// deadline hangs forever, which is exactly the point.
+	Hang bool
+	// TruncateBody forwards the request but cuts the response body to
+	// at most this many bytes (when > 0) — a mid-stream leader death
+	// from the client's perspective.
+	TruncateBody int64
+}
+
+// Transport is an http.RoundTripper that consults Plan for each
+// request. A nil Plan result (or a zero Fault) forwards to Base.
+type Transport struct {
+	// Base handles non-faulted requests; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+	// Plan decides each request's fate. Called once per attempt, so a
+	// counting plan can fail the first N tries and pass the rest.
+	Plan func(req *http.Request) *Fault
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	var f Fault
+	if t.Plan != nil {
+		if p := t.Plan(req); p != nil {
+			f = *p
+		}
+	}
+	if f.Delay > 0 {
+		select {
+		case <-time.After(f.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if f.Err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInjected, f.Err)
+	}
+	if f.Hang {
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if f.TruncateBody > 0 {
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: f.TruncateBody}
+	}
+	return resp, nil
+}
+
+// truncatedBody yields at most `remaining` bytes, then reports EOF —
+// indistinguishable from a connection the other side closed mid-write.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+// FS wraps a wal.FS with counted fault budgets: arm N failures of a
+// kind and the next N matching operations fail, after which the
+// filesystem heals. Budgets are safe to arm from any goroutine.
+type FS struct {
+	inner wal.FS
+
+	tearWrites atomic.Int64 // upcoming Write calls that write half and fail
+	failSyncs  atomic.Int64 // upcoming Sync calls that fail
+	failReads  atomic.Int64 // upcoming Read calls that fail (EIO-style)
+}
+
+// WrapFS wraps inner (nil means the real OS filesystem) for injection.
+func WrapFS(inner wal.FS) *FS {
+	if inner == nil {
+		inner = wal.OSFS()
+	}
+	return &FS{inner: inner}
+}
+
+// TearWrites arms n short writes: each affected Write persists only
+// half its bytes and returns an error — a torn frame on disk.
+func (f *FS) TearWrites(n int) { f.tearWrites.Store(int64(n)) }
+
+// FailSyncs arms n fsync failures — the write reached the page cache
+// but durability is refused, the failure mode fsyncgate made famous.
+func (f *FS) FailSyncs(n int) { f.failSyncs.Store(int64(n)) }
+
+// FailReads arms n read failures (EIO), hitting both recovery scans
+// and /replicate reads.
+func (f *FS) FailReads(n int) { f.failReads.Store(int64(n)) }
+
+// claim consumes one unit of a budget if any remains.
+func claim(c *atomic.Int64) bool {
+	for {
+		n := c.Load()
+		if n <= 0 {
+			return false
+		}
+		if c.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+func (f *FS) MkdirAll(dir string, perm os.FileMode) error { return f.inner.MkdirAll(dir, perm) }
+func (f *FS) ReadDir(dir string) ([]os.DirEntry, error)   { return f.inner.ReadDir(dir) }
+func (f *FS) Remove(name string) error                    { return f.inner.Remove(name) }
+func (f *FS) Truncate(name string, size int64) error      { return f.inner.Truncate(name, size) }
+func (f *FS) SyncDir(dir string) error                    { return f.inner.SyncDir(dir) }
+
+func (f *FS) Create(name string) (wal.File, error) {
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, fs: f}, nil
+}
+
+func (f *FS) OpenAppend(name string) (wal.File, error) {
+	file, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, fs: f}, nil
+}
+
+func (f *FS) Open(name string) (wal.File, error) {
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, fs: f}, nil
+}
+
+// faultFile applies the armed budgets to one open file.
+type faultFile struct {
+	inner wal.File
+	fs    *FS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if claim(&f.fs.tearWrites) {
+		n, err := f.inner.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w: write torn after %d of %d bytes", ErrInjected, n, len(p))
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if claim(&f.fs.failReads) {
+		return 0, fmt.Errorf("%w: read error (EIO)", ErrInjected)
+	}
+	return f.inner.Read(p)
+}
+
+func (f *faultFile) Sync() error {
+	if claim(&f.fs.failSyncs) {
+		return fmt.Errorf("%w: fsync refused", ErrInjected)
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }

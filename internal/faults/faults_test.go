@@ -1,0 +1,202 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pane/internal/graph"
+	"pane/internal/wal"
+)
+
+func TestTransportErrorDelayHang(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "0123456789")
+	}))
+	defer ts.Close()
+
+	var mode atomic.Value
+	client := &http.Client{Transport: &Transport{Plan: func(req *http.Request) *Fault {
+		f, _ := mode.Load().(*Fault)
+		return f
+	}}}
+
+	// Pass-through: nil fault.
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "0123456789" {
+		t.Fatalf("pass-through body %q", body)
+	}
+
+	// Err: the round trip fails and is recognizably injected.
+	mode.Store(&Fault{Err: errors.New("connection refused")})
+	if _, err := client.Get(ts.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error not surfaced: %v", err)
+	}
+
+	// Delay: at least the configured latency.
+	mode.Store(&Fault{Delay: 30 * time.Millisecond})
+	t0 := time.Now()
+	resp, err = client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(t0); d < 30*time.Millisecond {
+		t.Fatalf("delayed request returned in %v", d)
+	}
+
+	// Hang: only the context deadline frees the caller.
+	mode.Store(&Fault{Hang: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	if _, err := client.Do(req); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang ended with %v, want deadline exceeded", err)
+	}
+}
+
+func TestTransportTruncateBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "0123456789")
+	}))
+	defer ts.Close()
+	client := &http.Client{Transport: &Transport{Plan: func(req *http.Request) *Fault {
+		return &Fault{TruncateBody: 4}
+	}}}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "0123" {
+		t.Fatalf("truncated body %q, want %q", body, "0123")
+	}
+}
+
+func testRecord(version uint64, epoch uint32) wal.Record {
+	return wal.Record{
+		Version: version,
+		Epoch:   epoch,
+		Edges:   []graph.Edge{{Src: int(version), Dst: int(version) + 1}},
+	}
+}
+
+// TestFSTornWriteRollsBack: a torn append must leave the log exactly as
+// it was — same last version, still appendable, and a reopen sees no
+// trace of the torn frame.
+func TestFSTornWriteRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	fs := WrapFS(nil)
+	log, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(testRecord(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.TearWrites(1)
+	if err := log.Append(testRecord(2, 0)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn append err = %v, want injected", err)
+	}
+	if last := log.LastVersion(); last != 1 {
+		t.Fatalf("last version after torn append = %d, want 1", last)
+	}
+	// The filesystem healed; the same version appends cleanly.
+	if err := log.Append(testRecord(2, 0)); err != nil {
+		t.Fatalf("retry after rollback: %v", err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	recs, err := re.ReadFrom(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Version != 1 || recs[1].Version != 2 {
+		t.Fatalf("reopened log has %v", recs)
+	}
+}
+
+// TestFSFsyncFailureRollsBack: under SyncAlways an append whose fsync
+// fails was never durable and must not count — the unacked frame is
+// rolled back so a retry stays version-contiguous.
+func TestFSFsyncFailureRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	fs := WrapFS(nil)
+	log, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	if err := log.Append(testRecord(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.FailSyncs(1)
+	if err := log.Append(testRecord(2, 0)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("unsynced append err = %v, want injected", err)
+	}
+	if last := log.LastVersion(); last != 1 {
+		t.Fatalf("last version after failed fsync = %d, want 1", last)
+	}
+	if err := log.Append(testRecord(2, 0)); err != nil {
+		t.Fatalf("retry after fsync failure: %v", err)
+	}
+	recs, err := log.ReadFrom(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+}
+
+// TestFSReadFailureSurfaces: an EIO mid-read must surface to the
+// caller, not silently end the stream.
+func TestFSReadFailureSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	fs := WrapFS(nil)
+	log, err := wal.Open(dir, wal.Options{Sync: wal.SyncNone, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	for v := uint64(1); v <= 3; v++ {
+		if err := log.Append(testRecord(v, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.FailReads(1)
+	if _, err := log.ReadFrom(0, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read with injected EIO: err = %v, want injected", err)
+	}
+	// Healed: the same read succeeds.
+	recs, err := log.ReadFrom(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records after heal, want 3", len(recs))
+	}
+}

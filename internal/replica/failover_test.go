@@ -1,0 +1,315 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pane/internal/core"
+	"pane/internal/engine"
+	"pane/internal/graph"
+	"pane/internal/server"
+	"pane/internal/wal"
+)
+
+func testCfg() core.Config { return core.Config{K: 4, Alpha: 0.15, Eps: 0.05, Seed: 1} }
+
+// fastOpts are follower options tuned so failure-path tests spend
+// milliseconds, not the production backoff schedule.
+func fastOpts(leaderURL string) Options {
+	return Options{
+		Leader: leaderURL, Poll: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+	}
+}
+
+// TestTruncatedStreamKeepsVersionAndResyncs is the torn-stream
+// satellite: a /replicate response cut mid-frame (leader died while
+// streaming) must not poison the follower — every whole frame applies,
+// the partial one is discarded without touching the version, and the
+// next round against a healthy leader finishes the catch-up.
+func TestTruncatedStreamKeepsVersionAndResyncs(t *testing.T) {
+	leader, _, ts := startLeader(t, wal.Options{Sync: wal.SyncNone})
+	ctx := context.Background()
+
+	r, err := Bootstrap(ctx, fastOpts(ts.URL), leaderOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		applyLeaderUpdate(t, leader, i)
+	}
+
+	// A proxy that forwards /replicate from the real leader but drops the
+	// last 3 bytes — inside the final frame, never on a boundary.
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		resp, err := http.Get(ts.URL + req.URL.String())
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		w.Header().Set(server.VersionHeader, resp.Header.Get(server.VersionHeader))
+		w.Header().Set(server.EpochHeader, resp.Header.Get(server.EpochHeader))
+		w.WriteHeader(resp.StatusCode)
+		if len(body) > 3 {
+			body = body[:len(body)-3]
+		}
+		w.Write(body)
+	}))
+	defer proxy.Close()
+
+	r.SetLeader(proxy.URL)
+	applied, err := r.SyncOnce(ctx)
+	if err != nil {
+		t.Fatalf("truncated stream must not error (whole frames applied): %v", err)
+	}
+	if applied != 3 {
+		t.Fatalf("applied %d records from the truncated stream, want 3", applied)
+	}
+	if got, want := r.Engine().Version(), leader.Version()-1; got != want {
+		t.Fatalf("follower at %d after truncation, want %d", got, want)
+	}
+
+	// Healthy leader again: the follower resumes from its kept version.
+	r.SetLeader(ts.URL)
+	if _, err := r.SyncOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Engine().Version(); got != leader.Version() {
+		t.Fatalf("follower at %d after resync, leader at %d", got, leader.Version())
+	}
+	assertBitIdenticalTopK(t, leader, r.Engine())
+}
+
+// TestBootstrapRetries: a follower racing its leader's start retries
+// the bundle fetch with backoff instead of dying on connection refused.
+func TestBootstrapRetries(t *testing.T) {
+	eng, err := engine.Train(graph.RunningExample(), testCfg(), leaderOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := server.New(eng)
+	var calls atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		h.ServeHTTP(w, req)
+	}))
+	defer flaky.Close()
+
+	opts := fastOpts(flaky.URL)
+	opts.BootstrapRetries = 3
+	r, err := Bootstrap(context.Background(), opts, leaderOpts()...)
+	if err != nil {
+		t.Fatalf("bootstrap with retries: %v (after %d calls)", err, calls.Load())
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("leader saw %d bundle calls, want 3 (2 failures + 1 success)", got)
+	}
+	if r.Engine().Version() != eng.Version() {
+		t.Fatalf("bootstrapped at %d, leader at %d", r.Engine().Version(), eng.Version())
+	}
+
+	// Without retries the same flaky leader is fatal.
+	calls.Store(0)
+	if _, err := Bootstrap(context.Background(), fastOpts(flaky.URL), leaderOpts()...); err == nil {
+		t.Fatal("bootstrap without retries survived a failing leader")
+	}
+}
+
+// TestStalenessAccounting: consecutive failed rounds flip the follower
+// stale (gauge up, Stale true, reads untouched); one good round clears
+// it. One failure alone must not flap the signal.
+func TestStalenessAccounting(t *testing.T) {
+	leader, _, ts := startLeader(t, wal.Options{Sync: wal.SyncNone})
+	ctx := context.Background()
+
+	r, err := Bootstrap(ctx, fastOpts(ts.URL), leaderOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var down atomic.Bool
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if down.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		resp, err := http.Get(ts.URL + req.URL.String())
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.Header().Set(server.VersionHeader, resp.Header.Get(server.VersionHeader))
+		w.Header().Set(server.EpochHeader, resp.Header.Get(server.EpochHeader))
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	defer gate.Close()
+	r.SetLeader(gate.URL)
+
+	down.Store(true)
+	if _, err := r.SyncOnce(ctx); err == nil {
+		t.Fatal("sync against a down leader succeeded")
+	}
+	if r.Stale() {
+		t.Fatal("one failed round already flipped stale — the signal would flap")
+	}
+	if _, err := r.SyncOnce(ctx); err == nil {
+		t.Fatal("second sync against a down leader succeeded")
+	}
+	if !r.Stale() {
+		t.Fatal("two consecutive failures did not flip stale")
+	}
+	if st := r.Status(); !st.Stale || st.ConsecFails != 2 {
+		t.Fatalf("status under failure: %+v", st)
+	}
+	// Degraded mode: the stale follower still answers reads.
+	if _, err := r.Engine().TopLinks(0, 4, engine.ModeExact, 0); err != nil {
+		t.Fatalf("stale follower read: %v", err)
+	}
+
+	down.Store(false)
+	applyLeaderUpdate(t, leader, 1)
+	if _, err := r.SyncOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stale() {
+		t.Fatal("successful round did not clear staleness")
+	}
+}
+
+// TestStaleEpochStreamRejected: a 200 response whose epoch header is
+// older than an epoch the follower has already seen must be rejected
+// without applying a byte — the deposed leader's version numbers are
+// not to be trusted.
+func TestStaleEpochStreamRejected(t *testing.T) {
+	leader, _, ts := startLeader(t, wal.Options{Sync: wal.SyncNone})
+	ctx := context.Background()
+	r, err := Bootstrap(ctx, fastOpts(ts.URL), leaderOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyLeaderUpdate(t, leader, 1)
+	before := r.Engine().Version()
+
+	// A stub that claims epoch 1, which the follower adopts...
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set(server.VersionHeader, strconv.FormatUint(leader.Version(), 10))
+		w.Header().Set(server.EpochHeader, "1")
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer stub.Close()
+	r.SetLeader(stub.URL)
+	if _, err := r.SyncOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if r.knownEpoch() != 1 {
+		t.Fatalf("follower epoch = %d, want 1 adopted from the stream", r.knownEpoch())
+	}
+
+	// ...after which the old epoch-0 leader is refused. The follower's
+	// request also carries epoch 1, so the old leader fences itself.
+	r.SetLeader(ts.URL)
+	if _, err := r.SyncOnce(ctx); err == nil {
+		t.Fatal("stream from a deposed epoch accepted")
+	}
+	if r.Engine().Version() != before {
+		t.Fatal("deposed stream still advanced the follower")
+	}
+	if !leader.Deposed() {
+		t.Fatal("old leader not fenced by the follower's epoch header")
+	}
+}
+
+// TestPromoteFailover is the deterministic promotion walk-through: the
+// leader dies, one follower promotes (epoch 1, own WAL), takes writes,
+// and the surviving follower re-points and converges bit-identically —
+// while the old leader's lineage is fenced on both sides.
+func TestPromoteFailover(t *testing.T) {
+	leader, _, ts := startLeader(t, wal.Options{Sync: wal.SyncNone})
+	ctx := context.Background()
+
+	r0, err := Bootstrap(ctx, fastOpts(ts.URL), leaderOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Bootstrap(ctx, fastOpts(ts.URL), leaderOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		applyLeaderUpdate(t, leader, i)
+	}
+	for _, r := range []*Replica{r0, r1} {
+		if _, err := r.SyncOnce(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Leader dies. r0 promotes with a fresh WAL.
+	ts.Close()
+	plog, err := wal.Open(t.TempDir(), wal.Options{Sync: wal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plog.Close()
+	epoch, err := r0.Promote(plog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || r0.Engine().Epoch() != 1 {
+		t.Fatalf("promotion epoch = %d (engine %d), want 1", epoch, r0.Engine().Epoch())
+	}
+	if _, err := r0.Promote(plog); err == nil {
+		t.Fatal("double promotion accepted")
+	}
+	// The outage drove the staleness counter up; promotion must clear
+	// it — a leader advertising X-Pane-Staleness: stale is nonsense.
+	if r0.Stale() {
+		t.Fatal("promoted leader still reports stale")
+	}
+
+	// The promoted leader takes writes; records carry epoch 1.
+	for i := 7; i <= 10; i++ {
+		applyLeaderUpdate(t, r0.Engine(), i)
+	}
+	if plog.LastEpoch() != 1 {
+		t.Fatalf("promoted WAL epoch = %d, want 1", plog.LastEpoch())
+	}
+
+	// The survivor re-points at the promoted leader and converges.
+	ts2 := httptest.NewServer(server.New(r0.Engine()))
+	defer ts2.Close()
+	r1.SetLeader(ts2.URL)
+	deadline := time.Now().Add(10 * time.Second)
+	for r1.Engine().Version() != r0.Engine().Version() {
+		if time.Now().After(deadline) {
+			t.Fatalf("survivor stuck at %d, promoted leader at %d (status %+v)",
+				r1.Engine().Version(), r0.Engine().Version(), r1.Status())
+		}
+		if _, err := r1.SyncOnce(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r1.Engine().Epoch() != 1 {
+		t.Fatalf("survivor epoch = %d, want 1", r1.Engine().Epoch())
+	}
+	assertBitIdenticalTopK(t, r0.Engine(), r1.Engine())
+
+	// The old leader's lineage is fenced: once it hears about epoch 1,
+	// its writes fail and stay failed.
+	leader.Fence(epoch)
+	if _, err := leader.ApplyEdges([]graph.Edge{{Src: 0, Dst: 1}}); !errors.Is(err, engine.ErrFenced) {
+		t.Fatalf("deposed leader write: err = %v, want ErrFenced", err)
+	}
+}

@@ -5,6 +5,20 @@
 // path; a follower that has fallen too far behind (or whose position
 // was compacted away on the leader) falls back to fetching a fresh
 // bundle and swapping it in wholesale.
+//
+// The follower is failover-aware. Every leader call carries the
+// highest fencing epoch the follower has seen (server.EpochHeader),
+// and every response's epoch is checked: a stream from an epoch older
+// than one already observed is rejected outright — a deposed leader
+// cannot feed this follower, whatever its version numbers claim.
+// Promote flips the follower itself into the new leader (see Promote);
+// surviving followers re-point with SetLeader and resync across the
+// epoch boundary through the ordinary bundle-fallback path.
+//
+// Transient leader failures degrade, never crash: sync rounds run
+// under a deadline, retries back off exponentially (capped, jittered),
+// and a follower whose rounds keep failing marks itself stale
+// (Stale, pane_replication_stale) while continuing to serve reads.
 package replica
 
 import (
@@ -13,9 +27,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pane/internal/engine"
@@ -24,6 +42,12 @@ import (
 	"pane/internal/store"
 	"pane/internal/wal"
 )
+
+// staleThreshold is the consecutive failed sync rounds after which the
+// follower reports itself stale. Two, not one: a single flaky round is
+// routine network weather, and flapping the staleness signal on it
+// would churn every client that routes on the header.
+const staleThreshold = 2
 
 // Options configure a follower.
 type Options struct {
@@ -40,8 +64,22 @@ type Options struct {
 	// BatchMax caps the records requested per /replicate call.
 	// Default (and server-side cap) 4096.
 	BatchMax int
-	// Client is the HTTP client used for all leader calls. Default
-	// http.DefaultClient.
+	// RoundTimeout bounds one sync round (request, stream, apply; a
+	// bundle catch-up included) inside Run. Default 30s — raise it when
+	// bundle downloads of a very large model legitimately run longer.
+	RoundTimeout time.Duration
+	// MaxBackoff caps the exponential retry delay after consecutive
+	// failed rounds. Default 15s.
+	MaxBackoff time.Duration
+	// BootstrapRetries is how many times Bootstrap re-attempts the
+	// initial bundle fetch (with the same capped backoff) before giving
+	// up — a follower racing its leader's start shouldn't die on the
+	// first connection refused. Default 0 (fail fast).
+	BootstrapRetries int
+	// Client is the HTTP client used for all leader calls. Defaults to
+	// a client with a dial timeout and a response-header timeout —
+	// NEVER http.DefaultClient, whose zero timeouts would let a dead
+	// leader hang a sync round forever.
 	Client *http.Client
 }
 
@@ -61,10 +99,51 @@ func (o *Options) defaults() error {
 	if o.BatchMax <= 0 {
 		o.BatchMax = 4096
 	}
+	if o.RoundTimeout <= 0 {
+		o.RoundTimeout = 30 * time.Second
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 15 * time.Second
+	}
+	if o.MaxBackoff < o.Poll {
+		o.MaxBackoff = o.Poll
+	}
+	if o.BootstrapRetries < 0 {
+		o.BootstrapRetries = 0
+	}
 	if o.Client == nil {
-		o.Client = http.DefaultClient
+		o.Client = defaultClient()
 	}
 	return nil
+}
+
+// defaultClient hardens the paths a dead or wedged leader can hang: a
+// connection that never completes (dial timeout) and a connection that
+// opens but never answers (response-header timeout). Deliberately no
+// overall request timeout — bundle bodies are legitimately large and
+// stream for as long as they stream; Run bounds whole rounds with
+// RoundTimeout instead.
+func defaultClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+			ResponseHeaderTimeout: 10 * time.Second,
+		},
+	}
+}
+
+// backoff is the retry delay after `fails` consecutive failed rounds:
+// Poll doubled per failure, capped at MaxBackoff, with ±20% jitter so
+// a follower fleet does not hammer a recovering leader in lockstep.
+func (o *Options) backoff(fails int) time.Duration {
+	d := o.Poll
+	for i := 1; i < fails && d < o.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > o.MaxBackoff {
+		d = o.MaxBackoff
+	}
+	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
 }
 
 // Replica tails one leader into one local engine.
@@ -72,30 +151,57 @@ type Replica struct {
 	eng  *engine.Engine
 	opts Options
 
+	// promoted stops Run: a promoted replica is the leader now and
+	// tails nobody.
+	promoted atomic.Bool
+
 	// Pre-resolved obs handles in the engine's registry, so the
 	// follower's /metrics and /healthz replication section read the
 	// same cells.
 	lagG     *obs.Gauge
 	appliedG *obs.Gauge
+	staleG   *obs.Gauge
 	recordsC *obs.Counter
 	fetchesC *obs.Counter
 
-	mu        sync.Mutex
-	leaderVer uint64
-	lastErr   string
+	mu          sync.Mutex
+	leader      string // current leader URL (SetLeader re-points it)
+	leaderVer   uint64
+	epoch       uint32 // highest fencing epoch seen on any response
+	consecFails int    // consecutive failed sync rounds
+	lastErr     string
 }
 
 // Bootstrap fetches the leader's current bundle and builds the local
 // engine from it (engOpts configure the local serving surface — index
-// layout, thresholds; they need not mirror the leader's).
+// layout, thresholds; they need not mirror the leader's). The fetch
+// retries Options.BootstrapRetries times with capped backoff — a
+// follower racing its leader's start waits for it instead of dying.
 func Bootstrap(ctx context.Context, opts Options, engOpts ...engine.Option) (*Replica, error) {
 	if err := opts.defaults(); err != nil {
 		return nil, err
 	}
-	r := &Replica{opts: opts}
-	b, err := r.fetchBundle(ctx)
-	if err != nil {
-		return nil, err
+	r := &Replica{opts: opts, leader: opts.Leader}
+	var (
+		b   *store.Bundle
+		err error
+	)
+	for attempt := 0; ; attempt++ {
+		b, err = r.fetchBundle(ctx)
+		if err == nil {
+			break
+		}
+		if attempt >= opts.BootstrapRetries {
+			if opts.BootstrapRetries > 0 {
+				return nil, fmt.Errorf("replica: bootstrap failed after %d attempts: %w", attempt+1, err)
+			}
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(opts.backoff(attempt + 1)):
+		}
 	}
 	eng, err := engine.FromBundle(b, engOpts...)
 	if err != nil {
@@ -107,6 +213,8 @@ func Bootstrap(ctx context.Context, opts Options, engOpts ...engine.Option) (*Re
 		"Records the leader has applied that this follower has not.")
 	r.appliedG = reg.Gauge("pane_replication_applied_version",
 		"Model version this follower has applied up to.")
+	r.staleG = reg.Gauge("pane_replication_stale",
+		"1 while the follower's recent sync rounds keep failing; reads stay live but lag is unbounded.")
 	r.recordsC = reg.Counter("pane_replication_records_applied_total",
 		"WAL records replayed from the leader.")
 	r.fetchesC = reg.Counter("pane_replication_bundle_fetches_total",
@@ -118,9 +226,11 @@ func Bootstrap(ctx context.Context, opts Options, engOpts ...engine.Option) (*Re
 // Engine returns the follower's engine, ready for read-only serving.
 func (r *Replica) Engine() *engine.Engine { return r.eng }
 
-// Run tails the leader until ctx is done. Transient errors (leader
-// down, truncated stream) are absorbed: the follower records them in
-// Status and keeps polling.
+// Run tails the leader until ctx is done or the replica is promoted.
+// Transient errors (leader down, truncated stream) are absorbed: the
+// follower records them in Status, backs off exponentially (capped,
+// jittered) while they persist, and keeps polling. Every round runs
+// under Options.RoundTimeout so a wedged leader cannot hang the loop.
 func (r *Replica) Run(ctx context.Context) {
 	t := time.NewTimer(0)
 	defer t.Stop()
@@ -130,20 +240,27 @@ func (r *Replica) Run(ctx context.Context) {
 			return
 		case <-t.C:
 		}
-		n, err := r.SyncOnce(ctx)
-		r.mu.Lock()
-		if err != nil {
-			r.lastErr = err.Error()
-		} else {
-			r.lastErr = ""
+		if r.promoted.Load() {
+			return
 		}
-		r.mu.Unlock()
-		if err == nil && n >= r.opts.BatchMax {
+		rctx, cancel := context.WithTimeout(ctx, r.opts.RoundTimeout)
+		n, err := r.SyncOnce(rctx)
+		cancel()
+		if r.promoted.Load() {
+			return
+		}
+		switch {
+		case err != nil:
+			r.mu.Lock()
+			fails := r.consecFails
+			r.mu.Unlock()
+			t.Reset(r.opts.backoff(fails))
+		case n >= r.opts.BatchMax:
 			// A full batch means backlog: drain without sleeping.
 			t.Reset(0)
-			continue
+		default:
+			t.Reset(r.opts.Poll)
 		}
-		t.Reset(r.opts.Poll)
 	}
 }
 
@@ -151,14 +268,22 @@ func (r *Replica) Run(ctx context.Context) {
 // applying every returned record, falling back to a bundle fetch on 410
 // or when the remaining lag exceeds the threshold — and returns how
 // many records it applied. Exported for tests and for benchexp's
-// catch-up measurements.
+// catch-up measurements. Outcomes feed the staleness accounting
+// whichever caller drives the round (Run or a test harness).
 func (r *Replica) SyncOnce(ctx context.Context) (int, error) {
+	n, err := r.syncOnce(ctx)
+	r.noteResult(err)
+	return n, err
+}
+
+func (r *Replica) syncOnce(ctx context.Context) (int, error) {
 	from := r.eng.Version()
-	u := fmt.Sprintf("%s/replicate?from=%d&max=%d", r.opts.Leader, from, r.opts.BatchMax)
+	u := fmt.Sprintf("%s/replicate?from=%d&max=%d", r.leaderURL(), from, r.opts.BatchMax)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return 0, err
 	}
+	req.Header.Set(server.EpochHeader, strconv.FormatUint(uint64(r.knownEpoch()), 10))
 	resp, err := r.opts.Client.Do(req)
 	if err != nil {
 		return 0, err
@@ -169,6 +294,9 @@ func (r *Replica) SyncOnce(ctx context.Context) (int, error) {
 	}()
 	leaderVer, _ := parseVersion(resp.Header.Get(server.VersionHeader))
 	r.noteLeader(leaderVer)
+	if err := r.checkEpoch(resp); err != nil {
+		return 0, err
+	}
 
 	applied := 0
 	switch resp.StatusCode {
@@ -201,6 +329,14 @@ func (r *Replica) SyncOnce(ctx context.Context) (int, error) {
 		}
 		r.updateLag(leaderVer)
 		return 0, nil
+	case http.StatusConflict:
+		// The leader fenced itself: a newer epoch exists somewhere it
+		// has seen and we may not have. Record the fact and wait to be
+		// re-pointed (SetLeader) or promoted.
+		if ep, ok := parseEpoch(resp.Header.Get(server.EpochHeader)); ok {
+			r.adoptEpoch(ep)
+		}
+		return 0, fmt.Errorf("replica: leader at %s is deposed (awaiting re-point to the promoted leader)", r.leaderURL())
 	default:
 		return 0, fmt.Errorf("replica: leader answered %s on /replicate", resp.Status)
 	}
@@ -233,10 +369,11 @@ func (r *Replica) catchUpFromBundle(ctx context.Context) error {
 }
 
 func (r *Replica) fetchBundle(ctx context.Context) (*store.Bundle, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.opts.Leader+"/bundle", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.leaderURL()+"/bundle", nil)
 	if err != nil {
 		return nil, err
 	}
+	req.Header.Set(server.EpochHeader, strconv.FormatUint(uint64(r.knownEpoch()), 10))
 	resp, err := r.opts.Client.Do(req)
 	if err != nil {
 		return nil, err
@@ -246,7 +383,16 @@ func (r *Replica) fetchBundle(ctx context.Context) (*store.Bundle, error) {
 		resp.Body.Close()
 	}()
 	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusConflict {
+			if ep, ok := parseEpoch(resp.Header.Get(server.EpochHeader)); ok {
+				r.adoptEpoch(ep)
+			}
+			return nil, fmt.Errorf("replica: leader at %s is deposed (awaiting re-point to the promoted leader)", r.leaderURL())
+		}
 		return nil, fmt.Errorf("replica: leader answered %s on /bundle", resp.Status)
+	}
+	if err := r.checkEpoch(resp); err != nil {
+		return nil, err
 	}
 	if v, ok := parseVersion(resp.Header.Get(server.VersionHeader)); ok {
 		r.noteLeader(v)
@@ -263,6 +409,140 @@ func parseVersion(raw string) (uint64, bool) {
 		return 0, false
 	}
 	return v, true
+}
+
+func parseEpoch(raw string) (uint32, bool) {
+	if raw == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		return 0, false
+	}
+	return uint32(v), true
+}
+
+// checkEpoch vets a successful replication response's epoch against
+// everything seen so far. A response from an epoch older than one
+// already observed comes from a deposed lineage — its body must not be
+// applied, whatever versions it carries; a newer epoch is adopted (the
+// leader crossed a failover we haven't heard of otherwise).
+func (r *Replica) checkEpoch(resp *http.Response) error {
+	ep, ok := parseEpoch(resp.Header.Get(server.EpochHeader))
+	if !ok {
+		return nil // pre-epoch leader: everything is epoch 0
+	}
+	if known := r.knownEpoch(); ep < known {
+		return fmt.Errorf("replica: rejecting stream from deposed epoch %d (epoch %d exists)", ep, known)
+	}
+	r.adoptEpoch(ep)
+	return nil
+}
+
+func (r *Replica) knownEpoch() uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+func (r *Replica) adoptEpoch(ep uint32) {
+	r.mu.Lock()
+	if ep > r.epoch {
+		r.epoch = ep
+	}
+	r.mu.Unlock()
+}
+
+func (r *Replica) leaderURL() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leader
+}
+
+// SetLeader re-points the follower at a new leader URL — the surviving
+// followers' move after a failover promotes one of their peers. Takes
+// effect on the next sync round; version gaps against the new leader
+// resolve through the ordinary 410/lag bundle-fallback path.
+func (r *Replica) SetLeader(url string) {
+	r.mu.Lock()
+	r.leader = url
+	r.mu.Unlock()
+}
+
+// noteResult feeds the staleness accounting after every sync round.
+func (r *Replica) noteResult(err error) {
+	r.mu.Lock()
+	if err != nil {
+		r.consecFails++
+		r.lastErr = err.Error()
+	} else {
+		r.consecFails = 0
+		r.lastErr = ""
+	}
+	stale := r.consecFails >= staleThreshold
+	r.mu.Unlock()
+	if r.staleG != nil {
+		if stale {
+			r.staleG.Set(1)
+		} else {
+			r.staleG.Set(0)
+		}
+	}
+}
+
+// Stale reports whether the follower's recent sync rounds keep failing
+// (staleThreshold consecutive failures). A stale follower still serves
+// reads — degraded and labeled beats down — and the server advertises
+// the state on every response via server.WithStaleness. A promoted
+// replica is never stale: it is the lineage others measure against.
+func (r *Replica) Stale() bool {
+	if r.promoted.Load() {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.consecFails >= staleThreshold
+}
+
+// Promote flips the follower into a read-write leader: Run stops
+// tailing, the engine's fencing epoch rises above every epoch this
+// follower has seen (fencing off the old leader's lineage), and log —
+// when non-nil — becomes the promoted leader's own write-ahead log so
+// its writes are durable and tailable by the surviving followers.
+// Returns the new epoch; wire it into server.WithPromotion so success
+// also lifts read-only serving.
+func (r *Replica) Promote(log *wal.Log) (uint32, error) {
+	if r.promoted.Swap(true) {
+		return 0, errors.New("replica: already promoted")
+	}
+	target := r.knownEpoch()
+	if own := r.eng.ObservedEpoch(); own > target {
+		target = own
+	}
+	target++
+	if err := r.eng.Promote(target); err != nil {
+		r.promoted.Store(false)
+		return 0, err
+	}
+	if log != nil {
+		if err := r.eng.AttachWAL(log); err != nil {
+			// The epoch is raised but the log isn't armed: stay promoted
+			// (Run must not resume tailing under the new epoch) and
+			// surface the error — the operator retries with a usable log
+			// directory or restarts the node.
+			return 0, fmt.Errorf("replica: promoted to epoch %d but WAL attach failed: %w", target, err)
+		}
+	}
+	r.adoptEpoch(target)
+	// Promotion usually follows an outage, so the staleness counter is
+	// hot; clear it — this node is the fresh lineage now.
+	r.mu.Lock()
+	r.consecFails = 0
+	r.mu.Unlock()
+	if r.staleG != nil {
+		r.staleG.Set(0)
+	}
+	return target, nil
 }
 
 func (r *Replica) noteLeader(v uint64) {
@@ -294,21 +574,30 @@ type Status struct {
 	LagRecords     uint64 `json:"replication_lag_records"`
 	RecordsApplied uint64 `json:"records_applied"`
 	BundleFetches  uint64 `json:"bundle_fetches"`
+	Epoch          uint32 `json:"epoch"`
+	Promoted       bool   `json:"promoted,omitempty"`
+	Stale          bool   `json:"stale"`
+	ConsecFails    int    `json:"consecutive_failures,omitempty"`
 	LastError      string `json:"last_error,omitempty"`
 }
 
 // Status reports the follower's current replication state.
 func (r *Replica) Status() Status {
 	r.mu.Lock()
-	leaderVer, lastErr := r.leaderVer, r.lastErr
+	leader, leaderVer, lastErr := r.leader, r.leaderVer, r.lastErr
+	epoch, fails := r.epoch, r.consecFails
 	r.mu.Unlock()
 	return Status{
-		Leader:         r.opts.Leader,
+		Leader:         leader,
 		AppliedVersion: uint64(r.appliedG.Value()),
 		LeaderVersion:  leaderVer,
 		LagRecords:     uint64(r.lagG.Value()),
 		RecordsApplied: r.recordsC.Value(),
 		BundleFetches:  r.fetchesC.Value(),
+		Epoch:          epoch,
+		Promoted:       r.promoted.Load(),
+		Stale:          fails >= staleThreshold,
+		ConsecFails:    fails,
 		LastError:      lastErr,
 	}
 }

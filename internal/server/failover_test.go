@@ -1,0 +1,145 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pane/internal/graph"
+	"pane/internal/wal"
+)
+
+// The failover tests pin the HTTP half of fencing: probe endpoints,
+// dynamic read-only, POST /promote, the epoch header handshake on the
+// replication routes, and the staleness label.
+
+func TestLivezAndReadyz(t *testing.T) {
+	ready := errors.New("still bootstrapping")
+	s := New(testEngine(t),
+		WithReadiness("bootstrap", func() error { return ready }),
+		WithReadiness("always", func() error { return nil }))
+
+	if code, _ := get(t, s, "/livez"); code != http.StatusOK {
+		t.Fatalf("/livez = %d, want 200", code)
+	}
+	code, body := get(t, s, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with a failing check = %d, want 503", code)
+	}
+	failed, _ := body["failed"].(map[string]interface{})
+	if _, ok := failed["bootstrap"]; !ok {
+		t.Fatalf("failing check not named: %v", body)
+	}
+
+	ready = nil
+	if code, _ := get(t, s, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz after checks clear = %d, want 200", code)
+	}
+}
+
+func TestPromoteLiftsReadOnly(t *testing.T) {
+	eng := testEngine(t)
+	var promoted bool
+	s := New(eng, WithReadOnly(), WithPromotion(func() (uint32, error) {
+		if err := eng.Promote(eng.Epoch() + 1); err != nil {
+			return 0, err
+		}
+		promoted = true
+		return eng.Epoch(), nil
+	}))
+
+	if code, _ := post(t, s, "/update/edges", `{"edges":[{"src":0,"dst":5}]}`); code != http.StatusForbidden {
+		t.Fatalf("write on read-only follower = %d, want 403", code)
+	}
+	code, body := post(t, s, "/promote", "")
+	if code != http.StatusOK || !promoted {
+		t.Fatalf("/promote = %d (%v), promoted=%v", code, body, promoted)
+	}
+	if body["epoch"].(float64) != 1 {
+		t.Fatalf("promotion epoch = %v, want 1", body["epoch"])
+	}
+	if code, _ := post(t, s, "/update/edges", `{"edges":[{"src":0,"dst":5}]}`); code != http.StatusOK {
+		t.Fatalf("write after promotion = %d, want 200", code)
+	}
+	_, health := get(t, s, "/healthz")
+	if health["read_only"] != false || health["epoch"].(float64) != 1 {
+		t.Fatalf("healthz after promotion: read_only=%v epoch=%v", health["read_only"], health["epoch"])
+	}
+}
+
+func TestPromoteWithoutConfiguration(t *testing.T) {
+	s, _ := testServer(t)
+	if code, _ := post(t, s, "/promote", ""); code != http.StatusServiceUnavailable {
+		t.Fatalf("/promote without WithPromotion = %d, want 503", code)
+	}
+}
+
+func TestPromoteFailureStaysReadOnly(t *testing.T) {
+	s := New(testEngine(t), WithReadOnly(),
+		WithPromotion(func() (uint32, error) { return 0, errors.New("epoch conflict") }))
+	if code, _ := post(t, s, "/promote", ""); code != http.StatusConflict {
+		t.Fatalf("failed promotion = %d, want 409", code)
+	}
+	if code, _ := post(t, s, "/snapshot", ""); code != http.StatusForbidden {
+		t.Fatalf("write after failed promotion = %d, want 403 (still read-only)", code)
+	}
+}
+
+func TestReplicationFencesDeposedLeader(t *testing.T) {
+	s, eng, _ := walServer(t, wal.Options{Sync: wal.SyncNone})
+	if _, err := eng.ApplyEdges([]graph.Edge{{Src: 0, Dst: 4}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Normal request: response advertises epoch 0.
+	rec := getRaw(t, s, "/replicate?from=1")
+	if rec.Code != http.StatusOK || rec.Header().Get(EpochHeader) != "0" {
+		t.Fatalf("/replicate = %d, epoch header %q", rec.Code, rec.Header().Get(EpochHeader))
+	}
+
+	// A follower that crossed a failover announces epoch 2: this leader
+	// is deposed — 409, and it stays fenced for epoch-less callers too.
+	req := httptest.NewRequest(http.MethodGet, "/replicate?from=1", nil)
+	req.Header.Set(EpochHeader, "2")
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusConflict {
+		t.Fatalf("/replicate from a newer epoch = %d, want 409", w.Code)
+	}
+	if rec := getRaw(t, s, "/replicate?from=1"); rec.Code != http.StatusConflict {
+		t.Fatalf("/replicate on a deposed leader = %d, want 409", rec.Code)
+	}
+	if rec := getRaw(t, s, "/bundle"); rec.Code != http.StatusConflict {
+		t.Fatalf("/bundle on a deposed leader = %d, want 409", rec.Code)
+	}
+
+	// Direct writes are fenced with 409, reads keep serving.
+	if code, _ := post(t, s, "/update/edges", `{"edges":[{"src":1,"dst":2}]}`); code != http.StatusConflict {
+		t.Fatalf("write on a deposed leader = %d, want 409", code)
+	}
+	if code, _ := get(t, s, "/top-links?src=0"); code != http.StatusOK {
+		t.Fatalf("read on a deposed leader = %d, want 200 (degraded mode keeps reads)", code)
+	}
+	_, health := get(t, s, "/healthz")
+	if health["deposed"] != true {
+		t.Fatalf("healthz deposed = %v, want true", health["deposed"])
+	}
+}
+
+func TestStalenessHeader(t *testing.T) {
+	stale := false
+	s := New(testEngine(t), WithStaleness(func() bool { return stale }))
+	if got := getRaw(t, s, "/top-links?src=0").Header().Get(StalenessHeader); got != "fresh" {
+		t.Fatalf("staleness header = %q, want fresh", got)
+	}
+	stale = true
+	if got := getRaw(t, s, "/healthz").Header().Get(StalenessHeader); got != "stale" {
+		t.Fatalf("staleness header = %q, want stale", got)
+	}
+	// A server without the signal (a leader) never emits the header.
+	plain, _ := testServer(t)
+	if got, ok := getRaw(t, plain, "/healthz").Header()[StalenessHeader]; ok {
+		t.Fatalf("leader emitted staleness header %q", got)
+	}
+}

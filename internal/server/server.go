@@ -35,12 +35,19 @@
 // deltas were absorbed by the low-rank link-space correction instead of
 // a full shard rebuild.
 //
+// Probe endpoints split liveness from readiness:
+//
+//	GET /livez    200 while the process serves HTTP — restart signal only
+//	GET /readyz   200 when every registered readiness check passes, 503
+//	              (naming the failing checks) otherwise — rotation signal
+//
 // Write and lifecycle endpoints:
 //
 //	POST /update/edges   {"edges":[{"src":0,"dst":4}, ...]}
 //	POST /update/attrs   {"attrs":[{"node":0,"attr":2,"weight":1}, ...]}
 //	POST /batch          {"queries":[{"op":"link-score","src":0,"dst":4}, ...]}
 //	POST /snapshot       persist the current model to the configured path
+//	POST /promote        follower-to-leader failover (see WithPromotion)
 //
 // Replication endpoints (see internal/replica for the follower side):
 //
@@ -57,6 +64,15 @@
 // writes belong to the leader, and read-your-writes clients route by
 // the model version every response already carries.
 //
+// Both replication endpoints speak fencing epochs (X-Pane-Epoch, see
+// EpochHeader): responses state the serving engine's epoch, requests
+// carry the follower's highest known one, and a leader asked from a
+// newer epoch fences itself and answers 409 — a deposed leader never
+// feeds its stale stream to followers. Direct writes on a deposed
+// engine also answer 409. Reads keep serving throughout (degraded
+// mode), with X-Pane-Staleness labeling follower freshness when the
+// server has a staleness signal (WithStaleness).
+//
 // Each request resolves the engine's current model once, so every
 // response is internally consistent even while updates land; reads never
 // block on writes. Routes are method-scoped: the wrong verb on a known
@@ -70,6 +86,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"pane/internal/engine"
@@ -83,12 +100,44 @@ import (
 // responses; followers compute their record lag from it.
 const VersionHeader = "X-Pane-Version"
 
+// EpochHeader carries fencing epochs both ways across the replication
+// endpoints. Responses always state the serving engine's epoch, so a
+// follower can reject a stream from a lineage older than one it has
+// already seen. Requests carry the follower's highest known epoch: a
+// leader receiving an epoch above its own has been deposed by a
+// failover it did not witness — it fences itself and answers 409.
+const EpochHeader = "X-Pane-Epoch"
+
+// StalenessHeader advertises a follower's replication freshness
+// ("fresh" or "stale") on every response when the server was built
+// WithStaleness. A stale follower keeps serving reads — degraded and
+// labeled beats down — and clients that cannot tolerate lag route on
+// this header.
+const StalenessHeader = "X-Pane-Staleness"
+
 // Server wraps an engine with HTTP handlers.
 type Server struct {
 	eng          *engine.Engine
 	snapshotPath string
 	mux          *http.ServeMux
-	readOnly     bool
+
+	// readOnly is dynamic: a follower starts true and flips false when
+	// POST /promote succeeds, with no listener restart.
+	readOnly atomic.Bool
+
+	// promote is the follower-to-leader transition POST /promote runs
+	// (nil: this server cannot be promoted and the route answers 503).
+	// It returns the new fencing epoch.
+	promote func() (uint32, error)
+
+	// stale reports replication staleness for StalenessHeader (nil: no
+	// header; leaders have no replication lag to advertise).
+	stale func() bool
+
+	// ready holds the readiness checks behind GET /readyz; /livez never
+	// consults them — a live-but-unready process must not be restarted,
+	// just taken out of rotation.
+	ready []readinessCheck
 
 	// health holds extra named sections merged into /healthz (e.g. a
 	// follower's replication status).
@@ -106,6 +155,11 @@ type healthSection struct {
 	fn   func() interface{}
 }
 
+type readinessCheck struct {
+	name string
+	fn   func() error
+}
+
 // Option configures a Server.
 type Option func(*Server)
 
@@ -118,9 +172,33 @@ func WithSnapshotPath(path string) Option {
 
 // WithReadOnly makes the server a replica surface: the mutating routes
 // (updates, snapshot) answer 403 instead of touching the engine. Reads,
-// metrics, and the replication endpoints stay live.
+// metrics, and the replication endpoints stay live. The mode is dynamic
+// — a successful POST /promote (see WithPromotion) lifts it.
 func WithReadOnly() Option {
-	return func(s *Server) { s.readOnly = true }
+	return func(s *Server) { s.readOnly.Store(true) }
+}
+
+// WithPromotion arms POST /promote with the follower-to-leader
+// transition: fn must stop tailing the old leader, attach a write-ahead
+// log, and raise the engine's fencing epoch, returning the epoch it
+// promoted to. On success the server drops read-only mode and serves
+// writes. Without this option the route answers 503.
+func WithPromotion(fn func() (uint32, error)) Option {
+	return func(s *Server) { s.promote = fn }
+}
+
+// WithStaleness stamps StalenessHeader on every response from fn's
+// verdict. Follower deployments wire it to the replica's staleness
+// signal (consecutive failed sync rounds against the leader).
+func WithStaleness(fn func() bool) Option {
+	return func(s *Server) { s.stale = fn }
+}
+
+// WithReadiness adds a named check to GET /readyz. Any check returning
+// an error makes the server not-ready (503, with the failing checks
+// named); /livez is unaffected.
+func WithReadiness(name string, fn func() error) Option {
+	return func(s *Server) { s.ready = append(s.ready, readinessCheck{name, fn}) }
 }
 
 // WithHealthSection merges fn's value under the given key into every
@@ -142,6 +220,8 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 		write        bool
 	}{
 		{"GET", "/healthz", s.handleHealth, false},
+		{"GET", "/livez", s.handleLivez, false},
+		{"GET", "/readyz", s.handleReadyz, false},
 		{"GET", "/metrics", eng.Metrics().Handler().ServeHTTP, false},
 		{"GET", "/attr-score", s.handleAttrScore, false},
 		{"GET", "/link-score", s.handleLinkScore, false},
@@ -153,19 +233,47 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 		{"POST", "/update/attrs", s.handleUpdateAttrs, true},
 		{"POST", "/batch", s.handleBatch, false},
 		{"POST", "/snapshot", s.handleSnapshot, true},
+		// /promote is deliberately NOT a write route: promotion happens
+		// exactly on a read-only follower.
+		{"POST", "/promote", s.handlePromote, false},
 	}
 	for _, rt := range routes {
 		h := rt.h
-		if rt.write && s.readOnly {
-			h = rejectReadOnly
+		if rt.write {
+			h = s.guardWrite(h)
 		}
-		s.mux.Handle(rt.method+" "+rt.path, s.instrument(rt.path, h))
+		s.mux.Handle(rt.method+" "+rt.path, s.instrument(rt.path, s.withStaleness(h)))
 	}
 	return s
 }
 
-func rejectReadOnly(w http.ResponseWriter, r *http.Request) {
-	writeError(w, http.StatusForbidden, "read-only replica: writes go to the leader")
+// guardWrite rejects mutating requests while the server is read-only.
+// The check runs per request (not at route construction) so promotion
+// can lift read-only mode on a live listener.
+func (s *Server) guardWrite(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.readOnly.Load() {
+			writeError(w, http.StatusForbidden, "read-only replica: writes go to the leader")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// withStaleness stamps StalenessHeader when the server has a staleness
+// signal; a no-op wrapper otherwise.
+func (s *Server) withStaleness(h http.HandlerFunc) http.HandlerFunc {
+	if s.stale == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		v := "fresh"
+		if s.stale() {
+			v = "stale"
+		}
+		w.Header().Set(StalenessHeader, v)
+		h(w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -189,12 +297,59 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"attr_entries": m.Graph.NNZAttr(),
 		"index":        idx,
 		"affinity":     aff,
-		"read_only":    s.readOnly,
+		"read_only":    s.readOnly.Load(),
+		"epoch":        s.eng.Epoch(),
+		"deposed":      s.eng.Deposed(),
 	}
 	for _, sec := range s.health {
 		body[sec.name] = sec.fn()
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// handleLivez is pure liveness: the process is up and serving HTTP.
+// Nothing about model freshness or replication belongs here — a stale
+// follower restarted by an over-eager liveness probe loses its warm
+// model for no gain.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz runs the registered readiness checks; any failure means
+// "take me out of rotation" (503), never "restart me".
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	failed := map[string]string{}
+	for _, c := range s.ready {
+		if err := c.fn(); err != nil {
+			failed[c.name] = err.Error()
+		}
+	}
+	if len(failed) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+			"status": "not ready", "failed": failed,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handlePromote runs the follower-to-leader transition. On success the
+// server leaves read-only mode atomically with the response — the next
+// write request on this listener lands on the promoted engine.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if s.promote == nil {
+		writeError(w, http.StatusServiceUnavailable, "this server cannot be promoted (no promotion configured)")
+		return
+	}
+	epoch, err := s.promote()
+	if err != nil {
+		writeError(w, http.StatusConflict, fmt.Sprintf("promotion failed: %v", err))
+		return
+	}
+	s.readOnly.Store(false)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status": "promoted", "epoch": epoch, "version": s.eng.Version(),
+	})
 }
 
 func (s *Server) handleAttrScore(w http.ResponseWriter, r *http.Request) {
@@ -296,7 +451,7 @@ func (s *Server) handleUpdateEdges(w http.ResponseWriter, r *http.Request) {
 	}
 	m, err := s.eng.ApplyEdges(edges)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeApplyError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
@@ -327,7 +482,7 @@ func (s *Server) handleUpdateAttrs(w http.ResponseWriter, r *http.Request) {
 	}
 	m, err := s.eng.ApplyAttrs(attrs)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeApplyError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
@@ -373,7 +528,36 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // through larger backlogs with repeated requests.
 const defaultReplicateMax = 4096
 
+// fenceFromRequest applies the caller's EpochHeader (its highest known
+// fencing epoch) to the engine, then refuses to serve replication from
+// a deposed lineage: a leader that lost a failover must not keep
+// feeding its stale stream to followers — that is exactly the
+// split-brain propagation fencing exists to stop. Returns false after
+// writing the 409 (or 400 on a malformed header).
+func (s *Server) fenceFromRequest(w http.ResponseWriter, r *http.Request) bool {
+	if raw := r.Header.Get(EpochHeader); raw != "" {
+		ep, err := strconv.ParseUint(raw, 10, 32)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("header %s: %v", EpochHeader, err))
+			return false
+		}
+		s.eng.Fence(uint32(ep))
+	}
+	if s.eng.Deposed() {
+		// Advertise the superseding epoch, not our own stale one, so the
+		// caller learns which lineage won.
+		w.Header().Set(EpochHeader, strconv.FormatUint(uint64(s.eng.ObservedEpoch()), 10))
+		writeError(w, http.StatusConflict,
+			"deposed: a newer fencing epoch exists; re-point to the promoted leader")
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if !s.fenceFromRequest(w, r) {
+		return
+	}
 	l := s.eng.WAL()
 	if l == nil {
 		writeError(w, http.StatusServiceUnavailable, "no write-ahead log attached")
@@ -405,6 +589,7 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	// The version header is resolved after the read so a follower's lag
 	// estimate never counts records it was just handed.
 	w.Header().Set(VersionHeader, strconv.FormatUint(s.eng.Version(), 10))
+	w.Header().Set(EpochHeader, strconv.FormatUint(uint64(s.eng.Epoch()), 10))
 	if err != nil {
 		if errors.Is(err, wal.ErrCompacted) {
 			writeError(w, http.StatusGone, "records compacted away; fetch /bundle")
@@ -428,8 +613,12 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBundle(w http.ResponseWriter, r *http.Request) {
+	if !s.fenceFromRequest(w, r) {
+		return
+	}
 	b := s.eng.CurrentBundle()
 	w.Header().Set(VersionHeader, strconv.FormatUint(b.ModelVersion, 10))
+	w.Header().Set(EpochHeader, strconv.FormatUint(uint64(s.eng.Epoch()), 10))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.WriteHeader(http.StatusOK)
 	_ = store.WriteBundle(w, b) // mid-stream failure surfaces as a follower decode error
@@ -537,4 +726,15 @@ func writeJSON(w http.ResponseWriter, status int, payload interface{}) {
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// writeApplyError maps an engine write failure to a status: a fenced
+// write is 409 (this replica was deposed; the client must re-resolve
+// the leader), anything else is the caller's fault (400).
+func writeApplyError(w http.ResponseWriter, err error) {
+	if errors.Is(err, engine.ErrFenced) {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
 }

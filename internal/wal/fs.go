@@ -1,0 +1,72 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// File is the slice of *os.File the log needs from an open segment (or
+// the directory handle it fsyncs). It exists so internal/faults can hand
+// the log files that tear writes, fail fsyncs, or error reads — the
+// failure modes a disk actually has and the chaos tier injects.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// FS abstracts every filesystem operation the log performs. The zero
+// configuration (Options.FS == nil) uses the real OS; internal/faults
+// wraps OSFS with injected faults.
+type FS interface {
+	// MkdirAll creates the log directory.
+	MkdirAll(dir string, perm os.FileMode) error
+	// ReadDir lists the log directory.
+	ReadDir(dir string) ([]os.DirEntry, error)
+	// Create opens a brand-new segment for writing (O_CREATE|O_EXCL).
+	Create(name string) (File, error)
+	// OpenAppend reopens an existing segment for appending.
+	OpenAppend(name string) (File, error)
+	// Open opens a file (or directory, for SyncDir-free readers) read-only.
+	Open(name string) (File, error)
+	// Remove deletes a reclaimed segment.
+	Remove(name string) error
+	// Truncate cuts a segment back to size — torn tails on open, rolled-
+	// back partial appends on write failure.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory so created/removed segment names are
+	// durable.
+	SyncDir(dir string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OSFS returns the production FS backed by the os package.
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+func (osFS) ReadDir(dir string) ([]os.DirEntry, error)   { return os.ReadDir(dir) }
+func (osFS) Remove(name string) error                    { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error      { return os.Truncate(name, size) }
+func (osFS) Open(name string) (File, error)              { return os.Open(name) }
+func (osFS) Create(name string) (File, error) {
+	// O_APPEND matters beyond idiom: after a failed append is rolled
+	// back (Truncate to the last good size), an append-mode handle
+	// writes at the new end, while a plain O_WRONLY handle would write
+	// at its stale offset and leave a hole of zeros — a torn record a
+	// later recovery would truncate good data for.
+	return os.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

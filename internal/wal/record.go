@@ -19,8 +19,15 @@ import (
 // version by exactly one.
 type Record struct {
 	Version uint64
-	Edges   []graph.Edge
-	Attrs   []graph.AttrEntry
+	// Epoch is the fencing epoch of the leader that produced this record.
+	// Failover promotes a follower at epoch+1; an engine refuses records
+	// (and a log refuses appends) from any earlier epoch, so a deposed
+	// leader that keeps writing can never land a record the promoted
+	// lineage would accept — two epochs never share a version. Epoch-less
+	// PR 8 logs decode as epoch 0.
+	Epoch uint32
+	Edges []graph.Edge
+	Attrs []graph.AttrEntry
 }
 
 // Frame layout (everything little-endian, matching internal/store):
@@ -29,7 +36,8 @@ type Record struct {
 //	uint32 CRC-32C (Castagnoli) of the payload
 //	payload:
 //	  uint64 version
-//	  uint32 edge count, uint32 attr count
+//	  uint32 edge count (bit 31 = epoch flag), uint32 attr count
+//	  [uint32 epoch — only when the epoch flag is set]
 //	  per edge:  uint32 src, uint32 dst
 //	  per attr:  uint32 node, uint32 attr, float64 weight
 //
@@ -37,6 +45,13 @@ type Record struct {
 // structurally (a frame is accepted only if exactly length bytes follow
 // and their CRC matches). Torn writes therefore fail closed: a partial
 // frame at the tail of a segment can never be mistaken for a record.
+//
+// The epoch rides in spare headroom: edge counts never approach 2^31, so
+// bit 31 of the count word versions the frame. Epoch-0 records encode
+// without the flag or the epoch word — byte-identical to the PR 8
+// format — which keeps old logs replayable and keeps a never-failed-over
+// deployment's log bytes unchanged. A non-zero epoch sets the flag and
+// inserts one uint32 after the counts.
 
 // castagnoli is the CRC-32C table; hardware-accelerated on amd64/arm64.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -44,9 +59,14 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 const (
 	frameHeaderSize = 8       // length + crc words
 	recordBaseSize  = 16      // version + the two count words
+	epochSize       = 4       // the epoch word, present only under epochFlag
 	edgeSize        = 8       // two uint32s
 	attrSize        = 16      // two uint32s + one float64
 	maxPayload      = 1 << 30 // sanity bound; a real record is far smaller
+
+	// epochFlag marks an epoch-bearing frame in bit 31 of the edge-count
+	// word (counts never get near it).
+	epochFlag = 1 << 31
 )
 
 // ErrTorn reports a structurally incomplete or checksum-failing frame —
@@ -54,9 +74,23 @@ const (
 // tail; any other reader treats it as "the log ends here".
 var ErrTorn = fmt.Errorf("wal: torn record")
 
+// tornOr maps a mid-frame read failure: running out of bytes is the
+// torn-tail crash signature, while any other error (EIO) is a live
+// read failure that must surface as itself.
+func tornOr(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrTorn
+	}
+	return err
+}
+
 // payloadSize returns the encoded payload size of rec.
 func payloadSize(rec Record) int {
-	return recordBaseSize + edgeSize*len(rec.Edges) + attrSize*len(rec.Attrs)
+	n := recordBaseSize + edgeSize*len(rec.Edges) + attrSize*len(rec.Attrs)
+	if rec.Epoch != 0 {
+		n += epochSize
+	}
+	return n
 }
 
 // EncodeFrame appends rec's frame (header + payload) to dst and returns
@@ -74,14 +108,24 @@ func EncodeFrame(dst []byte, rec Record) ([]byte, error) {
 			return nil, fmt.Errorf("wal: attr entry (%d,%d) outside the uint32 id space", a.Node, a.Attr)
 		}
 	}
+	if len(rec.Edges) >= epochFlag || len(rec.Attrs) >= epochFlag {
+		return nil, fmt.Errorf("wal: record v%d carries %d edges + %d attrs, past the count field",
+			rec.Version, len(rec.Edges), len(rec.Attrs))
+	}
 	n := payloadSize(rec)
 	start := len(dst)
 	dst = append(dst, make([]byte, frameHeaderSize+n)...)
 	payload := dst[start+frameHeaderSize:]
 	binary.LittleEndian.PutUint64(payload[0:], rec.Version)
-	binary.LittleEndian.PutUint32(payload[8:], uint32(len(rec.Edges)))
-	binary.LittleEndian.PutUint32(payload[12:], uint32(len(rec.Attrs)))
+	nEdgesWord := uint32(len(rec.Edges))
 	off := recordBaseSize
+	if rec.Epoch != 0 {
+		nEdgesWord |= epochFlag
+		binary.LittleEndian.PutUint32(payload[recordBaseSize:], rec.Epoch)
+		off += epochSize
+	}
+	binary.LittleEndian.PutUint32(payload[8:], nEdgesWord)
+	binary.LittleEndian.PutUint32(payload[12:], uint32(len(rec.Attrs)))
 	for _, e := range rec.Edges {
 		binary.LittleEndian.PutUint32(payload[off:], uint32(e.Src))
 		binary.LittleEndian.PutUint32(payload[off+4:], uint32(e.Dst))
@@ -105,10 +149,16 @@ func EncodeFrame(dst []byte, rec Record) ([]byte, error) {
 func ReadFrame(br *bufio.Reader) (Record, error) {
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
-		return Record{}, io.EOF // clean end: not a single byte of a next frame
+		if err == io.EOF {
+			return Record{}, io.EOF // clean end: not a single byte of a next frame
+		}
+		// A real read error (EIO, injected fault) is neither a clean end
+		// nor a torn tail: reporting it as ErrTorn would let a recovery
+		// scan truncate perfectly good records behind a flaky read.
+		return Record{}, err
 	}
 	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
-		return Record{}, ErrTorn
+		return Record{}, tornOr(err)
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:])
 	crc := binary.LittleEndian.Uint32(hdr[4:])
@@ -117,7 +167,7 @@ func ReadFrame(br *bufio.Reader) (Record, error) {
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(br, payload); err != nil {
-		return Record{}, ErrTorn
+		return Record{}, tornOr(err)
 	}
 	if crc32.Checksum(payload, castagnoli) != crc {
 		return Record{}, ErrTorn
@@ -128,13 +178,26 @@ func ReadFrame(br *bufio.Reader) (Record, error) {
 // decodePayload parses a checksum-verified payload.
 func decodePayload(payload []byte) (Record, error) {
 	rec := Record{Version: binary.LittleEndian.Uint64(payload[0:])}
-	nEdges := int(binary.LittleEndian.Uint32(payload[8:]))
+	nEdgesWord := binary.LittleEndian.Uint32(payload[8:])
+	nEdges := int(nEdgesWord &^ epochFlag)
 	nAttrs := int(binary.LittleEndian.Uint32(payload[12:]))
-	if want := recordBaseSize + edgeSize*nEdges + attrSize*nAttrs; want != len(payload) {
+	off := recordBaseSize
+	want := recordBaseSize + edgeSize*nEdges + attrSize*nAttrs
+	if nEdgesWord&epochFlag != 0 {
+		want += epochSize
+		if len(payload) < off+epochSize {
+			return Record{}, fmt.Errorf("wal: record v%d sets the epoch flag on a %d-byte payload", rec.Version, len(payload))
+		}
+		rec.Epoch = binary.LittleEndian.Uint32(payload[off:])
+		if rec.Epoch == 0 {
+			return Record{}, fmt.Errorf("wal: record v%d carries an explicit epoch 0 (flag without epoch)", rec.Version)
+		}
+		off += epochSize
+	}
+	if want != len(payload) {
 		return Record{}, fmt.Errorf("wal: record v%d declares %d edges + %d attrs (%d bytes) but carries %d",
 			rec.Version, nEdges, nAttrs, want, len(payload))
 	}
-	off := recordBaseSize
 	if nEdges > 0 {
 		rec.Edges = make([]graph.Edge, nEdges)
 		for i := range rec.Edges {

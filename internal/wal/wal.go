@@ -71,6 +71,10 @@ type Options struct {
 	Sync SyncPolicy
 	// SyncEvery is the flush cadence under SyncInterval. Default 100ms.
 	SyncEvery time.Duration
+	// FS is the filesystem the log runs on. Nil means the real OS;
+	// internal/faults injects short writes, fsync errors, and read
+	// failures through it.
+	FS FS
 }
 
 const (
@@ -91,6 +95,9 @@ type segment struct {
 	path        string
 	first, last uint64
 	size        int64
+	// lastEpoch is the fencing epoch of the segment's newest record;
+	// epochs are non-decreasing across the whole log.
+	lastEpoch uint32
 }
 
 // Log is a durable segmented record log. All mutation happens under mu;
@@ -100,13 +107,15 @@ type segment struct {
 type Log struct {
 	dir  string
 	opts Options
+	fs   FS
 
-	mu       sync.Mutex
-	segments []segment
-	f        *os.File // active (= last) segment, nil when the log is empty
-	buf      []byte   // reused frame encode buffer
-	dirty    bool     // unsynced appends under SyncInterval
-	closed   bool
+	mu        sync.Mutex
+	segments  []segment
+	f         File   // active (= last) segment, nil when the log is empty
+	buf       []byte // reused frame encode buffer
+	dirty     bool   // unsynced appends under SyncInterval
+	closed    bool
+	lastEpoch uint32 // newest record's fencing epoch; appends never regress it
 
 	// crashAfter, when positive, makes the next Append write only that
 	// many bytes of the frame and then fail the log — the injected
@@ -128,14 +137,17 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.SyncEvery <= 0 {
 		opts.SyncEvery = defaultSyncEvery
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = OSFS()
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	names, err := segmentNames(dir)
+	names, err := segmentNames(opts.FS, dir)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts}
+	l := &Log{dir: dir, opts: opts, fs: opts.FS}
 	for i, name := range names {
 		seg, err := l.scanSegment(filepath.Join(dir, name), i == len(names)-1)
 		if err != nil {
@@ -144,19 +156,26 @@ func Open(dir string, opts Options) (*Log, error) {
 		if seg.size == 0 {
 			// A truncated-to-empty final segment: remove it rather than
 			// carry a segment with no records.
-			if err := os.Remove(seg.path); err != nil {
+			if err := l.fs.Remove(seg.path); err != nil {
 				return nil, fmt.Errorf("wal: %w", err)
 			}
 			continue
 		}
-		if n := len(l.segments); n > 0 && seg.first != l.segments[n-1].last+1 {
-			return nil, fmt.Errorf("wal: version gap between %s (ends %d) and %s (starts %d)",
-				l.segments[n-1].path, l.segments[n-1].last, seg.path, seg.first)
+		if n := len(l.segments); n > 0 {
+			if seg.first != l.segments[n-1].last+1 {
+				return nil, fmt.Errorf("wal: version gap between %s (ends %d) and %s (starts %d)",
+					l.segments[n-1].path, l.segments[n-1].last, seg.path, seg.first)
+			}
 		}
+		if seg.lastEpoch < l.lastEpoch {
+			return nil, fmt.Errorf("wal: %s regresses the fencing epoch from %d to %d",
+				seg.path, l.lastEpoch, seg.lastEpoch)
+		}
+		l.lastEpoch = seg.lastEpoch
 		l.segments = append(l.segments, seg)
 	}
 	if n := len(l.segments); n > 0 {
-		f, err := os.OpenFile(l.segments[n-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := l.fs.OpenAppend(l.segments[n-1].path)
 		if err != nil {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
@@ -171,8 +190,8 @@ func Open(dir string, opts Options) (*Log, error) {
 }
 
 // segmentNames lists the *.wal files in dir in version order.
-func segmentNames(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+func segmentNames(fs FS, dir string) ([]string, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -190,7 +209,7 @@ func segmentNames(dir string) ([]string, error) {
 // the final segment a torn tail is truncated in place; for any other
 // segment it is corruption.
 func (l *Log) scanSegment(path string, last bool) (segment, error) {
-	f, err := os.Open(path)
+	f, err := l.fs.Open(path)
 	if err != nil {
 		return segment{}, fmt.Errorf("wal: %w", err)
 	}
@@ -210,7 +229,7 @@ func (l *Log) scanSegment(path string, last bool) (segment, error) {
 			if !last {
 				return segment{}, fmt.Errorf("wal: %s is corrupt mid-log (torn record after version %d)", path, seg.last)
 			}
-			if err := os.Truncate(path, seg.size); err != nil {
+			if err := l.fs.Truncate(path, seg.size); err != nil {
 				return segment{}, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
 			}
 			break
@@ -226,7 +245,12 @@ func (l *Log) scanSegment(path string, last bool) (segment, error) {
 		} else if rec.Version != seg.last+1 {
 			return segment{}, fmt.Errorf("wal: %s skips from version %d to %d", path, seg.last, rec.Version)
 		}
+		if rec.Epoch < seg.lastEpoch {
+			return segment{}, fmt.Errorf("wal: %s regresses the fencing epoch from %d to %d at version %d",
+				path, seg.lastEpoch, rec.Epoch, rec.Version)
+		}
 		seg.last = rec.Version
+		seg.lastEpoch = rec.Epoch
 		seg.size += int64(frameHeaderSize + payloadSize(rec))
 	}
 	return seg, nil
@@ -245,9 +269,16 @@ func segmentPath(dir string, first uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%020d%s", first, segmentSuffix))
 }
 
+// ErrEpochFenced reports an append stamped with a fencing epoch older
+// than one the log has already recorded — the deposed-leader write the
+// whole failover design exists to refuse.
+var ErrEpochFenced = errors.New("wal: append from a deposed fencing epoch")
+
 // Append durably records rec. Versions must be contiguous: on a
 // non-empty log rec.Version must be exactly LastVersion()+1 — the same
-// invariant replay and followers rely on.
+// invariant replay and followers rely on. Epochs must be non-decreasing:
+// an append fenced below the log's newest epoch fails with
+// ErrEpochFenced, so no version can ever exist under two epochs.
 func (l *Log) Append(rec Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -256,6 +287,10 @@ func (l *Log) Append(rec Record) error {
 	}
 	if n := len(l.segments); n > 0 && rec.Version != l.segments[n-1].last+1 {
 		return fmt.Errorf("wal: append version %d does not extend last version %d", rec.Version, l.segments[n-1].last)
+	}
+	if rec.Epoch < l.lastEpoch {
+		return fmt.Errorf("%w: record v%d at epoch %d, log already at epoch %d",
+			ErrEpochFenced, rec.Version, rec.Epoch, l.lastEpoch)
 	}
 	frame, err := EncodeFrame(l.buf[:0], rec)
 	if err != nil {
@@ -282,20 +317,40 @@ func (l *Log) Append(rec Record) error {
 		l.closed = true
 		return errors.New("wal: injected crash mid-record")
 	}
-	if _, err := l.f.Write(frame); err != nil {
+	active := &l.segments[len(l.segments)-1]
+	if n, err := l.f.Write(frame); err != nil || n < len(frame) {
+		// A short or failed write left a partial frame on disk. Roll the
+		// segment back to its last good length so the log stays append-
+		// clean; if even that fails the log is poisoned — better closed
+		// than silently corrupt mid-file.
+		if terr := l.fs.Truncate(active.path, active.size); terr != nil {
+			l.closed = true
+			return fmt.Errorf("wal: partial append (%v) and rollback failed (%v); log closed", err, terr)
+		}
+		if err == nil {
+			err = io.ErrShortWrite
+		}
 		return fmt.Errorf("wal: %w", err)
 	}
-	active := &l.segments[len(l.segments)-1]
-	active.size += int64(len(frame))
-	active.last = rec.Version
 	switch l.opts.Sync {
 	case SyncAlways:
 		if err := l.f.Sync(); err != nil {
+			// The frame reached the file but not the platter. Appends are
+			// atomic: roll the unsynced frame back so a retry of the same
+			// version stays contiguous — the caller was never acked.
+			if terr := l.fs.Truncate(active.path, active.size); terr != nil {
+				l.closed = true
+				return fmt.Errorf("wal: fsync failed (%v) and rollback failed (%v); log closed", err, terr)
+			}
 			return fmt.Errorf("wal: %w", err)
 		}
 	case SyncInterval:
 		l.dirty = true
 	}
+	active.size += int64(len(frame))
+	active.last = rec.Version
+	active.lastEpoch = rec.Epoch
+	l.lastEpoch = rec.Epoch
 	return nil
 }
 
@@ -316,28 +371,16 @@ func (l *Log) rotateLocked() error {
 // version first, and fsyncs the directory so the file itself survives.
 func (l *Log) createSegmentLocked(first uint64) error {
 	path := segmentPath(l.dir, first)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.fs.Create(path)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := l.fs.SyncDir(l.dir); err != nil {
 		f.Close()
-		return err
+		return fmt.Errorf("wal: %w", err)
 	}
 	l.f = f
-	l.segments = append(l.segments, segment{path: path, first: first, last: first - 1})
-	return nil
-}
-
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
+	l.segments = append(l.segments, segment{path: path, first: first, last: first - 1, lastEpoch: l.lastEpoch})
 	return nil
 }
 
@@ -420,6 +463,14 @@ func (l *Log) LastVersion() uint64 {
 	return last
 }
 
+// LastEpoch returns the newest record's fencing epoch (0 on an empty or
+// pre-failover log). Appends below it are refused.
+func (l *Log) LastEpoch() uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastEpoch
+}
+
 // ReadFrom returns up to max records with Version > after, in order
 // (max <= 0 means no cap). It returns ErrCompacted when record after+1
 // existed but was reclaimed — the caller must fall back to a bundle.
@@ -452,7 +503,7 @@ func (l *Log) ReadFrom(after uint64, max int) ([]Record, error) {
 
 	var out []Record
 	for _, seg := range want {
-		recs, err := readSegment(seg, after, max-len(out), max > 0)
+		recs, err := readSegment(l.fs, seg, after, max-len(out), max > 0)
 		if err != nil {
 			if os.IsNotExist(err) {
 				return nil, ErrCompacted
@@ -469,8 +520,8 @@ func (l *Log) ReadFrom(after uint64, max int) ([]Record, error) {
 
 // readSegment reads records with Version > after from one segment,
 // bounded to the byte size captured under the log lock.
-func readSegment(seg segment, after uint64, budget int, capped bool) ([]Record, error) {
-	f, err := os.Open(seg.path)
+func readSegment(fs FS, seg segment, after uint64, budget int, capped bool) ([]Record, error) {
+	f, err := fs.Open(seg.path)
 	if err != nil {
 		return nil, err
 	}
@@ -513,13 +564,16 @@ func (l *Log) Reset() error {
 		l.f = nil
 	}
 	for _, seg := range l.segments {
-		if err := os.Remove(seg.path); err != nil {
+		if err := l.fs.Remove(seg.path); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
 	}
 	l.segments = nil
 	l.dirty = false
-	return syncDir(l.dir)
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
 }
 
 // Compact reclaims whole segments whose every record is at or below
@@ -537,7 +591,7 @@ func (l *Log) Compact(watermark uint64) error {
 	removed := false
 	for i, seg := range l.segments {
 		if i < len(l.segments)-1 && seg.last <= watermark {
-			if err := os.Remove(seg.path); err != nil {
+			if err := l.fs.Remove(seg.path); err != nil {
 				return fmt.Errorf("wal: %w", err)
 			}
 			removed = true
@@ -547,7 +601,9 @@ func (l *Log) Compact(watermark uint64) error {
 	}
 	l.segments = kept
 	if removed {
-		return syncDir(l.dir)
+		if err := l.fs.SyncDir(l.dir); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
 	}
 	return nil
 }

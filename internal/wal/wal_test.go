@@ -194,7 +194,7 @@ func TestTornTailTruncation(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	names, err := segmentNames(dir)
+	names, err := segmentNames(OSFS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +299,7 @@ func TestCrashAtEveryByte(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	names, err := segmentNames(golden)
+	names, err := segmentNames(OSFS(), golden)
 	if err != nil || len(names) != 1 {
 		t.Fatalf("want one segment, got %v (err %v)", names, err)
 	}
@@ -351,7 +351,7 @@ func TestReset(t *testing.T) {
 	if _, _, ok := l.Bounds(); ok {
 		t.Fatal("bounds non-empty after reset")
 	}
-	if names, _ := segmentNames(dir); len(names) != 0 {
+	if names, _ := segmentNames(OSFS(), dir); len(names) != 0 {
 		t.Fatalf("segments survive reset: %v", names)
 	}
 	// A reset log accepts any next version — that is its purpose.
@@ -412,7 +412,7 @@ func TestOpenRejectsMidLogCorruption(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	names, err := segmentNames(dir)
+	names, err := segmentNames(OSFS(), dir)
 	if err != nil || len(names) != 3 {
 		t.Fatalf("want 3 segments, got %v", names)
 	}
