@@ -33,6 +33,14 @@
 // the attribute batch), and -baseline/-tolerance gate the model, index,
 // and total speedups the same way the top-k gate does.
 //
+// `-exp kernel` microbenchmarks the four scan kernels (float64 dot,
+// blocked GEMM, int8 dot, fp16 decode-and-accumulate) portable vs
+// dispatched at several dims, records what each op dispatched to
+// (generic/avx2/neon), and writes BENCH_kernel.json. With -baseline the
+// gate fails when an op the baseline ran vectorized now dispatches to
+// generic, or when a same-machine generic/dispatched speedup ratio drops
+// by more than -tolerance.
+//
 // `-exp replicate` measures the replication tier: WAL append throughput
 // under each fsync policy (always/interval/none), and how a follower
 // catches up on a -repl-backlog-update leader lead — O(Δ) record replay
@@ -51,6 +59,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"pane/internal/dataset"
 	"pane/internal/experiments"
@@ -286,6 +295,31 @@ func main() {
 				check(err)
 				check(experiments.CheckUpdateBaseline(b, base, *tolerance))
 				fmt.Printf("update gate: within %.0f%% of %s\n", *tolerance*100, *baseline)
+			}
+		case "kernel":
+			// Pure-CPU microbenchmark: no graph, no training. -quick
+			// shrinks the per-cell timed window; the dims stay the same so
+			// quick and full reports gate against each other.
+			minTime := 50 * time.Millisecond
+			if *quick {
+				minTime = 10 * time.Millisecond
+			}
+			b, err := experiments.RunKernel(experiments.KernelOptions{
+				Seed: opt.Seed, MinTime: minTime,
+			})
+			check(err)
+			experiments.PrintKernel(os.Stdout, b)
+			jsonPath := *topkJSON
+			if jsonPath == "" {
+				jsonPath = "BENCH_kernel.json"
+			}
+			check(experiments.WriteKernelJSON(jsonPath, b))
+			fmt.Printf("wrote %s\n", jsonPath)
+			if *baseline != "" {
+				base, err := experiments.ReadKernelJSON(*baseline)
+				check(err)
+				check(experiments.CheckKernelBaseline(b, base, *tolerance))
+				fmt.Printf("kernel gate: within %.0f%% of %s (dispatch: %v)\n", *tolerance*100, *baseline, b.ISAs)
 			}
 		case "replicate":
 			// Append throughput is I/O-bound and catch-up replay is

@@ -98,6 +98,7 @@ func main() {
 		shards    = flag.Int("shards", 1, "serving-index shards: contiguous candidate row partitions rebuilt and searched concurrently")
 		quantize  = flag.Bool("quantize", true, "build the SQ8/IVFSQ quantized tiers (mode=sq8, mode=ivfsq on the top-k routes)")
 		rerank    = flag.Int("rerank", 0, "quantized survivor multiplier: re-rank rerank*k candidates exactly (0 = default)")
+		fp16      = flag.Bool("fp16", true, "build the binary16 tiers (mode=fp16, mode=ivffp16 on the top-k routes)")
 		refresh   = flag.Float64("refresh-threshold", engine.DefaultRefreshThreshold,
 			"dirty-row fraction at or below which updates refresh the serving index incrementally instead of rebuilding (0 = always rebuild)")
 		affinity = flag.Float64("affinity-threshold", engine.DefaultAffinityThreshold,
@@ -158,7 +159,7 @@ func main() {
 	indexOpts := func(loading bool) []engine.Option {
 		ivfCfg := engine.IndexConfig{
 			IVF: true, NList: *nlist, NProbe: *nprobe, Shards: *shards,
-			Quantize: *quantize, Rerank: *rerank,
+			Quantize: *quantize, Rerank: *rerank, FP16: *fp16,
 		}
 		var opts []engine.Option
 		switch *indexMode {
@@ -169,7 +170,7 @@ func main() {
 			return nil
 		case "exact":
 			opts = []engine.Option{engine.WithIndex(engine.IndexConfig{
-				Shards: *shards, Quantize: *quantize, Rerank: *rerank,
+				Shards: *shards, Quantize: *quantize, Rerank: *rerank, FP16: *fp16,
 			})}
 		case "ivf":
 			opts = []engine.Option{engine.WithIndex(ivfCfg)}
@@ -297,11 +298,12 @@ func main() {
 	}
 
 	if st := eng.IndexStatus(); st.Enabled {
-		log.Printf("serving index: version %d, %d shard(s), ivf=%v nlist=%d nprobe=%d quantize=%v rerank=%d refresh-threshold=%.2f",
-			st.Version, st.Shards, st.IVF, st.NList, st.NProbe, st.Quantize, st.Rerank, st.RefreshThreshold)
+		log.Printf("serving index: version %d, %d shard(s), ivf=%v nlist=%d nprobe=%d quantize=%v rerank=%d fp16=%v refresh-threshold=%.2f",
+			st.Version, st.Shards, st.IVF, st.NList, st.NProbe, st.Quantize, st.Rerank, st.FP16, st.RefreshThreshold)
 	} else {
 		log.Print("serving index: disabled (top-k queries scan)")
 	}
+	log.Printf("kernel dispatch: %v", engine.KernelDispatch())
 
 	var opts []server.Option
 	if *snapPath != "" {

@@ -104,6 +104,12 @@ type Engine struct {
 	// read it concurrently.
 	restoredQuant atomic.Pointer[restoredQuant]
 
+	// restoredHalf holds a bundle's binary16 payload for the initial
+	// index builds, with the same lifecycle as restoredQuant: valid for
+	// exactly the restored model version, cleared by the first applied
+	// update, read concurrently by shard rebuild workers.
+	restoredHalf atomic.Pointer[restoredHalf]
+
 	// wal, when attached, receives every applied update's delta before
 	// the new version publishes (see AttachWAL in wal.go). Atomic because
 	// Snapshot compacts through it without holding writeMu.
@@ -131,6 +137,13 @@ var ErrFenced = errors.New("engine: fenced by a newer epoch")
 type restoredQuant struct {
 	version      uint64
 	links, attrs store.QuantizedMatrix
+}
+
+// restoredHalf pairs a bundle's binary16 payload with the only model
+// version it encodes.
+type restoredHalf struct {
+	version      uint64
+	links, attrs store.HalfMatrix
 }
 
 // DefaultUpdateSweeps is the number of CCD refinement sweeps an update
@@ -525,9 +538,10 @@ func (e *Engine) applyLocked(edges []graph.Edge, attrs []graph.AttrEntry) (*Mode
 	} else {
 		e.met.updFull.Inc()
 	}
-	// A restored quantized payload encodes exactly the restored version;
-	// once the model moves past it, free it.
+	// A restored quantized or binary16 payload encodes exactly the
+	// restored version; once the model moves past it, free it.
 	e.restoredQuant.Store(nil)
+	e.restoredHalf.Store(nil)
 	// The model is live immediately; the index catches up asynchronously
 	// and queries fall back to the scan path until it publishes. The delta
 	// tells the per-shard workers which rows to refresh: a full-sweep
@@ -701,7 +715,7 @@ func (e *Engine) bundleFor(m *Model) *store.Bundle {
 		// defaults") so the written bundle always reloads.
 		b.Index = &store.IndexMeta{
 			IVF: c.IVF, NList: c.NList, NProbe: c.NProbe, Seed: c.Seed, Shards: c.Shards,
-			Quantize: c.Quantize, Rerank: c.Rerank,
+			Quantize: c.Quantize, Rerank: c.Rerank, FP16: c.FP16,
 		}
 		if c.Quantize {
 			// Optional: ship the SQ8 encodings so the restored engine
@@ -709,6 +723,10 @@ func (e *Engine) bundleFor(m *Model) *store.Bundle {
 			// consistent shard cut at m's exact version is usable; mid-
 			// rebuild the payload is simply omitted.
 			b.Quant = e.assembleQuant(m)
+		}
+		if c.FP16 {
+			// Same contract for the binary16 encodings.
+			b.Half = e.assembleHalf(m)
 		}
 	}
 	return b
@@ -740,13 +758,17 @@ func FromBundle(b *store.Bundle, opts ...Option) (*Engine, error) {
 	if im := b.Index; im != nil {
 		restore := WithIndex(IndexConfig{
 			IVF: im.IVF, NList: im.NList, NProbe: im.NProbe, Seed: im.Seed, Shards: im.Shards,
-			Quantize: im.Quantize, Rerank: im.Rerank,
+			Quantize: im.Quantize, Rerank: im.Rerank, FP16: im.FP16,
 		})
 		opts = append([]Option{restore}, opts...)
 	}
 	if q := b.Quant; q != nil {
 		rq := &restoredQuant{version: b.ModelVersion, links: q.Links, attrs: q.Attrs}
 		opts = append([]Option{func(e *Engine) { e.restoredQuant.Store(rq) }}, opts...)
+	}
+	if h := b.Half; h != nil {
+		rh := &restoredHalf{version: b.ModelVersion, links: h.Links, attrs: h.Attrs}
+		opts = append([]Option{func(e *Engine) { e.restoredHalf.Store(rh) }}, opts...)
 	}
 	return newEngine(g, emb, b.Cfg, b.ModelVersion, opts)
 }

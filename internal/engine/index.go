@@ -38,19 +38,23 @@ import (
 
 // Query modes accepted by the top-k paths.
 const (
-	ModeExact = "exact" // exact answer: indexed scan, or brute force mid-rebuild
-	ModeIVF   = "ivf"   // approximate answer from the IVF backend when fresh
-	ModeSQ8   = "sq8"   // quantized flat scan + exact re-rank
-	ModeIVFSQ = "ivfsq" // quantized inverted-file scan + exact re-rank
+	ModeExact   = "exact"   // exact answer: indexed scan, or brute force mid-rebuild
+	ModeIVF     = "ivf"     // approximate answer from the IVF backend when fresh
+	ModeSQ8     = "sq8"     // quantized flat scan + exact re-rank
+	ModeIVFSQ   = "ivfsq"   // quantized inverted-file scan + exact re-rank
+	ModeFP16    = "fp16"    // half-precision flat scan, no re-rank
+	ModeIVFFP16 = "ivffp16" // half-precision inverted-file scan, no re-rank
 )
 
 // Backend labels reported with every top-k answer.
 const (
-	BackendExact = "exact" // precomputed candidate matrix, parallel blocked scan
-	BackendIVF   = "ivf"   // inverted-file approximate search
-	BackendSQ8   = "sq8"   // int8 quantized scan, exact re-rank
-	BackendIVFSQ = "ivfsq" // quantized inverted-file scan, exact re-rank
-	BackendScan  = "scan"  // per-query brute force; no fresh index (disabled or mid-rebuild)
+	BackendExact   = "exact"   // precomputed candidate matrix, parallel blocked scan
+	BackendIVF     = "ivf"     // inverted-file approximate search
+	BackendSQ8     = "sq8"     // int8 quantized scan, exact re-rank
+	BackendIVFSQ   = "ivfsq"   // quantized inverted-file scan, exact re-rank
+	BackendFP16    = "fp16"    // binary16 flat scan, no re-rank
+	BackendIVFFP16 = "ivffp16" // binary16 inverted-file scan, no re-rank
+	BackendScan    = "scan"    // per-query brute force; no fresh index (disabled or mid-rebuild)
 )
 
 // IndexConfig selects and tunes the per-version indexes an Engine
@@ -69,6 +73,13 @@ type IndexConfig struct {
 	// re-ranks the Rerank*k best quantized scores exactly. 0 means
 	// index.DefaultRerank.
 	Rerank int
+	// FP16 additionally builds the half-precision tier: a binary16 copy
+	// of each shard's candidate rows scanned at half the memory traffic
+	// of float64, served WITHOUT exact re-rank (11-bit significands keep
+	// recall@10 at ≈ 0.999 on embedding workloads). With IVF also set,
+	// the per-list IVFFP16 variant is built alongside, sharing the IVF's
+	// k-means like IVFSQ does.
+	FP16 bool
 	// NList is the IVF coarse cluster count per shard; 0 means
 	// ~sqrt(shard rows).
 	NList int
@@ -191,6 +202,10 @@ type shardIdx struct {
 	attrsSQ    index.Index
 	linksIVFSQ index.Index // nil unless cfg.IVF && cfg.Quantize
 	attrsIVFSQ index.Index
+	linksFP16  index.Index // nil unless cfg.FP16
+	attrsFP16  index.Index
+	linksIVFFP index.Index // nil unless cfg.IVF && cfg.FP16
+	attrsIVFFP index.Index
 }
 
 // shardPending is one shard's accumulated rebuild obligation: the model
@@ -421,9 +436,15 @@ func (e *Engine) buildShardLinks(si *shardIdx, m *Model, s int, bp buildParams) 
 		if bp.cfg.Quantize {
 			si.linksIVFSQ = index.Shift(index.NewIVFSQ(iv, z, bp.cfg.Rerank), lo)
 		}
+		if bp.cfg.FP16 {
+			si.linksIVFFP = index.Shift(index.NewIVFFP16(iv, z), lo)
+		}
 	}
 	if bp.cfg.Quantize {
 		si.linksSQ = index.Shift(e.buildSQ8(quantLinks, m.Version, z, lo, bp.cfg.Rerank, bp.threads), lo)
+	}
+	if bp.cfg.FP16 {
+		si.linksFP16 = index.Shift(e.buildFP16(quantLinks, m.Version, z, lo, bp.threads), lo)
 	}
 }
 
@@ -443,9 +464,15 @@ func (e *Engine) buildShardAttrs(si *shardIdx, m *Model, s int, bp buildParams) 
 		if bp.cfg.Quantize {
 			si.attrsIVFSQ = index.Shift(index.NewIVFSQ(iv, y, bp.cfg.Rerank), alo)
 		}
+		if bp.cfg.FP16 {
+			si.attrsIVFFP = index.Shift(index.NewIVFFP16(iv, y), alo)
+		}
 	}
 	if bp.cfg.Quantize {
 		si.attrsSQ = index.Shift(e.buildSQ8(quantAttrs, m.Version, y, alo, bp.cfg.Rerank, bp.threads), alo)
+	}
+	if bp.cfg.FP16 {
+		si.attrsFP16 = index.Shift(e.buildFP16(quantAttrs, m.Version, y, alo, bp.threads), alo)
 	}
 }
 
@@ -483,6 +510,7 @@ func (e *Engine) refreshShard(m *Model, s int, base *shardIdx, p shardPending) (
 		si.z = base.z
 		si.links, si.linksIVF = base.links, base.linksIVF
 		si.linksSQ, si.linksIVFSQ = base.linksSQ, base.linksIVFSQ
+		si.linksFP16, si.linksIVFFP = base.linksFP16, base.linksIVFFP
 	case len(p.grams) > 0:
 		// Low-rank path: every candidate row shifts by Xb[i]·ΔG, so apply
 		// the accumulated corrections to the whole block in O(n·rank·k),
@@ -510,9 +538,15 @@ func (e *Engine) refreshShard(m *Model, s int, base *shardIdx, p shardPending) (
 			if base.linksIVFSQ != nil {
 				si.linksIVFSQ = index.Shift(unshift(base.linksIVFSQ).(*index.IVFSQ).Refresh(iv, z), lo)
 			}
+			if base.linksIVFFP != nil {
+				si.linksIVFFP = index.Shift(unshift(base.linksIVFFP).(*index.IVFFP16).Refresh(iv, z), lo)
+			}
 		}
 		if base.linksSQ != nil {
 			si.linksSQ = index.Shift(index.NewSQ8(z, bp.cfg.Rerank, bp.threads), lo)
+		}
+		if base.linksFP16 != nil {
+			si.linksFP16 = index.Shift(index.NewFP16(z, bp.threads), lo)
 		}
 	default:
 		z := base.z.Clone()
@@ -530,9 +564,15 @@ func (e *Engine) refreshShard(m *Model, s int, base *shardIdx, p shardPending) (
 			if base.linksIVFSQ != nil {
 				si.linksIVFSQ = index.Shift(unshift(base.linksIVFSQ).(*index.IVFSQ).Refresh(iv, z), lo)
 			}
+			if base.linksIVFFP != nil {
+				si.linksIVFFP = index.Shift(unshift(base.linksIVFFP).(*index.IVFFP16).Refresh(iv, z), lo)
+			}
 		}
 		if base.linksSQ != nil {
 			si.linksSQ = index.Shift(unshift(base.linksSQ).(*index.SQ8).Refresh(z, local), lo)
+		}
+		if base.linksFP16 != nil {
+			si.linksFP16 = index.Shift(unshift(base.linksFP16).(*index.FP16).Refresh(z, local), lo)
 		}
 	}
 
@@ -551,6 +591,7 @@ func (e *Engine) refreshShard(m *Model, s int, base *shardIdx, p shardPending) (
 		// bit-identical in the new model, so sharing them is exact.
 		si.attrs, si.attrsIVF = base.attrs, base.attrsIVF
 		si.attrsSQ, si.attrsIVFSQ = base.attrsSQ, base.attrsIVFSQ
+		si.attrsFP16, si.attrsIVFFP = base.attrsFP16, base.attrsIVFFP
 	default:
 		y := m.Emb.Y.RowSlice(alo, ahi)
 		local := make([]int, len(attrRows))
@@ -564,9 +605,15 @@ func (e *Engine) refreshShard(m *Model, s int, base *shardIdx, p shardPending) (
 			if base.attrsIVFSQ != nil {
 				si.attrsIVFSQ = index.Shift(unshift(base.attrsIVFSQ).(*index.IVFSQ).Refresh(iv, y), alo)
 			}
+			if base.attrsIVFFP != nil {
+				si.attrsIVFFP = index.Shift(unshift(base.attrsIVFFP).(*index.IVFFP16).Refresh(iv, y), alo)
+			}
 		}
 		if base.attrsSQ != nil {
 			si.attrsSQ = index.Shift(unshift(base.attrsSQ).(*index.SQ8).Refresh(y, local), alo)
+		}
+		if base.attrsFP16 != nil {
+			si.attrsFP16 = index.Shift(unshift(base.attrsFP16).(*index.FP16).Refresh(y, local), alo)
 		}
 	}
 	return si, fullWork
@@ -600,6 +647,25 @@ func (e *Engine) buildSQ8(space int, version uint64, full *mat.Dense, lo, rerank
 		}
 	}
 	return index.NewSQ8(full, rerank, threads)
+}
+
+// buildFP16 builds one shard's binary16 tier over full, the shard's block
+// of candidate rows [lo, lo+full.Rows) of the given space, reusing a
+// bundle-restored encoding's row slice when it matches this model version
+// and shape — the per-element encoding makes the slice bit-identical to a
+// fresh encoding, exactly like buildSQ8's per-row reuse.
+func (e *Engine) buildFP16(space int, version uint64, full *mat.Dense, lo, threads int) *index.FP16 {
+	if rh := e.restoredHalf.Load(); rh != nil && rh.version == version {
+		hm := &rh.links
+		if space == quantAttrs {
+			hm = &rh.attrs
+		}
+		hi := lo + full.Rows
+		if hm.Dim == full.Cols && hi <= hm.Rows {
+			return index.NewFP16FromCodes(full, hm.Codes[lo*hm.Dim:hi*hm.Dim], threads)
+		}
+	}
+	return index.NewFP16(full, threads)
 }
 
 // freshShards returns one consistent cut of the published shard indexes:
@@ -820,6 +886,8 @@ type IndexStatus struct {
 	// their default exact-re-rank survivor multiplier.
 	Quantize bool `json:"quantize,omitempty"`
 	Rerank   int  `json:"rerank,omitempty"`
+	// FP16 reports whether the binary16 tiers are built.
+	FP16 bool `json:"fp16,omitempty"`
 	// Shards is the shard count; ShardVersions the per-shard index
 	// generations, exposing rebuild progress shard by shard (0 = not yet
 	// published).
@@ -848,6 +916,7 @@ func (e *Engine) IndexStatus() IndexStatus {
 		Enabled:              true,
 		IVF:                  e.idxCfg.IVF,
 		Quantize:             e.idxCfg.Quantize,
+		FP16:                 e.idxCfg.FP16,
 		Shards:               len(ss.slots),
 		ShardVersions:        make([]uint64, len(ss.slots)),
 		IncrementalRefreshes: e.met.buildIncr.Value(),
@@ -924,6 +993,42 @@ func (e *Engine) assembleQuant(m *Model) *store.QuantPayload {
 	return qp
 }
 
+// assembleHalf reassembles the full-matrix binary16 payload from a fresh
+// consistent shard cut at m's version, or nil when any shard is stale or
+// still building; same derived-state contract as assembleQuant — a loader
+// without the payload just re-encodes bit-identically.
+func (e *Engine) assembleHalf(m *Model) *store.HalfPayload {
+	shards := e.freshShards(m)
+	if shards == nil {
+		return nil
+	}
+	hp := &store.HalfPayload{
+		Links: store.HalfMatrix{Rows: m.Nodes(), Dim: m.Emb.Xf.Cols},
+		Attrs: store.HalfMatrix{Rows: m.Attrs(), Dim: m.Emb.Xf.Cols},
+	}
+	appendFP := func(hm *store.HalfMatrix, idx index.Index) bool {
+		fp, ok := unshift(idx).(*index.FP16)
+		if !ok {
+			return false
+		}
+		hm.Codes = append(hm.Codes, fp.Codes()...)
+		return true
+	}
+	for _, si := range shards {
+		if si.linksFP16 == nil || !appendFP(&hp.Links, si.linksFP16) {
+			return nil
+		}
+		if si.attrsFP16 != nil && !appendFP(&hp.Attrs, si.attrsFP16) {
+			return nil
+		}
+	}
+	if len(hp.Links.Codes) != hp.Links.Rows*hp.Links.Dim ||
+		len(hp.Attrs.Codes) != hp.Attrs.Rows*hp.Attrs.Dim {
+		return nil // defensive: a partial assembly must not be persisted
+	}
+	return hp
+}
+
 // unshift unwraps index.Shift wrappers for status introspection.
 func unshift(idx index.Index) index.Index {
 	type unwrapper interface{ Unwrap() index.Index }
@@ -980,10 +1085,10 @@ func validateTopK(k int, mode string, nprobe int) (string, error) {
 		mode = ModeExact
 	}
 	switch mode {
-	case ModeExact, ModeIVF, ModeSQ8, ModeIVFSQ:
+	case ModeExact, ModeIVF, ModeSQ8, ModeIVFSQ, ModeFP16, ModeIVFFP16:
 	default:
-		return "", fmt.Errorf("engine: unknown mode %q (want %q, %q, %q, or %q)",
-			mode, ModeExact, ModeIVF, ModeSQ8, ModeIVFSQ)
+		return "", fmt.Errorf("engine: unknown mode %q (want %q, %q, %q, %q, %q, or %q)",
+			mode, ModeExact, ModeIVF, ModeSQ8, ModeIVFSQ, ModeFP16, ModeIVFFP16)
 	}
 	if nprobe < 0 {
 		return "", fmt.Errorf("engine: nprobe must be >= 0 (0 means the index default), got %d", nprobe)
@@ -994,17 +1099,22 @@ func validateTopK(k int, mode string, nprobe int) (string, error) {
 // pickSubs selects one backend field across a shard set. The choice is
 // uniform across shards (every generation builds the same backends), so
 // one backend label describes the whole fan-out. A mode whose backend was
-// not built degrades along ivfsq → ivf → exact / sq8 → exact, mirroring
-// how an IVF request on an exact-only index already served exact.
+// not built degrades along ivfsq → ivf → exact / sq8 → exact (and
+// likewise ivffp16 → ivf → exact / fp16 → exact), mirroring how an IVF
+// request on an exact-only index already served exact.
 func pickSubs(shards []*shardIdx, mode string, get func(*shardIdx, string) index.Index) ([]index.Index, string) {
 	backend := BackendExact
 	switch {
 	case mode == ModeIVFSQ && get(shards[0], BackendIVFSQ) != nil:
 		backend = BackendIVFSQ
-	case (mode == ModeIVF || mode == ModeIVFSQ) && get(shards[0], BackendIVF) != nil:
+	case mode == ModeIVFFP16 && get(shards[0], BackendIVFFP16) != nil:
+		backend = BackendIVFFP16
+	case (mode == ModeIVF || mode == ModeIVFSQ || mode == ModeIVFFP16) && get(shards[0], BackendIVF) != nil:
 		backend = BackendIVF
 	case mode == ModeSQ8 && get(shards[0], BackendSQ8) != nil:
 		backend = BackendSQ8
+	case mode == ModeFP16 && get(shards[0], BackendFP16) != nil:
+		backend = BackendFP16
 	}
 	subs := make([]index.Index, len(shards))
 	for i, si := range shards {
@@ -1023,6 +1133,10 @@ func linkSubs(shards []*shardIdx, mode string) ([]index.Index, string) {
 			return si.linksSQ
 		case BackendIVFSQ:
 			return si.linksIVFSQ
+		case BackendFP16:
+			return si.linksFP16
+		case BackendIVFFP16:
+			return si.linksIVFFP
 		}
 		return si.links
 	})
@@ -1040,6 +1154,10 @@ func attrSubs(shards []*shardIdx, mode string) ([]index.Index, string) {
 			return si.attrsSQ
 		case BackendIVFSQ:
 			return si.attrsIVFSQ
+		case BackendFP16:
+			return si.attrsFP16
+		case BackendIVFFP16:
+			return si.attrsIVFFP
 		}
 		return si.attrs
 	})

@@ -54,6 +54,14 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		buildDur  = "Per-shard index build wall time, by kind."
 		stageHelp = "Top-k query stage wall time (shard fan-out, partial merge, brute-force scan fallback)."
 	)
+	// Info gauge: one always-1 series per kernel, labeled with the
+	// instruction set it dispatches to, so dashboards can tell at a
+	// glance whether a host is serving from its SIMD or generic paths.
+	for op, isa := range KernelDispatch() {
+		reg.Gauge("pane_kernel_dispatch",
+			"Active instruction set per compute kernel (1 = this op dispatches to this ISA).",
+			obs.L("op", op), obs.L("isa", isa)).Set(1)
+	}
 	return &engineMetrics{
 		reg:     reg,
 		updIncr: reg.Counter("pane_updates_total", updHelp, obs.L("path", "incremental")),

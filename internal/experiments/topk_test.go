@@ -56,6 +56,42 @@ func TestCheckTopKBaselineFailsOnRegression(t *testing.T) {
 		t.Fatalf("recall regression not caught: %v", err)
 	}
 
+	// The fp16 floor is absolute (when the tier was measured): 0.99 over
+	// 2000 slots is 20 misses, ~13σ past the floor's binomial allowance
+	// (expectation 2 + 2σ ≈ 5).
+	halfBroken := bench()
+	halfBroken.FP16QPS = 900
+	halfBroken.RecallFP16 = 0.99
+	err = CheckTopKBaseline(halfBroken, base, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "fp16 recall") {
+		t.Fatalf("fp16 floor not enforced: %v", err)
+	}
+	// A single missed slot at tiny scale is within the allowance (one
+	// boundary tie is indistinguishable from correct behavior).
+	tied := bench()
+	tied.Queries, tied.TopK = 30, 5
+	tied.FP16QPS = 900
+	tied.RecallFP16 = 1 - 1.0/150
+	if err := CheckTopKBaseline(tied, base, 0.25); err != nil {
+		t.Fatalf("single tie rejected: %v", err)
+	}
+	// At bench scale the allowance tracks the floor's sampling noise:
+	// slots/1000 + 2σ misses pass, one more fails.
+	allowed := fp16MissAllowance(2000)
+	atEdge := bench()
+	atEdge.FP16QPS = 900
+	atEdge.RecallFP16 = 1 - float64(allowed)/2000
+	if err := CheckTopKBaseline(atEdge, base, 0.25); err != nil {
+		t.Fatalf("at-allowance run rejected: %v", err)
+	}
+	overEdge := bench()
+	overEdge.FP16QPS = 900
+	overEdge.RecallFP16 = 1 - float64(allowed+1)/2000
+	err = CheckTopKBaseline(overEdge, base, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "fp16 recall") {
+		t.Fatalf("over-allowance run accepted: %v", err)
+	}
+
 	if err := CheckTopKBaseline(bench(), base, -1); err == nil {
 		t.Fatal("negative tolerance accepted")
 	}

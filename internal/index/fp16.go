@@ -1,0 +1,408 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"pane/internal/core"
+	"pane/internal/mat"
+)
+
+// Half-precision candidate storage: an IEEE 754 binary16 copy of the
+// candidate matrix scanned with a decode-and-accumulate float64 kernel.
+// It is the storage point between SQ8 and float64 — 2 bytes per
+// dimension, a 4x traffic cut on the bandwidth-bound scan — but unlike
+// SQ8 it needs NO exact re-rank: a half holds ~3.3 decimal digits, and
+// at the dynamic ranges embedding coordinates live in, the score
+// perturbation almost never reorders a top-k (the committed bench holds
+// recall@10 at ≈ 0.999 with re-rank = none, gated on the missed-slot
+// count with a binomial sampling allowance — the residual misses are
+// rank-boundary ties below the 2^-11 half resolution). Two backends
+// share the machinery, mirroring the SQ8 pair:
+//
+//   - FP16 encodes a flat matrix (the half-precision sibling of Exact);
+//   - IVFFP16 encodes each inverted list of an existing IVF.
+//
+// Encoding is PER ELEMENT (round-to-nearest-even, no shared statistics),
+// so any row slice of a matrix encodes to exactly the row slice of the
+// whole matrix's encoding — the property that keeps sharded serving
+// bit-for-bit equal to unsharded, and lets the engine's copy-on-write
+// refresh re-encode only dirty rows. Decoding a half is EXACT in
+// float64, and the scan accumulates in the one canonical order fixed by
+// DotFP16Generic, so fp16 scores (and therefore rankings) are
+// bit-identical across instruction sets and build tags. Unlike the
+// quantized two-phase backends, fp16 scores are final: a sharded fan-out
+// merges them like Exact's, no global survivor cut required.
+
+// F64ToFP16 converts x to IEEE 754 binary16 with round-to-nearest-even,
+// directly from the float64 bits (no intermediate float32, so no double
+// rounding). Overflow goes to ±Inf, underflow denormalizes down to ±0,
+// and NaN becomes the canonical quiet NaN.
+func F64ToFP16(x float64) uint16 {
+	b := math.Float64bits(x)
+	sign := uint16((b >> 48) & 0x8000)
+	exp := int((b >> 52) & 0x7ff)
+	frac := b & (1<<52 - 1)
+	if exp == 0x7ff { // Inf or NaN
+		if frac != 0 {
+			return sign | 0x7e00
+		}
+		return sign | 0x7c00
+	}
+	e := exp - 1023
+	if e >= 16 { // beyond half range even before rounding
+		return sign | 0x7c00
+	}
+	if e >= -14 {
+		// Normal half range: keep the top 10 fraction bits, RNE on the
+		// remaining 42. A mantissa carry ripples into the exponent (and,
+		// at the very top, into Inf) by plain integer addition.
+		m := frac >> 42
+		rem := frac & (1<<42 - 1)
+		const half = uint64(1) << 41
+		if rem > half || (rem == half && m&1 == 1) {
+			m++
+		}
+		return sign | uint16(uint64(e+15)<<10+m)
+	}
+	// Subnormal half (or zero): the result is round(|x| / 2^-24) units of
+	// the half denormal step. The 53-bit significand represents
+	// |x| = sig·2^(e-52), so the unit count is sig >> (28-e), RNE on the
+	// shifted-out bits. A round-up from the largest subnormal carries
+	// into the smallest normal by the same integer addition.
+	sig := frac | 1<<52
+	shift := uint(28 - e)
+	if shift >= 64 {
+		return sign
+	}
+	m := sig >> shift
+	rem := sig & (1<<shift - 1)
+	half := uint64(1) << (shift - 1)
+	if rem > half || (rem == half && m&1 == 1) {
+		m++
+	}
+	return sign | uint16(m)
+}
+
+// FP16ToF64 converts an IEEE 754 binary16 value to float64. Every half
+// (normal and subnormal) is exactly representable, so the conversion is
+// exact — which is what makes the SIMD decode (half → float32 → float64,
+// both steps exact) bit-identical to this one.
+func FP16ToF64(h uint16) float64 {
+	sign := uint64(h>>15) << 63
+	exp := uint64(h >> 10 & 0x1f)
+	m := uint64(h & 0x3ff)
+	switch {
+	case exp == 0x1f: // Inf or NaN
+		if m != 0 {
+			return math.Float64frombits(sign | 0x7ff8000000000000 | m<<42)
+		}
+		return math.Float64frombits(sign | 0x7ff0000000000000)
+	case exp == 0: // zero or subnormal: value is m · 2^-24
+		if m == 0 {
+			return math.Float64frombits(sign)
+		}
+		l := bits.Len64(m) // top set bit, 1..10
+		e := l - 25        // value = 1.f · 2^(l-25)
+		frac := (m << uint(53-l)) & (1<<52 - 1)
+		return math.Float64frombits(sign | uint64(e+1023)<<52 | frac)
+	default:
+		return math.Float64frombits(sign | (exp-15+1023)<<52 | m<<42)
+	}
+}
+
+// EncodeFP16Rows encodes data row-major into binary16: codes[i*dim+j] is
+// the half encoding of data.Row(i)[j]. Per-element and deterministic, so
+// any row slice of data encodes to the corresponding slice of codes.
+func EncodeFP16Rows(data *mat.Dense) []uint16 {
+	codes := make([]uint16, data.Rows*data.Cols)
+	dim := data.Cols
+	for i := 0; i < data.Rows; i++ {
+		encodeFP16RowInto(data.Row(i), codes[i*dim:(i+1)*dim])
+	}
+	return codes
+}
+
+// encodeFP16RowInto encodes one candidate row into c (which must have
+// length len(row)) — the per-row unit EncodeFP16Rows and the incremental
+// Refresh share. Stale codes in c are fully overwritten.
+func encodeFP16RowInto(row []float64, c []uint16) {
+	for j, v := range row {
+		c[j] = F64ToFP16(v)
+	}
+}
+
+// dotFP16 returns the inner product of the float64 query q with the
+// half-encoded candidate row c — the fp16 scan kernel. On amd64 with
+// AVX2+F16C it dispatches to a vectorized decode-and-accumulate
+// (VCVTPH2PS + VCVTPS2PD + VMULPD/VADDPD over the 4-aligned prefix);
+// everywhere else DotFP16Generic runs. Both follow the same canonical
+// summation order, so the score is bit-identical on every build.
+func dotFP16(q []float64, c []uint16) float64 {
+	n := len(q)
+	if useDotFP16SIMD && n >= 8 {
+		if len(c) != n {
+			panic("index: dotFP16 length mismatch")
+		}
+		p := n &^ 3
+		s := dotFP16SIMD(&q[0], &c[0], p)
+		for i := p; i < n; i++ {
+			s += float64(q[i] * FP16ToF64(c[i]))
+		}
+		return s
+	}
+	return DotFP16Generic(q, c)
+}
+
+// DotFP16 exposes the dispatched fp16 dot kernel for the kernel
+// microbenchmark (`benchexp -exp kernel`); serving paths call dotFP16
+// through the FP16/IVFFP16 backends.
+func DotFP16(q []float64, c []uint16) float64 { return dotFP16(q, c) }
+
+// DotFP16Generic is the portable decode-and-accumulate kernel and the
+// reference the SIMD path is tested against. It fixes the canonical
+// summation order for fp16 scores: eight independent accumulators over
+// 8-element blocks (two 4-lane AVX2 registers), folded pairwise, an
+// optional 4-element block into the folded lanes, the (l0+l1)+(l2+l3)
+// horizontal reduction, and a sequential scalar tail — with explicit
+// float64 conversions pinning each product to one rounding step (no FMA
+// contraction), exactly as in mat.DotGeneric.
+func DotFP16Generic(q []float64, c []uint16) float64 {
+	n := len(q)
+	c = c[:n]
+	var s0, s1, s2, s3, s4, s5, s6, s7 float64
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s0 += float64(q[i] * FP16ToF64(c[i]))
+		s1 += float64(q[i+1] * FP16ToF64(c[i+1]))
+		s2 += float64(q[i+2] * FP16ToF64(c[i+2]))
+		s3 += float64(q[i+3] * FP16ToF64(c[i+3]))
+		s4 += float64(q[i+4] * FP16ToF64(c[i+4]))
+		s5 += float64(q[i+5] * FP16ToF64(c[i+5]))
+		s6 += float64(q[i+6] * FP16ToF64(c[i+6]))
+		s7 += float64(q[i+7] * FP16ToF64(c[i+7]))
+	}
+	l0, l1, l2, l3 := s0+s4, s1+s5, s2+s6, s3+s7
+	if i+4 <= n {
+		l0 += float64(q[i] * FP16ToF64(c[i]))
+		l1 += float64(q[i+1] * FP16ToF64(c[i+1]))
+		l2 += float64(q[i+2] * FP16ToF64(c[i+2]))
+		l3 += float64(q[i+3] * FP16ToF64(c[i+3]))
+		i += 4
+	}
+	s := (l0 + l1) + (l2 + l3)
+	for ; i < n; i++ {
+		s += float64(q[i] * FP16ToF64(c[i]))
+	}
+	return s
+}
+
+// FP16 is the half-precision flat backend: the binary16 encoding of the
+// candidate matrix, scanned in parallel row blocks like Exact, no
+// re-rank. The full float64 matrix is shared (not copied) only to carry
+// the shape/refresh contract the engine expects; queries never touch it.
+// Immutable after construction and safe for concurrent searches.
+type FP16 struct {
+	full    *mat.Dense
+	codes   []uint16
+	threads int
+}
+
+// NewFP16 encodes data (one candidate per row, shared with the caller —
+// it must not be mutated afterwards, as with NewExact) and returns the
+// half-precision backend. threads is the search fan-out, values <= 1
+// scan serially.
+func NewFP16(data *mat.Dense, threads int) *FP16 {
+	return NewFP16FromCodes(data, EncodeFP16Rows(data), threads)
+}
+
+// NewFP16FromCodes wraps an existing encoding (e.g. one restored from a
+// bundle, or a row slice of a larger matrix's encoding) instead of
+// re-encoding. codes must agree with data's shape; it is shared, not
+// copied. It panics on a shape mismatch — a corrupt persisted payload
+// must fail loudly at build time, not skew scores at query time.
+func NewFP16FromCodes(data *mat.Dense, codes []uint16, threads int) *FP16 {
+	if len(codes) != data.Rows*data.Cols {
+		panic(fmt.Sprintf("index: FP16 payload shape mismatch: %d codes for %dx%d",
+			len(codes), data.Rows, data.Cols))
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	return &FP16{full: data, codes: codes, threads: threads}
+}
+
+// Len returns the candidate count.
+func (f *FP16) Len() int { return f.full.Rows }
+
+// Dim returns the vector dimension.
+func (f *FP16) Dim() int { return f.full.Cols }
+
+// Kind returns KindFP16.
+func (f *FP16) Kind() string { return KindFP16 }
+
+// Codes exposes the binary16 encoding (row-major) for persistence.
+func (f *FP16) Codes() []uint16 { return f.codes }
+
+// Refresh returns a half-precision backend over data (which must have
+// this index's shape) re-encoding only the listed dirty rows; every
+// other row's codes are copied from this index. Because encoding is per
+// element, the result is bit-identical to NewFP16(data, threads) at
+// O(|dirty|·dim) encoding cost instead of O(n·dim).
+func (f *FP16) Refresh(data *mat.Dense, dirty []int) *FP16 {
+	if data.Rows != f.full.Rows || data.Cols != f.full.Cols {
+		panic(fmt.Sprintf("index: FP16 refresh shape mismatch: %dx%d data for %dx%d index",
+			data.Rows, data.Cols, f.full.Rows, f.full.Cols))
+	}
+	codes := append([]uint16(nil), f.codes...)
+	dim := data.Cols
+	for _, r := range dirty {
+		encodeFP16RowInto(data.Row(r), codes[r*dim:(r+1)*dim])
+	}
+	return NewFP16FromCodes(data, codes, f.threads)
+}
+
+// Search scans every candidate's half-encoded row. Scores are the
+// decode-and-accumulate inner products — final, not re-ranked. See Index
+// for the result contract.
+func (f *FP16) Search(q []float64, k int, opt Options) []core.Scored {
+	n := f.full.Rows
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		return nil
+	}
+	nb := f.threads
+	if lim := n / minParallelRows; nb > lim {
+		nb = lim
+	}
+	return mergeSearch(k, n, nb, func(t *core.TopK, lo, hi int) {
+		f.scanCodes(t, q, lo, hi, opt.Skip)
+	})
+}
+
+// scanCodes offers rows [lo, hi) to t under the fp16 score, walking the
+// code rows with one advancing slice like SQ8's scan.
+func (f *FP16) scanCodes(t *core.TopK, q []float64, lo, hi int, skip func(int) bool) {
+	dim := f.full.Cols
+	rows := f.codes[lo*dim : hi*dim]
+	if skip == nil {
+		for i := lo; i < hi; i++ {
+			t.Offer(i, dotFP16(q, rows[:dim]))
+			rows = rows[dim:]
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		row := rows[:dim]
+		rows = rows[dim:]
+		if skip(i) {
+			continue
+		}
+		t.Offer(i, dotFP16(q, row))
+	}
+}
+
+// String summarizes the structure for logs.
+func (f *FP16) String() string {
+	return fmt.Sprintf("fp16(n=%d dim=%d)", f.full.Rows, f.full.Cols)
+}
+
+// IVFFP16 layers the binary16 row encoding over an existing IVF's
+// inverted lists: a query prunes to the probed lists AND scans 2-byte
+// rows inside them, no re-rank. The wrapped IVF is shared (it is
+// immutable), so building IVFFP16 next to IVF costs one encoding pass,
+// not a second k-means.
+type IVFFP16 struct {
+	iv    *IVF
+	full  *mat.Dense // candidates by GLOBAL id, for the refresh contract
+	codes [][]uint16 // per list, aligned with iv.vecs rows
+}
+
+// NewIVFFP16 encodes each inverted list of iv. data must be the matrix
+// iv was built from (row i = candidate i); it is shared, not copied.
+func NewIVFFP16(iv *IVF, data *mat.Dense) *IVFFP16 {
+	if data.Rows != iv.n || data.Cols != iv.dim {
+		panic(fmt.Sprintf("index: IVFFP16 data %dx%d does not match ivf n=%d dim=%d",
+			data.Rows, data.Cols, iv.n, iv.dim))
+	}
+	h := &IVFFP16{iv: iv, full: data, codes: make([][]uint16, len(iv.vecs))}
+	for l, vecs := range iv.vecs {
+		h.codes[l] = EncodeFP16Rows(vecs)
+	}
+	return h
+}
+
+// Len returns the candidate count.
+func (h *IVFFP16) Len() int { return h.iv.n }
+
+// Dim returns the vector dimension.
+func (h *IVFFP16) Dim() int { return h.iv.dim }
+
+// Kind returns KindIVFFP16.
+func (h *IVFFP16) Kind() string { return KindIVFFP16 }
+
+// IVF returns the wrapped inverted file.
+func (h *IVFFP16) IVF() *IVF { return h.iv }
+
+// Refresh layers this index's encoding onto iv, a Refresh/Rebuild
+// descendant of h.IVF() over data: an inverted list whose vector block
+// is shared with the wrapped IVF (pointer-equal, i.e. IVF.Refresh left
+// it untouched) reuses its codes, and only rebuilt lists are re-encoded.
+// The result is bit-identical to NewIVFFP16(iv, data) at
+// O(affected-list rows) encoding cost.
+func (h *IVFFP16) Refresh(iv *IVF, data *mat.Dense) *IVFFP16 {
+	if data.Rows != iv.n || data.Cols != iv.dim {
+		panic(fmt.Sprintf("index: IVFFP16 refresh data %dx%d does not match ivf n=%d dim=%d",
+			data.Rows, data.Cols, iv.n, iv.dim))
+	}
+	out := &IVFFP16{iv: iv, full: data, codes: make([][]uint16, len(iv.vecs))}
+	for l, vecs := range iv.vecs {
+		if l < len(h.iv.vecs) && vecs == h.iv.vecs[l] {
+			out.codes[l] = h.codes[l]
+			continue
+		}
+		out.codes[l] = EncodeFP16Rows(vecs)
+	}
+	return out
+}
+
+// Search probes like IVF (Options.NProbe has the same meaning) and scans
+// the probed lists' half-encoded rows. With NProbe == NList the answer
+// equals FP16.Search bit for bit.
+func (h *IVFFP16) Search(q []float64, k int, opt Options) []core.Scored {
+	n := h.iv.n
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		return nil
+	}
+	lists := h.iv.probeLists(q, opt.NProbe)
+	return h.iv.fanScan(k, lists, func(t *core.TopK, l, lo, hi int) {
+		h.scanListCodes(t, q, l, lo, hi, opt.Skip)
+	})
+}
+
+// scanListCodes offers rows [lo, hi) of list l to t under the fp16
+// score.
+func (h *IVFFP16) scanListCodes(t *core.TopK, q []float64, l, lo, hi int, skip func(int) bool) {
+	ids := h.iv.ids[l]
+	codes := h.codes[l]
+	dim := h.iv.dim
+	for j := lo; j < hi; j++ {
+		id := int(ids[j])
+		if skip != nil && skip(id) {
+			continue
+		}
+		t.Offer(id, dotFP16(q, codes[j*dim:(j+1)*dim]))
+	}
+}
+
+// String summarizes the structure for logs.
+func (h *IVFFP16) String() string {
+	return fmt.Sprintf("ivffp16(n=%d dim=%d nlist=%d nprobe=%d)",
+		h.iv.n, h.iv.dim, h.iv.NList(), h.iv.nprobe)
+}

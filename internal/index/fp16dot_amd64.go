@@ -1,0 +1,34 @@
+//go:build amd64 && !noasm
+
+package index
+
+import "pane/internal/mat"
+
+// useDotFP16SIMD gates the vectorized fp16 decode-and-accumulate kernel.
+// It needs F16C (the VCVTPH2PS half→single conversion) on top of the
+// usual AVX2 + OS-saved-YMM checks; F16C predates AVX2 on both Intel and
+// AMD, so in practice the pair travels together, but the check is
+// explicit — a wrong guess here would be a SIGILL in the middle of a
+// scan.
+var useDotFP16SIMD = cpuHasF16C()
+
+// cpuHasF16C is implemented in fp16dot_amd64.s.
+func cpuHasF16C() bool
+
+// dotFP16SIMD computes the float64 inner product of the n query values
+// at q with the n half-precision codes at c, over the 4-aligned prefix
+// (n must be a multiple of 4), following the canonical summation order
+// fixed by DotFP16Generic; the caller adds the scalar tail. Implemented
+// in fp16dot_amd64.s.
+//
+//go:noescape
+func dotFP16SIMD(q *float64, c *uint16, n int) float64
+
+// FP16ISA reports the instruction set the fp16 scan kernel dispatches to
+// on this build and host.
+func FP16ISA() string {
+	if useDotFP16SIMD {
+		return mat.ISAAVX2
+	}
+	return mat.ISAGeneric
+}

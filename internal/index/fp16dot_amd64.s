@@ -1,0 +1,89 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// func cpuHasF16C() bool
+//
+// F16C usability = CPUID.1:ECX.OSXSAVE[27], .AVX[28] and .F16C[29],
+// XGETBV(0) reporting XMM+YMM state enabled, and CPUID.7.0:EBX.AVX2[5]
+// (the kernel also uses 256-bit VMULPD/VADDPD).
+TEXT ·cpuHasF16C(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<27), CX // OSXSAVE
+	JZ   no
+	TESTL $(1<<28), CX // AVX
+	JZ   no
+	TESTL $(1<<29), CX // F16C
+	JZ   no
+	XORL CX, CX
+	XGETBV             // EDX:EAX = XCR0
+	ANDL $6, AX
+	CMPL AX, $6        // XMM and YMM state saved by the OS
+	JNE  no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<5), BX  // AVX2
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func dotFP16SIMD(q *float64, c *uint16, n int) float64
+//
+// Half-precision decode-and-accumulate over n elements (n a multiple of
+// 4), following the canonical summation order fixed by DotFP16Generic:
+// two 4-lane accumulators over 8-element blocks, folded, an optional
+// 4-element block, then the (l0+l1)+(l2+l3) horizontal reduction. Eight
+// halves decode per step: VCVTPH2PS to eight float32 lanes, VCVTPS2PD on
+// each 128-bit half to float64 — both conversions exact, so the decoded
+// operands match FP16ToF64 bit for bit. VMULPD+VADDPD only (no FMA), one
+// rounding per product, exactly like the generic kernel.
+TEXT ·dotFP16SIMD(SB), NOSPLIT, $0-32
+	MOVQ q+0(FP), SI
+	MOVQ c+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPD Y0, Y0, Y0 // lanes s0..s3
+	VXORPD Y1, Y1, Y1 // lanes s4..s7
+
+loop8:
+	CMPQ CX, $8
+	JLT  fold
+	VMOVDQU (DI), X2
+	VCVTPH2PS X2, Y2        // 8 halves -> 8 float32
+	VCVTPS2PD X2, Y3        // low 4 -> float64 (X2 = low half of Y2)
+	VEXTRACTF128 $1, Y2, X4
+	VCVTPS2PD X4, Y4        // high 4 -> float64
+	VMOVUPD (SI), Y5
+	VMULPD  Y5, Y3, Y3
+	VADDPD  Y3, Y0, Y0
+	VMOVUPD 32(SI), Y5
+	VMULPD  Y5, Y4, Y4
+	VADDPD  Y4, Y1, Y1
+	ADDQ $16, DI
+	ADDQ $64, SI
+	SUBQ $8, CX
+	JMP  loop8
+
+fold:
+	VADDPD Y1, Y0, Y0 // l lanes = s_j + s_{j+4}
+	CMPQ CX, $4
+	JLT  hsum
+	MOVQ (DI), X2           // 4 halves
+	VCVTPH2PS X2, X2        // 4 float32 in xmm
+	VCVTPS2PD X2, Y3
+	VMOVUPD (SI), Y5
+	VMULPD  Y5, Y3, Y3
+	VADDPD  Y3, Y0, Y0
+
+hsum:
+	VHADDPD Y0, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDSD X1, X0, X0
+	VZEROUPPER
+	MOVSD X0, ret+24(FP)
+	RET

@@ -1,0 +1,24 @@
+//go:build !amd64 || noasm
+
+package index
+
+import "pane/internal/mat"
+
+// Builds without the F16C kernel (non-amd64 platforms, or any platform
+// under the noasm tag) always take the portable decode-and-accumulate
+// kernel. Half→float64 decode is exact and the generic kernel follows
+// the same canonical summation order, so scores are bit-identical either
+// way.
+const useDotFP16SIMD = false
+
+// dotFP16SIMD is never called when useDotFP16SIMD is false; this stub
+// keeps the portable build compiling.
+func dotFP16SIMD(q *float64, c *uint16, n int) float64 {
+	panic("index: dotFP16SIMD called on a build without SIMD support")
+}
+
+// FP16ISA reports the instruction set the fp16 scan kernel dispatches to
+// on this build and host.
+func FP16ISA() string {
+	return mat.ISAGeneric
+}

@@ -39,10 +39,12 @@ import (
 
 // Backend kinds reported by Kind().
 const (
-	KindExact = "exact"
-	KindIVF   = "ivf"
-	KindSQ8   = "sq8"
-	KindIVFSQ = "ivfsq"
+	KindExact   = "exact"
+	KindIVF     = "ivf"
+	KindSQ8     = "sq8"
+	KindIVFSQ   = "ivfsq"
+	KindFP16    = "fp16"
+	KindIVFFP16 = "ivffp16"
 )
 
 // Options tunes one Search call.

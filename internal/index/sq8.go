@@ -121,6 +121,14 @@ func dotI8(a, b []int8) int32 {
 	return dotI8Generic(a, b)
 }
 
+// DotI8 exposes the dispatched quantized dot kernel for the kernel
+// microbenchmark (`benchexp -exp kernel`); serving paths call dotI8
+// through the SQ8/IVFSQ backends.
+func DotI8(a, b []int8) int32 { return dotI8(a, b) }
+
+// DotI8Generic exposes the portable kernel the same way.
+func DotI8Generic(a, b []int8) int32 { return dotI8Generic(a, b) }
+
 // dotI8Generic is the portable kernel, and the reference the SIMD path
 // is tested against.
 func dotI8Generic(a, b []int8) int32 {

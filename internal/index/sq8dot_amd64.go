@@ -1,6 +1,8 @@
-//go:build amd64
+//go:build amd64 && !noasm
 
 package index
+
+import "pane/internal/mat"
 
 // useDotI8SIMD gates the AVX2 quantized-dot kernel. Detection runs once
 // at init: CPUID-reported AVX2 plus OS support for saving YMM state
@@ -16,4 +18,15 @@ func cpuHasAVX2() bool
 // and b using AVX2 (16-wide sign-extended multiply-add), with a scalar
 // tail inside the assembly. n must be >= 1; the result is bit-identical
 // to dotI8Generic. Implemented in sq8dot_amd64.s.
+//
+//go:noescape
 func dotI8SIMD(a, b *int8, n int) int32
+
+// DotI8ISA reports the instruction set the quantized int8 dot kernel
+// dispatches to on this build and host.
+func DotI8ISA() string {
+	if useDotI8SIMD {
+		return mat.ISAAVX2
+	}
+	return mat.ISAGeneric
+}

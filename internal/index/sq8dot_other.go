@@ -1,12 +1,21 @@
-//go:build !amd64
+//go:build (!amd64 && !arm64) || noasm
 
 package index
 
-// Non-amd64 builds always take the portable kernel.
+import "pane/internal/mat"
+
+// Builds without a vector kernel (other architectures, or any platform
+// under the noasm tag) always take the portable int8 kernel.
 const useDotI8SIMD = false
 
 // dotI8SIMD is never called when useDotI8SIMD is false; this stub keeps
 // the portable build compiling.
 func dotI8SIMD(a, b *int8, n int) int32 {
 	panic("index: dotI8SIMD called on a build without SIMD support")
+}
+
+// DotI8ISA reports the instruction set the quantized int8 dot kernel
+// dispatches to on this build and host.
+func DotI8ISA() string {
+	return mat.ISAGeneric
 }

@@ -29,22 +29,105 @@ func MulInto(dst, a, b *Dense) {
 
 // gemmRows accumulates rows [lo,hi) of a*b into dst. The i-k-j loop order
 // streams both b's rows and dst's rows with unit stride, which is the
-// standard cache-friendly ordering for row-major data.
+// standard cache-friendly ordering for row-major data. The k dimension is
+// consumed in panels of four b-rows at a time (gemmPanel4, the blocked
+// microkernel the AVX2 path vectorizes) with axpyTo sweeping the k%4
+// remainder; every output element still accumulates its k products in
+// strictly ascending p order, one rounding per product, so the SIMD and
+// generic builds produce bit-identical results. There is deliberately no
+// zero-coefficient skip: a skipped a[p]==0 and an added ±0 product are
+// not always the same float64, and the one canonical order must not
+// depend on the data.
 func gemmRows(dst, a, b *Dense, lo, hi int) {
 	n, k := b.Cols, a.Cols
+	if n == 0 {
+		return
+	}
 	for i := lo; i < hi; i++ {
 		ai := a.Data[i*k : (i+1)*k]
 		di := dst.Data[i*n : (i+1)*n]
-		for p, av := range ai {
-			if av == 0 {
-				continue
-			}
-			bp := b.Data[p*n : (p+1)*n]
-			for j, bv := range bp {
-				di[j] += av * bv
-			}
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			gemmPanel4(di, ai[p:p+4:p+4], b.Data[p*n:(p+4)*n], n)
+		}
+		for ; p < k; p++ {
+			axpyTo(di, ai[p], b.Data[p*n:(p+1)*n])
 		}
 	}
+}
+
+// gemmRowsGeneric is gemmRows pinned to the portable kernels; it is the
+// reference the SIMD GEMM path is tested against and must follow the
+// exact same panel decomposition and accumulation order.
+func gemmRowsGeneric(dst, a, b *Dense, lo, hi int) {
+	n, k := b.Cols, a.Cols
+	if n == 0 {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		di := dst.Data[i*n : (i+1)*n]
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			GemmPanel4Generic(di, ai[p:p+4:p+4], b.Data[p*n:(p+4)*n], n)
+		}
+		for ; p < k; p++ {
+			AxpyGeneric(di, ai[p], b.Data[p*n:(p+1)*n])
+		}
+	}
+}
+
+// gemmPanel4 accumulates a four-row panel into one dst row:
+// dst[j] += alpha[0]*b[j] + alpha[1]*b[n+j] + alpha[2]*b[2n+j] +
+// alpha[3]*b[3n+j] for j in [0,n), with the four adds applied in panel
+// order per element. b holds four consecutive rows of length n; alpha
+// holds the four a-row coefficients multiplying them.
+func gemmPanel4(dst []float64, alpha []float64, b []float64, n int) {
+	if useAVX2 && n >= 4 {
+		p := n &^ 3
+		gemmPanel4AVX2(&dst[0], &alpha[0], &b[0], p, n)
+		a0, a1, a2, a3 := alpha[0], alpha[1], alpha[2], alpha[3]
+		for j := p; j < n; j++ {
+			s := dst[j] + float64(a0*b[j])
+			s += float64(a1 * b[n+j])
+			s += float64(a2 * b[2*n+j])
+			s += float64(a3 * b[3*n+j])
+			dst[j] = s
+		}
+		return
+	}
+	GemmPanel4Generic(dst, alpha, b, n)
+}
+
+// GemmPanel4Generic is the portable four-row panel microkernel and the
+// reference the SIMD path is tested against. The explicit float64
+// conversions pin each product to one rounding step (no FMA contraction),
+// matching the VMULPD+VADDPD sequence of the assembly kernel exactly.
+func GemmPanel4Generic(dst []float64, alpha []float64, b []float64, n int) {
+	a0, a1, a2, a3 := alpha[0], alpha[1], alpha[2], alpha[3]
+	b0, b1, b2, b3 := b[0:n], b[n:2*n], b[2*n:3*n], b[3*n:4*n]
+	for j, d := range dst[:n] {
+		s := d + float64(a0*b0[j])
+		s += float64(a1 * b1[j])
+		s += float64(a2 * b2[j])
+		s += float64(a3 * b3[j])
+		dst[j] = s
+	}
+}
+
+// MulIntoGeneric is MulInto pinned to the portable kernels regardless of
+// CPU features — the reference implementation the SIMD GEMM path is
+// property-tested and benchmarked against. It must produce bit-identical
+// output to MulInto on every platform.
+func MulIntoGeneric(dst, a, b *Dense) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul inner dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("mat: MulInto dst shape mismatch")
+	}
+	dst.Zero()
+	gemmRowsGeneric(dst, a, b, 0, a.Rows)
 }
 
 // ParMul returns a*b computed with nb worker goroutines partitioning the

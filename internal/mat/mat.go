@@ -329,32 +329,91 @@ func StackRows(ms ...*Dense) *Dense {
 	return out
 }
 
-// Dot returns the inner product of two equal-length vectors. The kernel
-// is 4-way unrolled with independent accumulators: the candidate scans in
-// internal/index spend most of their cycles here, and breaking the serial
-// add dependency roughly doubles throughput on cache-resident rows (see
-// BenchmarkDot vs BenchmarkDotScalar). Note the accumulation order
-// differs from a single-accumulator loop, so results may drift from it by
-// ordinary float rounding — every caller in the repository goes through
-// this one kernel, so rankings stay internally consistent.
+// Dot returns the inner product of two equal-length vectors. On amd64
+// with AVX2 the 4-aligned prefix runs in assembly (see kernels_amd64.s);
+// everywhere else — and under the noasm build tag — DotGeneric runs. Both
+// kernels follow the one canonical summation order documented on
+// DotGeneric, so the result is bit-identical across instruction sets and
+// build tags: the candidate scans in internal/index spend most of their
+// cycles here, and the exact backend's bit-determinism guarantee rides on
+// every host summing in the same order.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
-		panic("mat: Dot length mismatch")
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	b = b[:len(a)]
-	var s0, s1, s2, s3 float64
+	n := len(a)
+	if useAVX2 && n >= 8 {
+		p := n &^ 3
+		s := dotAVX2(&a[0], &b[0], p)
+		for i := p; i < n; i++ {
+			s += float64(a[i] * b[i])
+		}
+		return s
+	}
+	return DotGeneric(a, b)
+}
+
+// DotGeneric is the portable dot kernel and the reference the SIMD path
+// is tested against. It fixes the canonical summation order shared by
+// every Dot implementation in the repository: sixteen independent
+// accumulators over 16-element blocks (matching four 4-lane AVX2
+// registers), folded pairwise exactly as the vector kernel folds its
+// registers, an optional 8- and 4-element block accumulated into the
+// folded lanes, a (l0+l1)+(l2+l3) horizontal reduction, and a sequential
+// scalar tail. The explicit float64 conversions pin each product to one
+// rounding step, forbidding the fused-multiply-add contraction Go
+// otherwise permits (and performs on arm64) — without them the "same
+// order" contract would not survive a cross-compile.
+func DotGeneric(a, b []float64) float64 {
+	n := len(a)
+	b = b[:n]
+	var s0, s1, s2, s3, s4, s5, s6, s7 float64
+	var s8, s9, s10, s11, s12, s13, s14, s15 float64
 	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		s0 += a[i] * b[i]
-		s1 += a[i+1] * b[i+1]
-		s2 += a[i+2] * b[i+2]
-		s3 += a[i+3] * b[i+3]
+	for ; i+16 <= n; i += 16 {
+		s0 += float64(a[i] * b[i])
+		s1 += float64(a[i+1] * b[i+1])
+		s2 += float64(a[i+2] * b[i+2])
+		s3 += float64(a[i+3] * b[i+3])
+		s4 += float64(a[i+4] * b[i+4])
+		s5 += float64(a[i+5] * b[i+5])
+		s6 += float64(a[i+6] * b[i+6])
+		s7 += float64(a[i+7] * b[i+7])
+		s8 += float64(a[i+8] * b[i+8])
+		s9 += float64(a[i+9] * b[i+9])
+		s10 += float64(a[i+10] * b[i+10])
+		s11 += float64(a[i+11] * b[i+11])
+		s12 += float64(a[i+12] * b[i+12])
+		s13 += float64(a[i+13] * b[i+13])
+		s14 += float64(a[i+14] * b[i+14])
+		s15 += float64(a[i+15] * b[i+15])
 	}
-	var s float64
-	for ; i < len(a); i++ {
-		s += a[i] * b[i]
+	u0, u1, u2, u3 := s0+s4, s1+s5, s2+s6, s3+s7
+	v0, v1, v2, v3 := s8+s12, s9+s13, s10+s14, s11+s15
+	if i+8 <= n {
+		u0 += float64(a[i] * b[i])
+		u1 += float64(a[i+1] * b[i+1])
+		u2 += float64(a[i+2] * b[i+2])
+		u3 += float64(a[i+3] * b[i+3])
+		v0 += float64(a[i+4] * b[i+4])
+		v1 += float64(a[i+5] * b[i+5])
+		v2 += float64(a[i+6] * b[i+6])
+		v3 += float64(a[i+7] * b[i+7])
+		i += 8
 	}
-	return (s0 + s1) + (s2 + s3) + s
+	l0, l1, l2, l3 := u0+v0, u1+v1, u2+v2, u3+v3
+	if i+4 <= n {
+		l0 += float64(a[i] * b[i])
+		l1 += float64(a[i+1] * b[i+1])
+		l2 += float64(a[i+2] * b[i+2])
+		l3 += float64(a[i+3] * b[i+3])
+		i += 4
+	}
+	s := (l0 + l1) + (l2 + l3)
+	for ; i < n; i++ {
+		s += float64(a[i] * b[i])
+	}
+	return s
 }
 
 // Norm2 returns the Euclidean norm of v.
@@ -362,13 +421,39 @@ func Norm2(v []float64) float64 {
 	return math.Sqrt(Dot(v, v))
 }
 
-// AxpyVec performs y += a*x for equal-length vectors.
+// AxpyVec performs y += a*x for equal-length vectors. Each element is an
+// independent multiply-add, so the SIMD and generic paths are trivially
+// bit-identical (no accumulation order to preserve — only the per-element
+// rounding the explicit conversions pin down).
 func AxpyVec(a float64, x, y []float64) {
 	if len(x) != len(y) {
-		panic("mat: AxpyVec length mismatch")
+		panic(fmt.Sprintf("mat: AxpyVec length mismatch %d vs %d", len(x), len(y)))
 	}
+	axpyTo(y, a, x)
+}
+
+// axpyTo performs y[i] += a*x[i] over len(y) elements; x must be at least
+// as long as y. It is the shared element-wise kernel behind AxpyVec and
+// the GEMM remainder columns.
+func axpyTo(y []float64, a float64, x []float64) {
+	n := len(y)
+	if useAVX2 && n >= 4 {
+		p := n &^ 3
+		axpyAVX2(a, &x[0], &y[0], p)
+		for i := p; i < n; i++ {
+			y[i] += float64(a * x[i])
+		}
+		return
+	}
+	AxpyGeneric(y, a, x)
+}
+
+// AxpyGeneric is the portable element-wise multiply-add kernel, and the
+// reference the SIMD path is tested against.
+func AxpyGeneric(y []float64, a float64, x []float64) {
+	x = x[:len(y)]
 	for i, v := range x {
-		y[i] += a * v
+		y[i] += float64(a * v)
 	}
 }
 

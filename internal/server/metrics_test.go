@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"pane/internal/engine"
 )
 
 // scrape fetches GET /metrics raw (it serves text exposition, not JSON).
@@ -41,6 +43,10 @@ func TestMetricsCoverServingPath(t *testing.T) {
 		`pane_updates_total{path="full"} 1`,
 		"pane_model_version 2",
 		"pane_http_in_flight_requests",
+		// One info series per compute kernel, labeled with the ISA the
+		// process dispatches to on this build and host.
+		fmt.Sprintf(`pane_kernel_dispatch{isa=%q,op="dot"} 1`, engine.KernelDispatch()["dot"]),
+		fmt.Sprintf(`pane_kernel_dispatch{isa=%q,op="fp16dot"} 1`, engine.KernelDispatch()["fp16dot"]),
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("scrape missing %q:\n%s", want, out)

@@ -9,13 +9,14 @@
 //	GET /top-attrs?node=v&k=10       strongest attributes for a node
 //	GET /top-links?src=u&k=10        most plausible out-neighbors
 //
-// The top-k routes additionally accept mode=exact|ivf|sq8|ivfsq (backend
-// choice; exact is the default, sq8/ivfsq are the int8-quantized scans
-// with exact re-rank) and nprobe=N (IVF/IVFSQ probe count override), and
-// every top-k response reports which backend actually answered ("exact",
-// "ivf", "sq8", "ivfsq", or "scan" — the brute-force path used while a
-// new index version is still building; a mode whose backend was not
-// built degrades toward "exact"). k must be a positive integer; values above the
+// The top-k routes additionally accept mode=exact|ivf|sq8|ivfsq|fp16|
+// ivffp16 (backend choice; exact is the default, sq8/ivfsq are the
+// int8-quantized scans with exact re-rank, fp16/ivffp16 the binary16
+// scans served without re-rank) and nprobe=N (inverted-file probe count
+// override), and every top-k response reports which backend actually
+// answered ("exact", "ivf", "sq8", "ivfsq", "fp16", "ivffp16", or "scan"
+// — the brute-force path used while a new index version is still
+// building; a mode whose backend was not built degrades toward "exact"). k must be a positive integer; values above the
 // candidate count are clamped. With a sharded serving index, top-k
 // queries fan out across the shards in parallel and /healthz reports the
 // per-shard index generations ("shard_versions") next to the model
@@ -33,7 +34,10 @@
 // incremental pass, "drift" the running column-sum drift estimate of the
 // retained recurrence state, and "gram_corrections" how many attribute
 // deltas were absorbed by the low-rank link-space correction instead of
-// a full shard rebuild.
+// a full shard rebuild. "kernels" reports the instruction set each
+// compute kernel dispatches to on this build and host ("generic",
+// "avx2", or "neon"), mirrored by the pane_kernel_dispatch info gauge on
+// /metrics.
 //
 // Probe endpoints split liveness from readiness:
 //
@@ -300,6 +304,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"read_only":    s.readOnly.Load(),
 		"epoch":        s.eng.Epoch(),
 		"deposed":      s.eng.Deposed(),
+		"kernels":      engine.KernelDispatch(),
 	}
 	for _, sec := range s.health {
 		body[sec.name] = sec.fn()
@@ -682,9 +687,10 @@ func intParam(w http.ResponseWriter, r *http.Request, name string, limit int) (i
 // topkParams parses the shared top-k query parameters. k defaults to 10
 // when absent but an explicit k < 1 (or non-integer) is a 400 — never a
 // silent rewrite; values above the candidate count are clamped downstream.
-// mode must be "exact", "ivf", "sq8", or "ivfsq" when present; nprobe
-// must be a positive integer when present (it is only consulted on
-// IVF/IVFSQ searches). Returns ok=false after writing the error response.
+// mode must be "exact", "ivf", "sq8", "ivfsq", "fp16", or "ivffp16" when
+// present; nprobe must be a positive integer when present (it is only
+// consulted on inverted-file searches). Returns ok=false after writing
+// the error response.
 func topkParams(w http.ResponseWriter, r *http.Request) (k int, mode string, nprobe int, ok bool) {
 	q := r.URL.Query()
 	k = engine.DefaultK
@@ -699,11 +705,13 @@ func topkParams(w http.ResponseWriter, r *http.Request) (k int, mode string, npr
 	}
 	mode = q.Get("mode")
 	switch mode {
-	case "", engine.ModeExact, engine.ModeIVF, engine.ModeSQ8, engine.ModeIVFSQ:
+	case "", engine.ModeExact, engine.ModeIVF, engine.ModeSQ8, engine.ModeIVFSQ,
+		engine.ModeFP16, engine.ModeIVFFP16:
 	default:
 		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("parameter \"mode\" must be %q, %q, %q, or %q, got %q",
-				engine.ModeExact, engine.ModeIVF, engine.ModeSQ8, engine.ModeIVFSQ, mode))
+			fmt.Sprintf("parameter \"mode\" must be %q, %q, %q, %q, %q, or %q, got %q",
+				engine.ModeExact, engine.ModeIVF, engine.ModeSQ8, engine.ModeIVFSQ,
+				engine.ModeFP16, engine.ModeIVFFP16, mode))
 		return 0, "", 0, false
 	}
 	if raw := q.Get("nprobe"); raw != "" {

@@ -460,6 +460,61 @@ func TestQuantizedModesOverHTTP(t *testing.T) {
 	}
 }
 
+// TestFP16ModesOverHTTP: the fp16/ivffp16 modes are accepted on both
+// top-k routes, answer from their backends, degrade honestly when the
+// tier is not built, and healthz reports the fp16 flag plus the kernel
+// dispatch table.
+func TestFP16ModesOverHTTP(t *testing.T) {
+	eng := testEngine(t, engine.WithIndex(engine.IndexConfig{
+		IVF: true, NList: 2, NProbe: 2, FP16: true,
+	}))
+	s := New(eng)
+	cases := []struct {
+		path, backend string
+	}{
+		{"/top-links?src=0&k=3&mode=fp16", "fp16"},
+		{"/top-links?src=0&k=3&mode=ivffp16", "ivffp16"},
+		{"/top-links?src=0&k=3&mode=ivffp16&nprobe=1", "ivffp16"},
+		{"/top-attrs?node=0&k=2&mode=fp16", "fp16"},
+		{"/top-attrs?node=0&k=2&mode=ivffp16", "ivffp16"},
+	}
+	for _, c := range cases {
+		code, body := get(t, s, c.path)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d (%v)", c.path, code, body)
+		}
+		if got := body["backend"]; got != c.backend {
+			t.Fatalf("%s: backend %v, want %q", c.path, got, c.backend)
+		}
+	}
+	// healthz carries the fp16 flag and the kernel dispatch table.
+	_, health := get(t, s, "/healthz")
+	idx := health["index"].(map[string]interface{})
+	if idx["fp16"] != true {
+		t.Fatalf("healthz index %v", idx)
+	}
+	kernels, ok := health["kernels"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("healthz kernels section missing: %v", health["kernels"])
+	}
+	for _, op := range []string{"dot", "axpy", "gemm", "sq8dot", "fp16dot"} {
+		isa, ok := kernels[op].(string)
+		if !ok || (isa != "generic" && isa != "avx2" && isa != "neon") {
+			t.Fatalf("kernels[%q] = %v", op, kernels[op])
+		}
+	}
+	// On an index without the tier the modes degrade with honest labels.
+	plainIdx, _ := indexedServer(t)
+	_, body := get(t, plainIdx, "/top-links?src=0&k=3&mode=fp16")
+	if got := body["backend"]; got != "exact" {
+		t.Fatalf("fp16 without tier: backend %v, want exact", got)
+	}
+	_, body = get(t, plainIdx, "/top-links?src=0&k=3&mode=ivffp16")
+	if got := body["backend"]; got != "ivf" {
+		t.Fatalf("ivffp16 without tier: backend %v, want ivf", got)
+	}
+}
+
 // jsonString renders a decoded JSON fragment canonically for comparison.
 func jsonString(t *testing.T, v interface{}) string {
 	t.Helper()

@@ -28,13 +28,15 @@ import (
 //	adjacency and attribute CSR sections
 //	optional serving-index configuration (format version 2; format
 //	version 3 appends the shard layout; format version 4 the quantize
-//	flag and re-rank multiplier)
+//	flag and re-rank multiplier; format version 5 the fp16 flag)
 //	optional SQ8 quantized payload: per-row codes + scale/base vectors
 //	of the candidate matrices (format version 4)
+//	optional fp16 payload: binary16 codes of the candidate matrices
+//	(format version 5)
 //
 // Serialization is deterministic: saving a loaded current-format bundle
 // reproduces the input byte for byte, which snapshot tests rely on. (A
-// loaded format-1 through format-3 bundle re-saves as format 4, so only
+// loaded format-1 through format-4 bundle re-saves as format 5, so only
 // its payload — not its bytes — survives the round trip.)
 type Bundle struct {
 	ModelVersion uint64
@@ -54,6 +56,12 @@ type Bundle struct {
 	// without the extra pass, and gives the format a place to verify the
 	// encoding survived the round trip.
 	Quant *QuantPayload
+	// Half optionally carries the binary16 encodings of the candidate
+	// matrices (format version 5), with the same derived-state contract
+	// as Quant: droppable (a loader just re-encodes, bit-identically),
+	// but persisting it lets a restored server publish its fp16 tier
+	// without the extra pass.
+	Half *HalfPayload
 }
 
 // IndexMeta mirrors engine.IndexConfig for persistence (raw configured
@@ -72,6 +80,9 @@ type IndexMeta struct {
 	// exact-re-rank survivor multiplier (0 means the index default).
 	Quantize bool
 	Rerank   int
+	// FP16 records whether the half-precision tier is built (format
+	// version 5).
+	FP16 bool
 }
 
 // QuantizedMatrix is one candidate matrix's per-row SQ8 encoding as
@@ -91,12 +102,30 @@ type QuantPayload struct {
 	Links, Attrs QuantizedMatrix
 }
 
+// HalfMatrix is one candidate matrix's binary16 encoding as
+// index.EncodeFP16Rows produces it: Rows*Dim uint16 code words,
+// row-major. The encoding is per element, so any contiguous row range of
+// it equals the encoding of that shard's rows — the same slice property
+// the quantized payload has, and how a sharded engine consumes one flat
+// payload.
+type HalfMatrix struct {
+	Rows, Dim int
+	Codes     []uint16
+}
+
+// HalfPayload carries the binary16 encodings of both candidate spaces:
+// the link transform Z = Xb·G and the attribute matrix Y.
+type HalfPayload struct {
+	Links, Attrs HalfMatrix
+}
+
 const (
 	magicBundle = 0x504E4231 // "PNB1"
 	// bundleFormatV is the version written; versions 1 (no index
-	// section), 2 (index section without the shard word), and 3 (no
-	// quantize/rerank words, no quantized payload) are still read.
-	bundleFormatV = 4
+	// section), 2 (index section without the shard word), 3 (no
+	// quantize/rerank words, no quantized payload), and 4 (no fp16 flag
+	// or payload) are still read.
+	bundleFormatV = 5
 )
 
 // WriteBundle serializes b to w.
@@ -134,6 +163,9 @@ func WriteBundle(w io.Writer, b *Bundle) error {
 	if err := writeQuant(bw, b.Quant); err != nil {
 		return err
 	}
+	if err := writeHalf(bw, b.Half); err != nil {
+		return err
+	}
 	return bw.Flush()
 }
 
@@ -167,14 +199,15 @@ func writeIndexMeta(w io.Writer, im *IndexMeta) error {
 	}
 	return binary.Write(w, order, []uint64{
 		1, flag(im.IVF), uint64(nlist), uint64(nprobe), uint64(im.Seed), uint64(shards),
-		flag(im.Quantize), uint64(rerank),
+		flag(im.Quantize), uint64(rerank), flag(im.FP16),
 	})
 }
 
 // readIndexMeta decodes the index section of a format-`version` bundle:
 // version 2 carries four configuration words, version 3 appends the
 // shard count (absent means 0, i.e. unsharded), version 4 the quantize
-// flag and re-rank multiplier (absent means unquantized).
+// flag and re-rank multiplier (absent means unquantized), version 5 the
+// fp16 flag (absent means no half-precision tier).
 func readIndexMeta(r io.Reader, version uint64) (*IndexMeta, error) {
 	var present uint64
 	if err := binary.Read(r, order, &present); err != nil {
@@ -189,6 +222,9 @@ func readIndexMeta(r io.Reader, version uint64) (*IndexMeta, error) {
 	}
 	if version >= 4 {
 		nWords = 7
+	}
+	if version >= 5 {
+		nWords = 8
 	}
 	words := make([]uint64, nWords)
 	if err := binary.Read(r, order, words); err != nil {
@@ -206,6 +242,9 @@ func readIndexMeta(r io.Reader, version uint64) (*IndexMeta, error) {
 	if version >= 4 {
 		im.Quantize = words[5] != 0
 		im.Rerank = int(words[6])
+	}
+	if version >= 5 {
+		im.FP16 = words[7] != 0
 	}
 	if im.NList < 0 || im.NProbe < 0 || im.Shards < 0 || im.Rerank < 0 {
 		return nil, fmt.Errorf("store: negative index config nlist=%d nprobe=%d shards=%d rerank=%d",
@@ -276,6 +315,59 @@ func readQuant(r io.Reader) (*QuantPayload, error) {
 	return qp, nil
 }
 
+// writeHalf encodes the optional fp16-payload section: a presence flag,
+// then each matrix's shape and binary16 code words.
+func writeHalf(w io.Writer, hp *HalfPayload) error {
+	if hp == nil {
+		return binary.Write(w, order, uint64(0))
+	}
+	if err := binary.Write(w, order, uint64(1)); err != nil {
+		return err
+	}
+	for _, hm := range []*HalfMatrix{&hp.Links, &hp.Attrs} {
+		if len(hm.Codes) != hm.Rows*hm.Dim {
+			return fmt.Errorf("store: fp16 payload shape mismatch: %d codes for %dx%d",
+				len(hm.Codes), hm.Rows, hm.Dim)
+		}
+		if err := binary.Write(w, order, []uint64{uint64(hm.Rows), uint64(hm.Dim)}); err != nil {
+			return err
+		}
+		if err := binary.Write(w, order, hm.Codes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readHalf decodes the fp16-payload section written by writeHalf.
+func readHalf(r io.Reader) (*HalfPayload, error) {
+	var present uint64
+	if err := binary.Read(r, order, &present); err != nil {
+		return nil, fmt.Errorf("store: reading fp16 payload flag: %w", err)
+	}
+	if present == 0 {
+		return nil, nil
+	}
+	hp := &HalfPayload{}
+	for _, hm := range []*HalfMatrix{&hp.Links, &hp.Attrs} {
+		shape := make([]uint64, 2)
+		if err := binary.Read(r, order, shape); err != nil {
+			return nil, fmt.Errorf("store: reading fp16 payload shape: %w", err)
+		}
+		const limit = 1 << 33 // same sanity bound as the dense sections
+		if shape[0] > limit || shape[1] > limit ||
+			(shape[1] != 0 && shape[0] > limit/shape[1]) { // product bound, overflow-safe
+			return nil, fmt.Errorf("store: implausible fp16 payload %dx%d", shape[0], shape[1])
+		}
+		hm.Rows, hm.Dim = int(shape[0]), int(shape[1])
+		hm.Codes = make([]uint16, hm.Rows*hm.Dim)
+		if err := binary.Read(r, order, hm.Codes); err != nil {
+			return nil, fmt.Errorf("store: reading fp16 payload: %w", err)
+		}
+	}
+	return hp, nil
+}
+
 // ReadBundle deserializes a bundle written by WriteBundle and validates
 // that its parts agree with each other.
 func ReadBundle(r io.Reader) (*Bundle, error) {
@@ -329,6 +421,11 @@ func ReadBundle(r io.Reader) (*Bundle, error) {
 			return nil, err
 		}
 	}
+	if hdr[1] >= 5 {
+		if b.Half, err = readHalf(br); err != nil {
+			return nil, err
+		}
+	}
 	return b, b.check()
 }
 
@@ -359,6 +456,18 @@ func (b *Bundle) check() error {
 		case q.Attrs.Rows != b.Y.Rows || q.Attrs.Dim != half:
 			return fmt.Errorf("store: quantized attr payload %dx%d does not match Y %dx%d",
 				q.Attrs.Rows, q.Attrs.Dim, b.Y.Rows, half)
+		}
+	}
+	if h := b.Half; h != nil {
+		// Same candidate spaces as the quantized payload: Links covers
+		// Z = Xb·G, Attrs covers Y.
+		switch {
+		case h.Links.Rows != n || h.Links.Dim != half:
+			return fmt.Errorf("store: fp16 link payload %dx%d does not match Z %dx%d",
+				h.Links.Rows, h.Links.Dim, n, half)
+		case h.Attrs.Rows != b.Y.Rows || h.Attrs.Dim != half:
+			return fmt.Errorf("store: fp16 attr payload %dx%d does not match Y %dx%d",
+				h.Attrs.Rows, h.Attrs.Dim, b.Y.Rows, half)
 		}
 	}
 	return nil

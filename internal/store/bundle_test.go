@@ -264,6 +264,128 @@ func TestBundleQuantPayloadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBundleReadsFormatV4(t *testing.T) {
+	// A v4 bundle carries the quantize/rerank words and the quantized
+	// payload but predates the fp16 flag and half payload. Build one from
+	// a current bundle by cutting the fp16 flag word out of the index
+	// section, dropping the trailing half-presence word, and rewriting the
+	// format word; the reader must accept it with FP16 false and no half
+	// payload.
+	b := testBundle(false)
+	n, d, half := b.Xf.Rows, b.Y.Rows, b.Xf.Cols
+	b.Index = &IndexMeta{IVF: true, NList: 4, NProbe: 2, Seed: 1, Shards: 2, Quantize: true, Rerank: 3}
+	qm := func(rows int) QuantizedMatrix {
+		m := QuantizedMatrix{Rows: rows, Dim: half,
+			Codes: make([]int8, rows*half),
+			Scale: make([]float32, rows), Base: make([]float32, rows)}
+		for i := range m.Codes {
+			m.Codes[i] = int8(i*3 - 7)
+		}
+		for i := range m.Scale {
+			m.Scale[i] = float32(i) * 0.5
+			m.Base[i] = float32(i)
+		}
+		return m
+	}
+	b.Quant = &QuantPayload{Links: qm(n), Attrs: qm(d)}
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Current layout tail: [fp16 flag word][quant section][half word].
+	var qbuf bytes.Buffer
+	if err := writeQuant(&qbuf, b.Quant); err != nil {
+		t.Fatal(err)
+	}
+	cut := len(raw) - 8 - qbuf.Len() - 8 // start of the fp16 flag word
+	v4 := append([]byte(nil), raw[:cut]...)
+	v4 = append(v4, raw[cut+8:len(raw)-8]...) // keep quant, drop half word
+	order.PutUint64(v4[8:16], 4)              // format version field
+	got, err := ReadBundle(bytes.NewReader(v4))
+	if err != nil {
+		t.Fatalf("v4 bundle rejected: %v", err)
+	}
+	want := *b.Index
+	want.FP16 = false
+	if got.Index == nil || *got.Index != want {
+		t.Fatalf("v4 index meta %+v, want %+v", got.Index, want)
+	}
+	if got.Half != nil {
+		t.Fatal("v4 bundle grew an fp16 payload")
+	}
+	if got.Quant == nil || got.Quant.Links.Rows != n || got.Quant.Attrs.Rows != d {
+		t.Fatalf("v4 quantized payload mangled: %+v", got.Quant)
+	}
+	for i, c := range b.Quant.Links.Codes {
+		if got.Quant.Links.Codes[i] != c {
+			t.Fatalf("v4 quant code %d differs", i)
+		}
+	}
+	if !got.Xf.Equal(b.Xf, 0) {
+		t.Fatal("v4 payload mangled")
+	}
+}
+
+func TestBundleHalfPayloadRoundTrip(t *testing.T) {
+	b := testBundle(false)
+	n, d, half := b.Xf.Rows, b.Y.Rows, b.Xf.Cols
+	b.Index = &IndexMeta{IVF: true, NList: 4, NProbe: 2, Seed: 1, Shards: 2, FP16: true}
+	mk := func(rows int) HalfMatrix {
+		hm := HalfMatrix{Rows: rows, Dim: half, Codes: make([]uint16, rows*half)}
+		for i := range hm.Codes {
+			hm.Codes[i] = uint16(i*0x1234 + 0x3C00) // arbitrary bit patterns incl. high bits
+		}
+		return hm
+	}
+	b.Half = &HalfPayload{Links: mk(n), Attrs: mk(d)}
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Half == nil {
+		t.Fatal("fp16 payload lost")
+	}
+	if got.Index == nil || !got.Index.FP16 {
+		t.Fatalf("fp16 flag lost: %+v", got.Index)
+	}
+	for name, pair := range map[string][2]HalfMatrix{
+		"links": {got.Half.Links, b.Half.Links}, "attrs": {got.Half.Attrs, b.Half.Attrs},
+	} {
+		g, w := pair[0], pair[1]
+		if g.Rows != w.Rows || g.Dim != w.Dim {
+			t.Fatalf("%s shape %dx%d", name, g.Rows, g.Dim)
+		}
+		for i := range w.Codes {
+			if g.Codes[i] != w.Codes[i] {
+				t.Fatalf("%s code %d differs", name, i)
+			}
+		}
+	}
+	// Deterministic resave.
+	var buf2 bytes.Buffer
+	if err := WriteBundle(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("fp16 payload serialization not deterministic")
+	}
+	// A payload whose shape disagrees with the model must be rejected.
+	b.Half.Links.Rows = n + 1
+	b.Half.Links.Codes = make([]uint16, (n+1)*half)
+	var bad bytes.Buffer
+	if err := WriteBundle(&bad, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBundle(bytes.NewReader(bad.Bytes())); err == nil {
+		t.Fatal("mismatched fp16 payload accepted")
+	}
+}
+
 func TestBundleFileAtomicSave(t *testing.T) {
 	b := testBundle(true)
 	path := filepath.Join(t.TempDir(), "m.pane")
